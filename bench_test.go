@@ -1,0 +1,466 @@
+// Bench harness: one benchmark per table and figure of the paper, plus the
+// ablations DESIGN.md calls out. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark regenerates its experiment from the shared suite (scaled
+// synthetic datasets, deterministic seed) and reports the headline numbers
+// as custom metrics, so the paper-vs-measured comparison in EXPERIMENTS.md
+// is reproducible from this one command.
+package speedctx_test
+
+import (
+	"context"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"speedctx/internal/analysis"
+	"speedctx/internal/device"
+	"speedctx/internal/experiments"
+	"speedctx/internal/report"
+	"speedctx/internal/speedtest"
+)
+
+// benchScale sizes the benchmark datasets: 5% of the paper's row counts
+// (~10.7k Ookla rows for City A) keeps the full harness under a few minutes
+// while giving each per-bin median a stable sample.
+const benchScale = 0.05
+
+var (
+	benchOnce  sync.Once
+	benchSuite *experiments.Suite
+)
+
+func suite() *experiments.Suite {
+	benchOnce.Do(func() {
+		benchSuite = experiments.NewSuite(benchScale, 2021)
+	})
+	return benchSuite
+}
+
+func mustTable(b *testing.B, t *report.Table, err error) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := t.Write(io.Discard); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func mustFigure(b *testing.B, f *report.Figure, err error) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(f.Series) == 0 {
+		b.Fatalf("figure %s is empty", f.ID)
+	}
+	if err := f.Write(io.Discard); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func cityA(b *testing.B) *experiments.CityBundle {
+	b.Helper()
+	bundle, err := suite().City("A")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bundle
+}
+
+func ooklaA(b *testing.B) *analysis.Ookla {
+	b.Helper()
+	a, err := cityA(b).OoklaAnalysis()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a
+}
+
+func androidA(b *testing.B) *analysis.Ookla {
+	b.Helper()
+	a, err := cityA(b).AndroidAnalysis()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a
+}
+
+func BenchmarkTable1DatasetSizes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := suite().Table1()
+		mustTable(b, t, err)
+	}
+}
+
+func BenchmarkTable2MBAAccuracy(b *testing.B) {
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		t, err := suite().Table2()
+		mustTable(b, t, err)
+		bundle := cityA(b)
+		_, ev, err := bundle.MBAFit()
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = ev.UploadAccuracy()
+	}
+	b.ReportMetric(100*acc, "stateA_upload_accuracy_%")
+}
+
+func BenchmarkTable3UploadClusters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := suite().Table3()
+		mustTable(b, t, err)
+	}
+}
+
+func BenchmarkTable4DownloadClusterMeans(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := suite().Table4()
+		mustTable(b, t, err)
+	}
+}
+
+func BenchmarkTables567UploadClusters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ts, err := suite().Tables567()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, t := range ts {
+			mustTable(b, t, nil)
+		}
+	}
+}
+
+func BenchmarkFigure1MotivatingCDF(b *testing.B) {
+	var medAll, medT1 float64
+	for i := 0; i < b.N; i++ {
+		f, err := suite().Figure1()
+		mustFigure(b, f, err)
+		a := ooklaA(b)
+		mc := a.Motivating()
+		medAll = a.MedianDownload()
+		medT1 = analysis.Group{Values: mc.Tier1}.Median()
+	}
+	b.ReportMetric(medAll, "uncontextualized_median_mbps")
+	b.ReportMetric(medT1, "tier1_median_mbps")
+}
+
+func BenchmarkFigure2ConsistencyFactor(b *testing.B) {
+	var mUp, mDown float64
+	for i := 0; i < b.N; i++ {
+		f, err := suite().Figure2()
+		mustFigure(b, f, err)
+		down, up := ooklaA(b).ConsistencyFactors(device.IOS, 5)
+		if len(down) > 0 {
+			mDown = down[len(down)/2]
+			mUp = up[len(up)/2]
+		}
+	}
+	b.ReportMetric(mDown, "download_cf_median")
+	b.ReportMetric(mUp, "upload_cf_median")
+}
+
+func BenchmarkFigure4MBAUploadKDE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := suite().Figure4()
+		mustFigure(b, f, err)
+	}
+}
+
+func BenchmarkFigure5MBADownloadKDE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := suite().Figure5()
+		mustFigure(b, f, err)
+	}
+}
+
+func BenchmarkFigure6CityUploadKDE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := suite().Figure6()
+		mustFigure(b, f, err)
+	}
+}
+
+func BenchmarkFigure7AndroidDownloadKDE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := suite().Figure7()
+		mustFigure(b, f, err)
+	}
+}
+
+func BenchmarkFigure8AlphaConsistency(b *testing.B) {
+	var med float64
+	for i := 0; i < b.N; i++ {
+		f, err := suite().Figure8()
+		mustFigure(b, f, err)
+		alphas, err := ooklaA(b).AlphaPerUserMonth(5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		med = alphas[len(alphas)/2]
+	}
+	b.ReportMetric(med, "alpha_median")
+}
+
+func BenchmarkFigure9aAccessType(b *testing.B) {
+	var mw, me float64
+	for i := 0; i < b.N; i++ {
+		f, err := suite().Figure9("a")
+		mustFigure(b, f, err)
+		gs := ooklaA(b).ByAccessType()
+		mw, me = gs[0].Median(), gs[1].Median()
+	}
+	b.ReportMetric(mw, "wifi_median_norm")
+	b.ReportMetric(me, "ethernet_median_norm")
+}
+
+func BenchmarkFigure9bWiFiBand(b *testing.B) {
+	var m24, m5 float64
+	for i := 0; i < b.N; i++ {
+		f, err := suite().Figure9("b")
+		mustFigure(b, f, err)
+		gs := androidA(b).ByBand()
+		m24, m5 = gs[0].Median(), gs[1].Median()
+	}
+	b.ReportMetric(m24, "band24_median_norm")
+	b.ReportMetric(m5, "band5_median_norm")
+}
+
+func BenchmarkFigure9cRSSI(b *testing.B) {
+	var lo, hi float64
+	for i := 0; i < b.N; i++ {
+		f, err := suite().Figure9("c")
+		mustFigure(b, f, err)
+		gs := androidA(b).ByRSSIBin()
+		lo, hi = gs[0].Median(), gs[len(gs)-1].Median()
+	}
+	b.ReportMetric(lo, "rssi_worst_median_norm")
+	b.ReportMetric(hi, "rssi_best_median_norm")
+}
+
+func BenchmarkFigure9dMemory(b *testing.B) {
+	var lo, hi float64
+	for i := 0; i < b.N; i++ {
+		f, err := suite().Figure9("d")
+		mustFigure(b, f, err)
+		gs := androidA(b).ByMemoryBin()
+		lo, hi = gs[0].Median(), gs[len(gs)-1].Median()
+	}
+	b.ReportMetric(lo, "mem_below2gb_median_norm")
+	b.ReportMetric(hi, "mem_above6gb_median_norm")
+}
+
+func BenchmarkFigure10LocalBottleneck(b *testing.B) {
+	var best, bott float64
+	for i := 0; i < b.N; i++ {
+		f, err := suite().Figure10()
+		mustFigure(b, f, err)
+		gs := androidA(b).BestVsBottleneck()
+		best, bott = gs[0].Median(), gs[1].Median()
+	}
+	b.ReportMetric(best, "best_median_norm")
+	b.ReportMetric(bott, "bottleneck_median_norm")
+}
+
+func BenchmarkFigure11TimeOfDayVolume(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := suite().Figure11()
+		mustFigure(b, f, err)
+	}
+}
+
+func BenchmarkFigure12TimeOfDayPerformance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, tg := range []int{1, 2} {
+			f, err := suite().Figure12(tg)
+			mustFigure(b, f, err)
+		}
+	}
+}
+
+func BenchmarkFigure13VendorGap(b *testing.B) {
+	var tier4Ratio float64
+	for i := 0; i < b.N; i++ {
+		figs, err := suite().Figure13()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, f := range figs {
+			mustFigure(b, f, nil)
+		}
+		bundle := cityA(b)
+		oa, err := bundle.OoklaAnalysis()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ma, err := bundle.MLabAnalysis()
+		if err != nil {
+			b.Fatal(err)
+		}
+		vts, err := analysis.VendorComparison(oa, ma)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if mm := vts[1].MLab.Median(); mm > 0 {
+			tier4Ratio = vts[1].Ookla.Median() / mm
+		}
+	}
+	b.ReportMetric(tier4Ratio, "tier4_ookla_over_mlab")
+}
+
+func BenchmarkAppendixFigures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs14, err := suite().Figure14()
+		if err != nil {
+			b.Fatal(err)
+		}
+		figs15, err := suite().Figure15()
+		if err != nil {
+			b.Fatal(err)
+		}
+		figsDl, err := suite().Figures161718()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, f := range figs14 {
+			mustFigure(b, f, nil)
+		}
+		for _, f := range figs15 {
+			mustFigure(b, f, nil)
+		}
+		for _, f := range figsDl {
+			mustFigure(b, f, nil)
+		}
+	}
+}
+
+func BenchmarkAblationGMMvsKMeans(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := suite().AblationGMMvsKMeans()
+		mustTable(b, t, err)
+	}
+}
+
+func BenchmarkAblationUploadFirst(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := suite().AblationUploadFirst()
+		mustTable(b, t, err)
+	}
+}
+
+func BenchmarkAblationBandwidthRule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := suite().AblationBandwidthRule()
+		mustTable(b, t, err)
+	}
+}
+
+func BenchmarkTCPModelValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mustTable(b, experiments.TCPModelValidation(), nil)
+	}
+}
+
+func BenchmarkVendorGapSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mustTable(b, experiments.VendorGapSweep(), nil)
+	}
+}
+
+func BenchmarkLoopbackVendorGap(b *testing.B) {
+	srv, err := speedtest.NewServer("127.0.0.1:0", speedtest.ServerConfig{
+		TotalRate:   400e6 / 8,
+		PerConnRate: 100e6 / 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	var ratio float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		single, err := speedtest.Download(ctx, srv.Addr(), speedtest.ClientSpec{
+			Connections: 1, Duration: time.Second,
+		})
+		if err != nil {
+			cancel()
+			b.Fatal(err)
+		}
+		multi, err := speedtest.Download(ctx, srv.Addr(), speedtest.ClientSpec{
+			Connections: 4, Duration: time.Second, WarmupDiscard: 200 * time.Millisecond,
+		})
+		cancel()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = float64(multi.Throughput) / float64(single.Throughput)
+	}
+	b.ReportMetric(ratio, "multi_over_single")
+}
+
+func BenchmarkRecommendationBBR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mustTable(b, experiments.RecommendationBBR(), nil)
+	}
+}
+
+func BenchmarkChallengeScreen(b *testing.B) {
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		t, err := suite().ChallengeTable("A")
+		mustTable(b, t, err)
+		rep, err := suite().ChallengeReport("A")
+		if err != nil {
+			b.Fatal(err)
+		}
+		rate = rep.EvidenceRate()
+	}
+	b.ReportMetric(100*rate, "evidence_rate_%")
+}
+
+func BenchmarkVendorSignificance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := suite().VendorSignificance()
+		mustTable(b, t, err)
+	}
+}
+
+func BenchmarkAggregationLoss(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := suite().AggregationLoss()
+		mustTable(b, t, err)
+	}
+}
+
+func BenchmarkBottleneckCensus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := suite().BottleneckCensus("A", 5000)
+		mustTable(b, t, err)
+	}
+}
+
+func BenchmarkJointDensity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		hm, err := suite().JointDensity("A")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := hm.Write(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRobustnessSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mustTable(b, experiments.RobustnessSweep(2021), nil)
+	}
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return buf.String()
+}
+
+func TestUsageErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("empty args should error")
+	}
+	if err := run([]string{"bogus"}, &buf); err == nil {
+		t.Error("unknown command should error")
+	}
+	if err := run([]string{"table"}, &buf); err == nil {
+		t.Error("table without id should error")
+	}
+	if err := run([]string{"table", "99"}, &buf); err == nil {
+		t.Error("unknown table should error")
+	}
+	if err := run([]string{"figure", "zz"}, &buf); err == nil {
+		t.Error("unknown figure should error")
+	}
+	if err := run([]string{"figure"}, &buf); err == nil {
+		t.Error("figure without id should error")
+	}
+	if err := run([]string{"bst", "-city", "Z"}, &buf); err == nil {
+		t.Error("unknown city should error")
+	}
+}
+
+func TestTableCommands(t *testing.T) {
+	// Small scale keeps this a smoke test; tcp/vendorgap/bbr don't need
+	// a suite at all.
+	out := runCLI(t, "table", "tcp")
+	if !strings.Contains(out, "Mathis") {
+		t.Errorf("tcp table:\n%s", out)
+	}
+	out = runCLI(t, "table", "vendorgap")
+	if !strings.Contains(out, "Ookla/NDT") {
+		t.Errorf("vendorgap table:\n%s", out)
+	}
+	out = runCLI(t, "table", "bbr")
+	if !strings.Contains(out, "1-conn BBR") {
+		t.Errorf("bbr table:\n%s", out)
+	}
+	out = runCLI(t, "table", "2", "-scale", "0.005")
+	if !strings.Contains(out, "Accuracy") {
+		t.Errorf("table 2:\n%s", out)
+	}
+}
+
+func TestFigureCommands(t *testing.T) {
+	out := runCLI(t, "figure", "4", "-scale", "0.005")
+	if !strings.Contains(out, "# fig4") {
+		t.Errorf("figure 4:\n%s", out)
+	}
+	out = runCLI(t, "figure", "8", "-scale", "0.005", "-ascii")
+	if !strings.Contains(out, "alpha") {
+		t.Errorf("figure 8 ascii:\n%s", out)
+	}
+}
+
+func TestGenerateCommand(t *testing.T) {
+	dir := t.TempDir()
+	out := runCLI(t, "generate", "-city", "D", "-scale", "0.005", "-out", dir)
+	for _, name := range []string{"ookla-D.csv", "mlab-D.csv", "mba-D.csv", "tiles-D.csv"} {
+		path := filepath.Join(dir, name)
+		if !strings.Contains(out, path) {
+			t.Errorf("output missing %s:\n%s", path, out)
+		}
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+}
+
+func TestBSTCommand(t *testing.T) {
+	out := runCLI(t, "bst", "-city", "D", "-scale", "0.005")
+	if !strings.Contains(out, "BST stage-1 summary") {
+		t.Errorf("bst output:\n%s", out)
+	}
+	if !strings.Contains(out, "Final plan-tier assignment") {
+		t.Errorf("bst output missing assignment table:\n%s", out)
+	}
+}
+
+func TestChallengeCommandFromFile(t *testing.T) {
+	dir := t.TempDir()
+	runCLI(t, "generate", "-city", "A", "-scale", "0.005", "-out", dir)
+	out := runCLI(t, "challenge", "-city", "A", "-input", filepath.Join(dir, "ookla-A.csv"))
+	for _, want := range []string{"evidence", "meets-plan", "local-bottleneck"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("challenge output missing %q:\n%s", want, out)
+		}
+	}
+	// Synthetic fallback without -input.
+	out = runCLI(t, "challenge", "-city", "A", "-scale", "0.005")
+	if !strings.Contains(out, "Challenge evidence screen") {
+		t.Errorf("synthetic challenge output:\n%s", out)
+	}
+	// Missing file errors.
+	var buf bytes.Buffer
+	if err := run([]string{"challenge", "-input", "/nonexistent.csv"}, &buf); err == nil {
+		t.Error("missing input should error")
+	}
+}
+
+func TestSweepCommand(t *testing.T) {
+	out := runCLI(t, "table", "sweep")
+	if !strings.Contains(out, "BST robustness") {
+		t.Errorf("sweep output:\n%s", out)
+	}
+}

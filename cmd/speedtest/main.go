@@ -1,0 +1,87 @@
+// Command speedtest measures a speedtestd server with any of the three
+// methodologies, making the §6.3 vendor gap observable with real sockets:
+//
+//	speedtest -addr 127.0.0.1:8099 -style ookla   # multi-connection raw TCP
+//	speedtest -addr 127.0.0.1:8099 -style ndt     # single raw TCP connection
+//	speedtest -addr 127.0.0.1:8100 -style ndt7    # single WebSocket stream
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"speedctx/internal/ndt7"
+	"speedctx/internal/speedtest"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "speedtest:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("speedtest", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8099", "server address")
+	style := fs.String("style", "ookla", "methodology: ookla (multi-connection), ndt (single raw TCP), or ndt7 (single WebSocket)")
+	seconds := fs.Float64("duration", 3, "transfer seconds")
+	upload := fs.Bool("upload", false, "measure upload instead of download")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	duration := time.Duration(*seconds * float64(time.Second))
+	ctx, cancel := context.WithTimeout(context.Background(), duration+15*time.Second)
+	defer cancel()
+
+	if *style == "ndt7" {
+		runner := ndt7.Download
+		dir := "download"
+		if *upload {
+			runner = ndt7.Upload
+			dir = "upload"
+		}
+		res, err := runner(ctx, *addr, duration)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s (ndt7, 1 websocket): %s over %s (%d bytes, %d server measurements)\n",
+			dir, res.Throughput, res.Elapsed.Round(time.Millisecond), res.Bytes, len(res.ServerMeasurements))
+		return nil
+	}
+
+	var spec speedtest.ClientSpec
+	switch *style {
+	case "ookla":
+		spec = speedtest.OoklaStyle()
+	case "ndt":
+		spec = speedtest.NDTStyle()
+	default:
+		return fmt.Errorf("unknown style %q", *style)
+	}
+	spec.Duration = duration
+
+	rtt, err := speedtest.Ping(ctx, *addr)
+	if err != nil {
+		return fmt.Errorf("ping: %w", err)
+	}
+
+	dir := "download"
+	runner := speedtest.Download
+	if *upload {
+		dir = "upload"
+		runner = speedtest.Upload
+	}
+	res, err := runner(ctx, *addr, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s (%s, %d conns): %s over %s (rtt %s, %d bytes)\n",
+		dir, *style, res.Connections, res.Throughput, res.Elapsed.Round(time.Millisecond),
+		rtt.Round(time.Microsecond), res.Bytes)
+	return nil
+}

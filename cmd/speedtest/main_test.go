@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"speedctx/internal/ndt7"
+	"speedctx/internal/speedtest"
+)
+
+func TestRunAgainstRawServer(t *testing.T) {
+	srv, err := speedtest.NewServer("127.0.0.1:0", speedtest.ServerConfig{TotalRate: 5e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	for _, style := range []string{"ookla", "ndt"} {
+		var buf bytes.Buffer
+		err := run([]string{"-addr", srv.Addr(), "-style", style, "-duration", "1"}, &buf)
+		if err != nil {
+			t.Fatalf("%s: %v", style, err)
+		}
+		if !strings.Contains(buf.String(), "download ("+style) {
+			t.Errorf("%s output: %q", style, buf.String())
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := run([]string{"-addr", srv.Addr(), "-style", "ndt", "-duration", "1", "-upload"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "upload (ndt") {
+		t.Errorf("upload output: %q", buf.String())
+	}
+}
+
+func TestRunAgainstNDT7Server(t *testing.T) {
+	srv, err := ndt7.NewServer("127.0.0.1:0", ndt7.ServerConfig{Rate: 4e6, Duration: 2e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var buf bytes.Buffer
+	if err := run([]string{"-addr", srv.Addr(), "-style", "ndt7", "-duration", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ndt7, 1 websocket") {
+		t.Errorf("ndt7 output: %q", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-style", "bogus"}, &buf); err == nil {
+		t.Error("unknown style should error")
+	}
+	if err := run([]string{"-addr", "127.0.0.1:1", "-style", "ndt", "-duration", "1"}, &buf); err == nil {
+		t.Error("unreachable server should error")
+	}
+	if err := run([]string{"-badflag"}, &buf); err == nil {
+		t.Error("bad flag should error")
+	}
+}

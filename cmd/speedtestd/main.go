@@ -1,0 +1,55 @@
+// Command speedtestd runs the shaped loopback speed-test server.
+//
+//	speedtestd -addr 127.0.0.1:8099 -rate 200 -perconn 40
+//
+// rate and perconn are in Mbps; zero means unlimited. The per-connection
+// cap emulates the per-flow ceiling that loss and fair queueing impose on
+// real wide-area paths, which is what makes single-connection tests (M-Lab
+// NDT) under-report against multi-connection tests (Ookla).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"speedctx/internal/ndt7"
+	"speedctx/internal/speedtest"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8099", "listen address (raw-TCP protocol)")
+	ndt7Addr := flag.String("ndt7", "", "also serve the NDT7 WebSocket protocol on this address (e.g. 127.0.0.1:8100)")
+	rateMbps := flag.Float64("rate", 200, "total shaped rate in Mbps (0 = unlimited)")
+	perConnMbps := flag.Float64("perconn", 0, "per-connection rate cap in Mbps (0 = unlimited)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *ndt7Addr != "" {
+		perConn := *perConnMbps
+		if perConn <= 0 {
+			perConn = *rateMbps
+		}
+		ns, err := ndt7.NewServer(*ndt7Addr, ndt7.ServerConfig{Rate: perConn * 1e6 / 8})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "speedtestd: ndt7:", err)
+			os.Exit(1)
+		}
+		defer ns.Close()
+		log.Printf("ndt7 listening on %s (per-connection %.0f Mbps)", ns.Addr(), perConn)
+	}
+
+	cfg := speedtest.ServerConfig{
+		TotalRate:   *rateMbps * 1e6 / 8,
+		PerConnRate: *perConnMbps * 1e6 / 8,
+	}
+	if err := speedtest.ListenAndServeUntil(ctx, *addr, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "speedtestd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,58 @@
+// Quickstart: generate a small synthetic City-A dataset, run the BST
+// methodology, and score it against the generator's ground truth.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"speedctx"
+)
+
+func main() {
+	// Generate the three datasets for City A (Ookla, M-Lab, MBA).
+	data, err := speedctx.GenerateCity("A", speedctx.GenerateOptions{
+		OoklaTests: 5000, MLabTests: 2000, MBARecords: 2000, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("City A (%s): %d Ookla tests, %d M-Lab rows (%d associated), %d MBA records\n",
+		data.Catalog.ISP, len(data.Ookla), len(data.MLabRows), len(data.MLabTests), len(data.MBA))
+
+	// The MBA panel has ground-truth plans: validate BST on it, as the
+	// paper's Table 2 does.
+	samples := make([]speedctx.Sample, len(data.MBA))
+	truth := make([]int, len(data.MBA))
+	for i, r := range data.MBA {
+		samples[i] = speedctx.Sample{Download: r.DownloadMbps, Upload: r.UploadMbps}
+		truth[i] = r.Tier
+	}
+	res, err := speedctx.FitBST(samples, data.Catalog, speedctx.BSTConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := speedctx.EvaluateBST(res, truth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nBST on the MBA panel: upload-tier accuracy %.2f%%, exact-plan accuracy %.2f%%\n",
+		100*ev.UploadAccuracy(), 100*ev.TierAccuracy())
+
+	// Apply BST to the crowdsourced Ookla data (no ground truth there in
+	// the real world) and show the tier breakdown it recovers.
+	a, err := speedctx.AnalyzeOokla(data.Catalog, data.Ookla, speedctx.BSTConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nOokla upload-tier clusters (paper Table 3 format):")
+	for _, tc := range a.Result.UploadClusterSummary() {
+		fmt.Printf("  %-9s %5d tests, cluster mean %6.2f Mbps\n",
+			tc.Label, tc.Measurements, tc.MeanMbps)
+	}
+	fmt.Printf("\nUncontextualized City-A median download: %.1f Mbps — read §2 of the\n"+
+		"paper (or run ./examples/citysurvey) for why that number misleads.\n",
+		a.MedianDownload())
+}

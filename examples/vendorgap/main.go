@@ -1,0 +1,52 @@
+// Vendorgap reproduces the §6.3 comparison: the same city, ISP and
+// subscription tiers measured by Ookla's multi-connection methodology and
+// M-Lab's single-connection NDT. M-Lab consistently reads lower, by up to
+// ~2x in the mid tiers.
+//
+//	go run ./examples/vendorgap
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"speedctx"
+)
+
+func main() {
+	data, err := speedctx.GenerateCity("A", speedctx.GenerateOptions{
+		OoklaTests: 6000, MLabTests: 6000, Seed: 21,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	oa, err := speedctx.AnalyzeOokla(data.Catalog, data.Ookla, speedctx.BSTConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ma, err := speedctx.AnalyzeMLab(data.Catalog, data.MLabTests, speedctx.BSTConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	vts, err := speedctx.CompareVendors(oa, ma)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Normalized download speed per subscription tier group, City A:")
+	fmt.Printf("%-10s %18s %18s %10s\n", "Tier", "Ookla median (n)", "M-Lab median (n)", "ratio")
+	for _, vt := range vts {
+		mo, mm := vt.Ookla.Median(), vt.MLab.Median()
+		ratio := 0.0
+		if mm > 0 {
+			ratio = mo / mm
+		}
+		fmt.Printf("%-10s %10.2f (%5d) %10.2f (%5d) %9.2fx\n",
+			vt.Label, mo, vt.Ookla.Count(), mm, vt.MLab.Count(), ratio)
+	}
+	fmt.Println("\nBoth vendors measured identical subscribers; the gap is methodology:")
+	fmt.Println("NDT's single TCP connection cannot fill a high-BDP pipe in 10 seconds,")
+	fmt.Println("and its average includes slow start. Policy built on M-Lab data alone")
+	fmt.Println("would under-state delivered speeds; see also cmd/speedtestd for the")
+	fmt.Println("same effect over real sockets.")
+}

@@ -1,0 +1,73 @@
+package speedctx
+
+import (
+	"speedctx/internal/challenge"
+	"speedctx/internal/geo"
+	"speedctx/internal/mbaraw"
+	"speedctx/internal/opendata"
+	"speedctx/internal/stats"
+)
+
+// Extended public surface: the challenge-evidence screen (§8
+// recommendations), the Ookla open-data tile format, the FCC MBA raw-file
+// format, and two-sample inference for distribution comparisons.
+
+// ChallengePolicy is the evidence-admission rule set for the FCC challenge
+// process.
+type ChallengePolicy = challenge.Policy
+
+// ChallengeVerdict classifies one measurement for the challenge process.
+type ChallengeVerdict = challenge.Verdict
+
+// ChallengeReport aggregates verdicts over a dataset.
+type ChallengeReport = challenge.Report
+
+// Challenge verdicts.
+const (
+	VerdictMeetsPlan           = challenge.MeetsPlan
+	VerdictEvidence            = challenge.Evidence
+	VerdictLocalBottleneck     = challenge.LocalBottleneck
+	VerdictInsufficientContext = challenge.InsufficientContext
+	VerdictUnassigned          = challenge.Unassigned
+)
+
+// DefaultChallengePolicy returns the paper-aligned rule set.
+func DefaultChallengePolicy() ChallengePolicy { return challenge.DefaultPolicy() }
+
+// ScreenChallenge classifies every record of a BST-contextualized dataset
+// for the FCC challenge process.
+func ScreenChallenge(recs []OoklaRecord, res *BSTResult, cat *Catalog, p ChallengePolicy) (*ChallengeReport, error) {
+	return challenge.BuildReport(recs, res, cat, p)
+}
+
+// Tile is one row of the Ookla open-data aggregate schema.
+type Tile = opendata.Tile
+
+// LatLon is a geographic coordinate.
+type LatLon = geo.LatLon
+
+// AggregateTiles folds per-test records into zoom-16 quadkey tiles (the
+// public Ookla open-data schema).
+func AggregateTiles(recs []OoklaRecord, center LatLon, seed int64) []Tile {
+	return opendata.Aggregate(recs, center, seed)
+}
+
+// MBAThroughputRow is one row of the FCC MBA raw release
+// (curr_httpgetmt.csv / curr_httppostmt.csv).
+type MBAThroughputRow = mbaraw.ThroughputRow
+
+// MBAUnitProfile is the subscription ground truth from the MBA unit
+// profile.
+type MBAUnitProfile = mbaraw.UnitProfile
+
+// MergeMBARaw joins raw MBA download rows, upload rows and unit profiles
+// into the MBARecord form FitBST consumes — the path for running the
+// paper's Table 2 evaluation on a real MBA release.
+var MergeMBARaw = mbaraw.Merge
+
+// MannWhitney runs the two-sided Mann-Whitney U test — used to back
+// distribution comparisons (e.g. the vendor gap) with significance.
+var MannWhitney = stats.MannWhitney
+
+// KolmogorovSmirnov runs the two-sample KS test.
+var KolmogorovSmirnov = stats.KolmogorovSmirnov

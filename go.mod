@@ -1,0 +1,3 @@
+module speedctx
+
+go 1.22

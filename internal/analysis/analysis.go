@@ -1,0 +1,220 @@
+// Package analysis implements the paper's contextualization analyses on top
+// of the BST core: normalized download speed relative to the assigned plan,
+// groupings by access type, WiFi band, RSSI, device memory (§6.1), time of
+// day (§6.2), vendor methodology (§6.3), per-user consistency factors
+// (§4.1) and the α assignment-consistency check (§5.2).
+package analysis
+
+import (
+	"fmt"
+
+	"speedctx/internal/core"
+	"speedctx/internal/dataset"
+	"speedctx/internal/device"
+	"speedctx/internal/plans"
+	"speedctx/internal/population"
+	"speedctx/internal/stats"
+	"speedctx/internal/wifi"
+)
+
+// Ookla couples an Ookla dataset with its BST contextualization.
+type Ookla struct {
+	Catalog *plans.Catalog
+	Records []dataset.OoklaRecord
+	Result  *core.Result
+}
+
+// AnalyzeOokla fits BST over the records and returns the coupled view.
+func AnalyzeOokla(cat *plans.Catalog, recs []dataset.OoklaRecord, cfg core.Config) (*Ookla, error) {
+	samples := make([]core.Sample, len(recs))
+	for i, r := range recs {
+		samples[i] = core.Sample{Download: r.DownloadMbps, Upload: r.UploadMbps}
+	}
+	res, err := core.Fit(samples, cat, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: ookla fit: %w", err)
+	}
+	return &Ookla{Catalog: cat, Records: recs, Result: res}, nil
+}
+
+// MLab couples associated NDT tests with their BST contextualization.
+type MLab struct {
+	Catalog *plans.Catalog
+	Tests   []dataset.MLabTest
+	Result  *core.Result
+}
+
+// AnalyzeMLab fits BST over associated NDT tests.
+func AnalyzeMLab(cat *plans.Catalog, tests []dataset.MLabTest, cfg core.Config) (*MLab, error) {
+	samples := make([]core.Sample, len(tests))
+	for i, r := range tests {
+		samples[i] = core.Sample{Download: r.DownloadMbps, Upload: r.UploadMbps}
+	}
+	res, err := core.Fit(samples, cat, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: mlab fit: %w", err)
+	}
+	return &MLab{Catalog: cat, Tests: tests, Result: res}, nil
+}
+
+// NormalizedDownload returns record i's download speed divided by the
+// advertised download of its BST-assigned plan; ok is false for unassigned
+// (off-catalog) records.
+func (a *Ookla) NormalizedDownload(i int) (float64, bool) {
+	return normalized(a.Result, a.Catalog, i, a.Records[i].DownloadMbps)
+}
+
+// NormalizedDownload is the M-Lab analogue.
+func (m *MLab) NormalizedDownload(i int) (float64, bool) {
+	return normalized(m.Result, m.Catalog, i, m.Tests[i].DownloadMbps)
+}
+
+func normalized(res *core.Result, cat *plans.Catalog, i int, down float64) (float64, bool) {
+	a := res.Assignments[i]
+	if a.Tier < 1 {
+		return 0, false
+	}
+	plan, ok := cat.PlanByTier(a.Tier)
+	if !ok {
+		return 0, false
+	}
+	return down / float64(plan.Download), true
+}
+
+// Group is a named slice of normalized download speeds with its summary.
+type Group struct {
+	Name   string
+	Values []float64
+}
+
+// Count returns the group's size.
+func (g Group) Count() int { return len(g.Values) }
+
+// Median returns the group's median normalized download.
+func (g Group) Median() float64 { return stats.Median(g.Values) }
+
+// ECDF returns the group's empirical CDF, ready for figure emission.
+func (g Group) ECDF() *stats.ECDF { return stats.NewECDF(g.Values) }
+
+// FilterTierGroup returns a view restricted to records whose BST-assigned
+// upload tier group equals g. All group analyses compose with it, enabling
+// the paper's per-tier claims ("for Tier 6, the band difference grows to
+// six-fold") to be checked directly:
+//
+//	a.FilterTierGroup(3).ByBand()
+func (a *Ookla) FilterTierGroup(g int) *Ookla {
+	sub := &Ookla{Catalog: a.Catalog}
+	res := &core.Result{Catalog: a.Catalog}
+	for i, r := range a.Records {
+		if a.Result.Assignments[i].UploadTier != g {
+			continue
+		}
+		sub.Records = append(sub.Records, r)
+		res.Assignments = append(res.Assignments, a.Result.Assignments[i])
+	}
+	sub.Result = res
+	return sub
+}
+
+// collect builds groups from a keying function; records the key maps to ""
+// are skipped.
+func (a *Ookla) collect(order []string, key func(i int, r dataset.OoklaRecord) string) []Group {
+	vals := map[string][]float64{}
+	for i, r := range a.Records {
+		k := key(i, r)
+		if k == "" {
+			continue
+		}
+		nd, ok := a.NormalizedDownload(i)
+		if !ok {
+			continue
+		}
+		vals[k] = append(vals[k], nd)
+	}
+	out := make([]Group, 0, len(order))
+	for _, name := range order {
+		out = append(out, Group{Name: name, Values: vals[name]})
+	}
+	return out
+}
+
+// ByAccessType reproduces Figure 9a: WiFi vs Ethernet normalized download
+// for native-app tests across all tiers.
+func (a *Ookla) ByAccessType() []Group {
+	return a.collect([]string{"WiFi", "Ethernet"}, func(_ int, r dataset.OoklaRecord) string {
+		switch r.Access {
+		case dataset.AccessWiFi:
+			return "WiFi"
+		case dataset.AccessEthernet:
+			return "Ethernet"
+		default:
+			return "" // web tests carry no access metadata
+		}
+	})
+}
+
+// ByBand reproduces Figure 9b: 2.4 GHz vs 5 GHz Android tests.
+func (a *Ookla) ByBand() []Group {
+	return a.collect([]string{"2.4 GHz", "5 GHz"}, func(_ int, r dataset.OoklaRecord) string {
+		if !r.HasRadioInfo {
+			return ""
+		}
+		return r.Band.String()
+	})
+}
+
+// ByRSSIBin reproduces Figure 9c: 5 GHz Android tests binned by RSSI.
+func (a *Ookla) ByRSSIBin() []Group {
+	order := make([]string, 0, 4)
+	for _, b := range wifi.Bins() {
+		order = append(order, b.String())
+	}
+	return a.collect(order, func(_ int, r dataset.OoklaRecord) string {
+		if !r.HasRadioInfo || r.Band != wifi.Band5GHz {
+			return ""
+		}
+		return wifi.BinRSSI(r.RSSI).String()
+	})
+}
+
+// ByMemoryBin reproduces Figure 9d: Android 5 GHz tests with RSSI better
+// than -50 dBm, binned by available kernel memory.
+func (a *Ookla) ByMemoryBin() []Group {
+	order := make([]string, 0, 4)
+	for _, b := range device.MemoryBins() {
+		order = append(order, b.String())
+	}
+	return a.collect(order, func(_ int, r dataset.OoklaRecord) string {
+		if !r.HasRadioInfo || r.Band != wifi.Band5GHz || r.RSSI < -50 {
+			return ""
+		}
+		return device.BinMemory(r.KernelMemMB).String()
+	})
+}
+
+// BestVsBottleneck reproduces Figure 10: Android tests split into the
+// "Best" group (5 GHz, RSSI > -50 dBm, > 2 GB kernel memory) and the
+// "Local-bottleneck" remainder.
+func (a *Ookla) BestVsBottleneck() []Group {
+	return a.collect([]string{"Best", "Local-bottleneck"}, func(_ int, r dataset.OoklaRecord) string {
+		if !r.HasRadioInfo {
+			return ""
+		}
+		if r.Band == wifi.Band5GHz && r.RSSI > -50 && r.KernelMemMB >= 2048 {
+			return "Best"
+		}
+		return "Local-bottleneck"
+	})
+}
+
+// ByHourBin returns normalized download groups per 6-hour bin, optionally
+// restricted to one upload tier group (tierGroup -1 means all) — Figure 12.
+func (a *Ookla) ByHourBin(tierGroup int) []Group {
+	order := []string{"00-06", "06-12", "12-18", "18-00"}
+	return a.collect(order, func(i int, r dataset.OoklaRecord) string {
+		if tierGroup >= 0 && a.Result.Assignments[i].UploadTier != tierGroup {
+			return ""
+		}
+		return population.HourBinLabel(population.HourBin(r.Timestamp))
+	})
+}

@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"speedctx/internal/core"
+	"speedctx/internal/device"
+	"speedctx/internal/stats"
+)
+
+// ConsistencyFactors computes the per-user consistency factor (mean / p95,
+// §4.1) of download and upload speeds for users of one platform with at
+// least minTests tests — the data behind Figure 2. Returned slices are
+// sorted ascending and have one entry per qualifying user.
+func (a *Ookla) ConsistencyFactors(p device.Platform, minTests int) (downCF, upCF []float64) {
+	type speeds struct{ downs, ups []float64 }
+	byUser := map[int]*speeds{}
+	for _, r := range a.Records {
+		if r.Platform != p {
+			continue
+		}
+		s := byUser[r.UserID]
+		if s == nil {
+			s = &speeds{}
+			byUser[r.UserID] = s
+		}
+		s.downs = append(s.downs, r.DownloadMbps)
+		s.ups = append(s.ups, r.UploadMbps)
+	}
+	for _, s := range byUser {
+		if len(s.downs) < minTests {
+			continue
+		}
+		downCF = append(downCF, stats.ConsistencyFactor(s.downs))
+		upCF = append(upCF, stats.ConsistencyFactor(s.ups))
+	}
+	sort.Float64s(downCF)
+	sort.Float64s(upCF)
+	return downCF, upCF
+}
+
+// AlphaPerUserMonth computes the §5.2 α distribution: for every user-month
+// with more than minTests tests, the largest fraction of that user-month's
+// tests assigned to one tier. Sorted ascending (Figure 8).
+func (a *Ookla) AlphaPerUserMonth(minTests int) ([]float64, error) {
+	tiers := make([]int, len(a.Records))
+	groups := make([]string, len(a.Records))
+	for i, r := range a.Records {
+		tiers[i] = a.Result.Assignments[i].Tier
+		groups[i] = fmt.Sprintf("%d/%d", r.UserID, int(r.Timestamp.Month()))
+	}
+	return core.Alpha(tiers, groups, minTests)
+}
+
+// VolumeByHourBin returns, for each upload tier group, the percentage of
+// that group's tests falling in each 6-hour bin — Figure 11. Rows are tier
+// groups in catalog order; columns are the four bins.
+func (a *Ookla) VolumeByHourBin() [][]float64 {
+	nGroups := len(a.Catalog.UploadTiers())
+	counts := make([][]int, nGroups)
+	totals := make([]int, nGroups)
+	for g := range counts {
+		counts[g] = make([]int, 4)
+	}
+	for i, r := range a.Records {
+		g := a.Result.Assignments[i].UploadTier
+		if g < 0 {
+			continue
+		}
+		counts[g][r.Timestamp.Hour()/6]++
+		totals[g]++
+	}
+	out := make([][]float64, nGroups)
+	for g := range out {
+		out[g] = make([]float64, 4)
+		if totals[g] == 0 {
+			continue
+		}
+		for b := 0; b < 4; b++ {
+			out[g][b] = 100 * float64(counts[g][b]) / float64(totals[g])
+		}
+	}
+	return out
+}
+
+// MotivatingCurves assembles the raw download-speed slices behind Figure 1:
+// the uncontextualized distribution and progressively contextualized
+// subsets (lowest tier; top tier; top tier on Android; top tier on
+// Ethernet).
+type MotivatingCurves struct {
+	Uncontextualized []float64
+	Tier1            []float64
+	TierTop          []float64
+	TierTopAndroid   []float64
+	TierTopEthernet  []float64
+}
+
+// Motivating builds Figure 1's curves from the analysis.
+func (a *Ookla) Motivating() MotivatingCurves {
+	var mc MotivatingCurves
+	top := len(a.Catalog.Plans)
+	for i, r := range a.Records {
+		mc.Uncontextualized = append(mc.Uncontextualized, r.DownloadMbps)
+		t := a.Result.Assignments[i].Tier
+		switch {
+		case t == 1:
+			mc.Tier1 = append(mc.Tier1, r.DownloadMbps)
+		case t == top:
+			mc.TierTop = append(mc.TierTop, r.DownloadMbps)
+			if r.Platform == device.Android {
+				mc.TierTopAndroid = append(mc.TierTopAndroid, r.DownloadMbps)
+			}
+			if r.Platform == device.DesktopEthernet {
+				mc.TierTopEthernet = append(mc.TierTopEthernet, r.DownloadMbps)
+			}
+		}
+	}
+	return mc
+}
+
+// VendorTier compares one upload tier group across vendors — a panel of
+// Figure 13.
+type VendorTier struct {
+	Label       string
+	Ookla, MLab Group
+}
+
+// Significance tests whether the two vendors' normalized-download
+// distributions differ: a Mann-Whitney U test (with the common-language
+// effect size P(ookla > mlab)) and a Kolmogorov-Smirnov distance. The paper
+// reports the medians; this backs them with inference.
+func (vt VendorTier) Significance() (stats.MannWhitneyResult, stats.KSResult) {
+	return stats.MannWhitney(vt.Ookla.Values, vt.MLab.Values),
+		stats.KolmogorovSmirnov(vt.Ookla.Values, vt.MLab.Values)
+}
+
+// MedianGapCI bootstraps a confidence interval for
+// median(Ookla) - median(MLab) using the given seed.
+func (vt VendorTier) MedianGapCI(confidence float64, nboot int, seed int64) (lo, hi float64) {
+	return stats.MedianDifferenceCI(vt.Ookla.Values, vt.MLab.Values, confidence, nboot, stats.NewRNG(seed))
+}
+
+// VendorComparison pairs Ookla and M-Lab normalized download distributions
+// per upload tier group for the same city and ISP (Figure 13).
+func VendorComparison(o *Ookla, m *MLab) ([]VendorTier, error) {
+	if o.Catalog.City != m.Catalog.City {
+		return nil, fmt.Errorf("analysis: vendor comparison across cities %s and %s",
+			o.Catalog.City, m.Catalog.City)
+	}
+	tiers := o.Catalog.UploadTiers()
+	out := make([]VendorTier, len(tiers))
+	for g, t := range tiers {
+		out[g] = VendorTier{Label: t.Label()}
+		out[g].Ookla.Name = "Ookla"
+		out[g].MLab.Name = "M-Lab"
+	}
+	for i := range o.Records {
+		g := o.Result.Assignments[i].UploadTier
+		if g < 0 {
+			continue
+		}
+		if nd, ok := o.NormalizedDownload(i); ok {
+			out[g].Ookla.Values = append(out[g].Ookla.Values, nd)
+		}
+	}
+	for i := range m.Tests {
+		g := m.Result.Assignments[i].UploadTier
+		if g < 0 {
+			continue
+		}
+		if nd, ok := m.NormalizedDownload(i); ok {
+			out[g].MLab.Values = append(out[g].MLab.Values, nd)
+		}
+	}
+	return out, nil
+}
+
+// MedianDownload returns the dataset's overall (uncontextualized) median
+// download speed — the headline number the motivating example warns about.
+func (a *Ookla) MedianDownload() float64 {
+	downs := make([]float64, len(a.Records))
+	for i, r := range a.Records {
+		downs[i] = r.DownloadMbps
+	}
+	return stats.Median(downs)
+}

@@ -1,0 +1,211 @@
+// Package challenge operationalizes the paper's recommendations (§8): the
+// FCC's Broadband DATA Act challenge process lets consumers contest
+// provider coverage claims with speed-test measurements, and the paper
+// argues those measurements are only meaningful once contextualized. This
+// package classifies each contextualized measurement into challenge-grade
+// evidence of access under-performance versus readings explained by the
+// subscription tier, the home network, the device, or missing metadata.
+package challenge
+
+import (
+	"fmt"
+	"io"
+
+	"speedctx/internal/core"
+	"speedctx/internal/dataset"
+	"speedctx/internal/plans"
+	"speedctx/internal/report"
+	"speedctx/internal/wifi"
+)
+
+// Verdict classifies one measurement for the challenge process.
+type Verdict int
+
+const (
+	// MeetsPlan: the measurement reached the policy fraction of the
+	// assigned plan — no under-performance to report.
+	MeetsPlan Verdict = iota
+	// Evidence: the measurement is below plan and no local cause is
+	// visible — valid challenge evidence against the provider claim.
+	Evidence
+	// LocalBottleneck: the shortfall is attributable to the home
+	// network or device (2.4 GHz band, weak RSSI, low kernel memory) —
+	// filing it would mis-target the provider.
+	LocalBottleneck
+	// InsufficientContext: the test carries no access/device metadata
+	// (web tests), so a local cause cannot be ruled out.
+	InsufficientContext
+	// Unassigned: BST could not place the measurement on a plan
+	// (off-catalog subscriber); it cannot be interpreted at all.
+	Unassigned
+)
+
+var verdictNames = map[Verdict]string{
+	MeetsPlan:           "meets-plan",
+	Evidence:            "evidence",
+	LocalBottleneck:     "local-bottleneck",
+	InsufficientContext: "insufficient-context",
+	Unassigned:          "unassigned",
+}
+
+func (v Verdict) String() string { return verdictNames[v] }
+
+// Verdicts lists all verdicts in report order.
+func Verdicts() []Verdict {
+	return []Verdict{Evidence, MeetsPlan, LocalBottleneck, InsufficientContext, Unassigned}
+}
+
+// Policy is the evidence-admission rule set.
+type Policy struct {
+	// FractionOfPlan is the under-performance threshold: a measurement
+	// below FractionOfPlan x advertised download is a shortfall.
+	// Default 0.8 (the FCC challenge guidance's 80%-of-subscribed bar).
+	FractionOfPlan float64
+	// MinRSSI is the weakest acceptable WiFi signal for a wireless test
+	// to count as evidence. Default -50 dBm (the paper's "Best" group).
+	MinRSSI float64
+	// Require5GHz rejects 2.4 GHz tests as evidence. Default true.
+	Require5GHz bool
+	// MinKernelMemMB rejects low-memory devices. Default 2048.
+	MinKernelMemMB int
+}
+
+// DefaultPolicy returns the paper-aligned rule set.
+func DefaultPolicy() Policy {
+	return Policy{FractionOfPlan: 0.8, MinRSSI: -50, Require5GHz: true, MinKernelMemMB: 2048}
+}
+
+func (p *Policy) defaults() {
+	if p.FractionOfPlan <= 0 || p.FractionOfPlan > 1 {
+		p.FractionOfPlan = 0.8
+	}
+	if p.MinRSSI == 0 {
+		p.MinRSSI = -50
+	}
+	if p.MinKernelMemMB <= 0 {
+		p.MinKernelMemMB = 2048
+	}
+}
+
+// Assessment is the challenge classification of one measurement.
+type Assessment struct {
+	Verdict Verdict
+	// Reason is a one-line human-readable justification.
+	Reason string
+	// Tier is the BST-assigned plan tier (0 if unassigned).
+	Tier int
+	// Normalized is measured download / advertised download of the
+	// assigned plan (0 if unassigned).
+	Normalized float64
+}
+
+// Assess classifies one Ookla record given its BST assignment.
+func Assess(rec dataset.OoklaRecord, asgn core.Assignment, cat *plans.Catalog, p Policy) Assessment {
+	p.defaults()
+	if asgn.Tier < 1 {
+		return Assessment{Verdict: Unassigned, Reason: "no subscription plan matched (off-catalog upload cluster)"}
+	}
+	plan, ok := cat.PlanByTier(asgn.Tier)
+	if !ok {
+		return Assessment{Verdict: Unassigned, Reason: "assigned tier missing from catalog"}
+	}
+	norm := rec.DownloadMbps / float64(plan.Download)
+	a := Assessment{Tier: asgn.Tier, Normalized: norm}
+	if norm >= p.FractionOfPlan {
+		a.Verdict = MeetsPlan
+		a.Reason = fmt.Sprintf("measured %.0f Mbps >= %.0f%% of the %s plan",
+			rec.DownloadMbps, 100*p.FractionOfPlan, plan.Name)
+		return a
+	}
+	// Below plan: decide whether a local cause is visible.
+	switch rec.Access {
+	case dataset.AccessUnknown:
+		a.Verdict = InsufficientContext
+		a.Reason = "web test without access/device metadata; local causes cannot be excluded"
+		return a
+	case dataset.AccessEthernet:
+		a.Verdict = Evidence
+		a.Reason = fmt.Sprintf("wired test at %.0f%% of the %s plan", 100*norm, plan.Name)
+		return a
+	}
+	// WiFi test: apply the paper's local-bottleneck screens where
+	// metadata exists (Android); iOS/desktop-WiFi tests carry no radio
+	// metadata and cannot be screened.
+	if !rec.HasRadioInfo {
+		a.Verdict = InsufficientContext
+		a.Reason = "WiFi test without radio metadata; link quality unknown"
+		return a
+	}
+	switch {
+	case p.Require5GHz && rec.Band == wifi.Band24GHz:
+		a.Verdict = LocalBottleneck
+		a.Reason = "2.4 GHz WiFi test; band limits throughput below most plans"
+	case rec.RSSI < p.MinRSSI:
+		a.Verdict = LocalBottleneck
+		a.Reason = fmt.Sprintf("weak WiFi signal (%.0f dBm < %.0f dBm)", rec.RSSI, p.MinRSSI)
+	case rec.KernelMemMB > 0 && rec.KernelMemMB < p.MinKernelMemMB:
+		a.Verdict = LocalBottleneck
+		a.Reason = fmt.Sprintf("low device memory (%d MB)", rec.KernelMemMB)
+	default:
+		a.Verdict = Evidence
+		a.Reason = fmt.Sprintf("healthy 5 GHz link at %.0f%% of the %s plan", 100*norm, plan.Name)
+	}
+	return a
+}
+
+// Report aggregates assessments over a dataset.
+type Report struct {
+	Policy Policy
+	Counts map[Verdict]int
+	Total  int
+	// PerTier counts evidence per assigned plan tier.
+	PerTierEvidence map[int]int
+}
+
+// BuildReport assesses every record of a BST-contextualized dataset.
+func BuildReport(recs []dataset.OoklaRecord, res *core.Result, cat *plans.Catalog, p Policy) (*Report, error) {
+	if len(recs) != len(res.Assignments) {
+		return nil, fmt.Errorf("challenge: %d records vs %d assignments", len(recs), len(res.Assignments))
+	}
+	p.defaults()
+	r := &Report{
+		Policy:          p,
+		Counts:          map[Verdict]int{},
+		Total:           len(recs),
+		PerTierEvidence: map[int]int{},
+	}
+	for i, rec := range recs {
+		a := Assess(rec, res.Assignments[i], cat, p)
+		r.Counts[a.Verdict]++
+		if a.Verdict == Evidence {
+			r.PerTierEvidence[a.Tier]++
+		}
+	}
+	return r, nil
+}
+
+// EvidenceRate is the fraction of all tests admissible as challenge
+// evidence.
+func (r *Report) EvidenceRate() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Counts[Evidence]) / float64(r.Total)
+}
+
+// Write renders the report as a table.
+func (r *Report) Write(w io.Writer) error {
+	t := &report.Table{
+		Title: fmt.Sprintf("Challenge evidence screen (threshold %.0f%% of plan, %d tests)",
+			100*r.Policy.FractionOfPlan, r.Total),
+		Headers: []string{"Verdict", "Tests", "Share"},
+	}
+	for _, v := range Verdicts() {
+		share := 0.0
+		if r.Total > 0 {
+			share = 100 * float64(r.Counts[v]) / float64(r.Total)
+		}
+		t.AddRow(v.String(), r.Counts[v], fmt.Sprintf("%.1f%%", share))
+	}
+	return t.Write(w)
+}

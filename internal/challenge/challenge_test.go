@@ -1,0 +1,169 @@
+package challenge
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"speedctx/internal/core"
+	"speedctx/internal/dataset"
+	"speedctx/internal/plans"
+	"speedctx/internal/wifi"
+)
+
+func catA() *plans.Catalog { return plans.CityA() }
+
+func rec(down float64, access dataset.AccessType) dataset.OoklaRecord {
+	return dataset.OoklaRecord{DownloadMbps: down, Access: access}
+}
+
+func androidRec(down float64, band wifi.Band, rssi float64, memMB int) dataset.OoklaRecord {
+	return dataset.OoklaRecord{
+		DownloadMbps: down, Access: dataset.AccessWiFi,
+		HasRadioInfo: true, Band: band, RSSI: rssi, KernelMemMB: memMB,
+	}
+}
+
+func TestAssessMeetsPlan(t *testing.T) {
+	// Tier 2 = 100 Mbps plan; 90 Mbps meets the 80% bar.
+	a := Assess(rec(90, dataset.AccessEthernet), core.Assignment{Tier: 2}, catA(), DefaultPolicy())
+	if a.Verdict != MeetsPlan {
+		t.Errorf("verdict = %v (%s)", a.Verdict, a.Reason)
+	}
+	if a.Normalized < 0.89 || a.Normalized > 0.91 {
+		t.Errorf("normalized = %v", a.Normalized)
+	}
+}
+
+func TestAssessWiredEvidence(t *testing.T) {
+	a := Assess(rec(40, dataset.AccessEthernet), core.Assignment{Tier: 2}, catA(), DefaultPolicy())
+	if a.Verdict != Evidence {
+		t.Errorf("wired shortfall should be evidence, got %v (%s)", a.Verdict, a.Reason)
+	}
+}
+
+func TestAssessWebInsufficient(t *testing.T) {
+	a := Assess(rec(40, dataset.AccessUnknown), core.Assignment{Tier: 2}, catA(), DefaultPolicy())
+	if a.Verdict != InsufficientContext {
+		t.Errorf("web shortfall should lack context, got %v", a.Verdict)
+	}
+}
+
+func TestAssessWiFiWithoutRadioInsufficient(t *testing.T) {
+	// iOS WiFi test: no radio metadata.
+	a := Assess(rec(40, dataset.AccessWiFi), core.Assignment{Tier: 2}, catA(), DefaultPolicy())
+	if a.Verdict != InsufficientContext {
+		t.Errorf("no-radio WiFi shortfall = %v (%s)", a.Verdict, a.Reason)
+	}
+}
+
+func TestAssessLocalBottlenecks(t *testing.T) {
+	p := DefaultPolicy()
+	cases := []struct {
+		name string
+		rec  dataset.OoklaRecord
+		want string
+	}{
+		{"2.4GHz", androidRec(30, wifi.Band24GHz, -40, 8000), "2.4 GHz"},
+		{"weak RSSI", androidRec(30, wifi.Band5GHz, -72, 8000), "weak WiFi signal"},
+		{"low memory", androidRec(30, wifi.Band5GHz, -40, 1024), "low device memory"},
+	}
+	for _, c := range cases {
+		a := Assess(c.rec, core.Assignment{Tier: 3}, catA(), p)
+		if a.Verdict != LocalBottleneck {
+			t.Errorf("%s: verdict = %v (%s)", c.name, a.Verdict, a.Reason)
+		}
+		if !strings.Contains(a.Reason, c.want) {
+			t.Errorf("%s: reason %q missing %q", c.name, a.Reason, c.want)
+		}
+	}
+}
+
+func TestAssessHealthyWiFiEvidence(t *testing.T) {
+	a := Assess(androidRec(60, wifi.Band5GHz, -42, 8000), core.Assignment{Tier: 3}, catA(), DefaultPolicy())
+	if a.Verdict != Evidence {
+		t.Errorf("healthy-WiFi shortfall should be evidence, got %v (%s)", a.Verdict, a.Reason)
+	}
+}
+
+func TestAssessUnassigned(t *testing.T) {
+	a := Assess(rec(5, dataset.AccessWiFi), core.Assignment{Tier: 0}, catA(), DefaultPolicy())
+	if a.Verdict != Unassigned {
+		t.Errorf("verdict = %v", a.Verdict)
+	}
+}
+
+func TestPolicyDefaults(t *testing.T) {
+	var p Policy
+	p.defaults()
+	if p.FractionOfPlan != 0.8 || p.MinRSSI != -50 || p.MinKernelMemMB != 2048 {
+		t.Errorf("defaults = %+v", p)
+	}
+}
+
+func TestBuildReportIntegration(t *testing.T) {
+	cat := catA()
+	recs := dataset.GenerateOokla(cat, 4000, 77)
+	samples := make([]core.Sample, len(recs))
+	for i, r := range recs {
+		samples[i] = core.Sample{Download: r.DownloadMbps, Upload: r.UploadMbps}
+	}
+	res, err := core.Fit(samples, cat, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := BuildReport(recs, res, cat, DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, v := range Verdicts() {
+		total += rep.Counts[v]
+	}
+	if total != rep.Total || total != len(recs) {
+		t.Fatalf("counts sum %d != total %d", total, rep.Total)
+	}
+	// The paper's whole point: only a minority of raw low readings
+	// survive the context screens as provider-actionable evidence.
+	if rate := rep.EvidenceRate(); rate > 0.30 {
+		t.Errorf("evidence rate = %v; the screens should reject most shortfalls", rate)
+	}
+	if rep.Counts[LocalBottleneck] == 0 {
+		t.Error("no local bottlenecks found; screens are not firing")
+	}
+	if rep.Counts[MeetsPlan] == 0 {
+		t.Error("no tests meet plan; implausible")
+	}
+
+	var buf bytes.Buffer
+	if err := rep.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"evidence", "meets-plan", "local-bottleneck"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestBuildReportLengthMismatch(t *testing.T) {
+	res := &core.Result{Catalog: catA(), Assignments: make([]core.Assignment, 2)}
+	if _, err := BuildReport(make([]dataset.OoklaRecord, 3), res, catA(), DefaultPolicy()); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	for _, v := range Verdicts() {
+		if v.String() == "" {
+			t.Errorf("verdict %d has no name", v)
+		}
+	}
+}
+
+func TestEvidenceRateEmpty(t *testing.T) {
+	r := &Report{Counts: map[Verdict]int{}}
+	if r.EvidenceRate() != 0 {
+		t.Error("empty report evidence rate should be 0")
+	}
+}

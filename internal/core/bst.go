@@ -1,0 +1,327 @@
+// Package core implements the paper's primary contribution: the Broadband
+// Subscription Tier (BST) methodology (§4.2), a two-stage hierarchical
+// unsupervised clustering pipeline that maps each <download, upload>
+// speed-test tuple to an ISP subscription plan.
+//
+// Stage 1 clusters the (consistent, small-valued) upload speeds: a Gaussian
+// KDE confirms how many clusters the distribution carries, a GMM fit with EM
+// assigns every measurement to an upload cluster, and clusters are matched
+// to the ISP's offered upload rates. Stage 2 re-applies KDE+GMM to the
+// download speeds within each upload cluster and maps download clusters to
+// the member plans of that upload tier.
+//
+// The package never looks at ground-truth tiers; accuracy scoring against
+// labelled data (the MBA panel) lives in Evaluate.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"speedctx/internal/plans"
+	"speedctx/internal/stats"
+)
+
+// Sample is one speed test's measured throughput pair in Mbps.
+type Sample struct {
+	Download float64
+	Upload   float64
+}
+
+// Config tunes the BST pipeline. The zero value selects the defaults used
+// throughout the paper reproduction.
+type Config struct {
+	// KDEGridPoints is the density-evaluation grid size for peak
+	// counting. Default 512.
+	KDEGridPoints int
+	// MinRelPeak filters KDE peaks below this fraction of the maximum
+	// density. Default 0.02.
+	MinRelPeak float64
+	// Bandwidth selects the KDE bandwidth rule.
+	Bandwidth stats.BandwidthRule
+	// GMM tunes the EM fits.
+	GMM stats.GMMConfig
+	// MaxDownloadClusters caps stage-2 component counts; the paper uses
+	// up to 10 clusters per upload tier. Default 10.
+	MaxDownloadClusters int
+	// ExtraUploadClusters bounds how many clusters beyond the offered
+	// upload rates stage 1 may model (off-catalog subscribers, e.g. the
+	// ~1 Mbps M-Lab cluster). Default 2.
+	ExtraUploadClusters int
+	// UploadMatchTol is the relative tolerance for matching a detected
+	// upload cluster mean to an offered upload speed. Default 0.45.
+	UploadMatchTol float64
+	// DownloadHeadroom is the multiplicative overprovisioning allowance
+	// when mapping download clusters to advertised plan speeds: a
+	// cluster belongs to the slowest plan whose advertised download
+	// times this headroom covers the cluster mean. Default 1.35.
+	DownloadHeadroom float64
+}
+
+func (c *Config) defaults() {
+	if c.KDEGridPoints <= 0 {
+		c.KDEGridPoints = 512
+	}
+	if c.MinRelPeak <= 0 {
+		c.MinRelPeak = 0.02
+	}
+	if c.MaxDownloadClusters <= 0 {
+		c.MaxDownloadClusters = 10
+	}
+	if c.ExtraUploadClusters <= 0 {
+		c.ExtraUploadClusters = 2
+	}
+	if c.UploadMatchTol <= 0 {
+		c.UploadMatchTol = 0.45
+	}
+	if c.DownloadHeadroom <= 0 {
+		c.DownloadHeadroom = 1.35
+	}
+}
+
+// UploadStage reports stage 1: the upload-speed clustering and its match to
+// the catalog's upload tiers.
+type UploadStage struct {
+	// Peaks are the KDE local maxima that set the component count.
+	Peaks []stats.Peak
+	// Model is the fitted upload GMM (components ascending by mean).
+	Model *stats.GMM
+	// ClusterTier maps each GMM component to an index into
+	// Catalog.UploadTiers(), or -1 for an off-catalog cluster.
+	ClusterTier []int
+}
+
+// DownloadStage reports stage 2 for one upload tier.
+type DownloadStage struct {
+	// TierIndex indexes Catalog.UploadTiers().
+	TierIndex int
+	// SampleCount is how many stage-1 samples landed in this tier.
+	SampleCount int
+	// Peaks are the download KDE maxima.
+	Peaks []stats.Peak
+	// Model is the fitted download GMM; nil when the tier received too
+	// few samples to cluster.
+	Model *stats.GMM
+	// ComponentPlan maps each GMM component to a 1-based plan tier.
+	ComponentPlan []int
+}
+
+// Assignment is the BST verdict for one input sample.
+type Assignment struct {
+	// UploadTier indexes Catalog.UploadTiers(); -1 when the sample fell
+	// into an off-catalog upload cluster.
+	UploadTier int
+	// Tier is the assigned 1-based plan tier; 0 when unassigned.
+	Tier int
+	// Confidence is the posterior probability of the assignment
+	// (stage-1 responsibility times stage-2 responsibility).
+	Confidence float64
+}
+
+// Result is the full BST output for one dataset.
+type Result struct {
+	Catalog     *plans.Catalog
+	Upload      UploadStage
+	Downloads   []DownloadStage
+	Assignments []Assignment
+}
+
+// ErrTooFewSamples is returned when the dataset cannot support stage 1.
+var ErrTooFewSamples = errors.New("core: too few samples for BST")
+
+// Fit runs the two-stage BST methodology over samples against the city's
+// plan catalog.
+func Fit(samples []Sample, cat *plans.Catalog, cfg Config) (*Result, error) {
+	cfg.defaults()
+	tiers := cat.UploadTiers()
+	if len(samples) < 2*len(tiers) {
+		return nil, fmt.Errorf("%w: %d samples for %d upload tiers", ErrTooFewSamples, len(samples), len(tiers))
+	}
+
+	res := &Result{Catalog: cat, Assignments: make([]Assignment, len(samples))}
+
+	// ---- Stage 1: upload clustering ----
+	uploads := make([]float64, len(samples))
+	for i, s := range samples {
+		uploads[i] = s.Upload
+	}
+	kde := stats.NewKDE(uploads, cfg.Bandwidth)
+	res.Upload.Peaks = kde.Peaks(cfg.KDEGridPoints, cfg.MinRelPeak)
+
+	// Components are seeded at the offered upload rates (the methodology
+	// checks that the measured clusters mirror the catalog), plus KDE
+	// peaks far from every offered rate — off-catalog clusters such as
+	// the ~1 Mbps M-Lab group — bounded by ExtraUploadClusters.
+	initUp := make([]float64, 0, len(tiers)+cfg.ExtraUploadClusters)
+	for _, t := range tiers {
+		initUp = append(initUp, float64(t.Upload))
+	}
+	extra := 0
+	for _, pk := range res.Upload.Peaks {
+		if extra >= cfg.ExtraUploadClusters {
+			break
+		}
+		farFromAll := true
+		for _, t := range tiers {
+			offered := float64(t.Upload)
+			if math.Abs(pk.X-offered)/offered <= cfg.UploadMatchTol {
+				farFromAll = false
+				break
+			}
+		}
+		if farFromAll && pk.X > 0 {
+			initUp = append(initUp, pk.X)
+			extra++
+		}
+	}
+	if len(initUp) > len(samples) {
+		initUp = initUp[:len(samples)]
+	}
+	um, err := stats.FitGMMInit(uploads, initUp, cfg.GMM)
+	if err != nil {
+		return nil, fmt.Errorf("core: stage-1 GMM: %w", err)
+	}
+	res.Upload.Model = um
+	res.Upload.ClusterTier = matchUploadClusters(um, tiers, cfg.UploadMatchTol)
+
+	// Assign each sample to an upload tier.
+	type tierBucket struct {
+		idxs  []int
+		downs []float64
+	}
+	buckets := make([]tierBucket, len(tiers))
+	for i, s := range samples {
+		comp, p := um.Predict(s.Upload)
+		ti := res.Upload.ClusterTier[comp]
+		res.Assignments[i] = Assignment{UploadTier: ti, Confidence: p}
+		if ti >= 0 {
+			buckets[ti].idxs = append(buckets[ti].idxs, i)
+			buckets[ti].downs = append(buckets[ti].downs, s.Download)
+		}
+	}
+
+	// ---- Stage 2: download clustering within each upload tier ----
+	for ti, tier := range tiers {
+		ds := DownloadStage{TierIndex: ti, SampleCount: len(buckets[ti].idxs)}
+		b := &buckets[ti]
+		if len(b.downs) >= 2*len(tier.Plans) && len(b.downs) >= 4 {
+			dkde := stats.NewKDE(b.downs, cfg.Bandwidth)
+			ds.Peaks = dkde.Peaks(cfg.KDEGridPoints, cfg.MinRelPeak)
+			initDown := downloadInitMeans(ds.Peaks, tier, cfg)
+			if len(initDown) > len(b.downs) {
+				initDown = initDown[:len(b.downs)]
+			}
+			dm, err := stats.FitGMMInit(b.downs, initDown, cfg.GMM)
+			if err == nil {
+				ds.Model = dm
+				ds.ComponentPlan = mapDownloadClusters(dm, tier, cfg.DownloadHeadroom)
+			}
+		}
+		// Final per-sample plan assignment.
+		for bi, i := range b.idxs {
+			a := &res.Assignments[i]
+			if ds.Model == nil {
+				// Too few samples to cluster: fall back to the
+				// headroom rule directly on the measurement.
+				a.Tier = planByCeiling(b.downs[bi], tier, cfg.DownloadHeadroom)
+				continue
+			}
+			comp, p := ds.Model.Predict(b.downs[bi])
+			a.Tier = ds.ComponentPlan[comp]
+			a.Confidence *= p
+		}
+		res.Downloads = append(res.Downloads, ds)
+	}
+	return res, nil
+}
+
+// downloadInitMeans builds the stage-2 initial component means: the KDE
+// peak locations (the clusters the paper counts in Figs 5 and 7), ensuring
+// every member plan's advertised download is represented, capped at
+// MaxDownloadClusters by keeping the densest peaks.
+func downloadInitMeans(peaks []stats.Peak, tier plans.UploadTier, cfg Config) []float64 {
+	kept := make([]stats.Peak, len(peaks))
+	copy(kept, peaks)
+	if len(kept) > cfg.MaxDownloadClusters {
+		sort.Slice(kept, func(a, b int) bool { return kept[a].Density > kept[b].Density })
+		kept = kept[:cfg.MaxDownloadClusters]
+	}
+	means := make([]float64, 0, len(kept)+len(tier.Plans))
+	for _, p := range kept {
+		means = append(means, p.X)
+	}
+	// Guarantee a component near each advertised plan speed so sparsely
+	// measured plans still get a cluster.
+	for _, p := range tier.Plans {
+		adv := float64(p.Download)
+		near := false
+		for _, m := range means {
+			if math.Abs(m-adv) < 0.3*adv {
+				near = true
+				break
+			}
+		}
+		if !near && len(means) < cfg.MaxDownloadClusters {
+			means = append(means, adv)
+		}
+	}
+	if len(means) == 0 {
+		means = append(means, float64(tier.Plans[0].Download))
+	}
+	sort.Float64s(means)
+	return means
+}
+
+// matchUploadClusters maps each fitted upload component to the nearest
+// offered upload rate within tolerance, or -1 (off catalog).
+func matchUploadClusters(m *stats.GMM, tiers []plans.UploadTier, tol float64) []int {
+	out := make([]int, m.K())
+	for c, comp := range m.Components {
+		best, bestRel := -1, math.Inf(1)
+		for ti, tier := range tiers {
+			offered := float64(tier.Upload)
+			rel := math.Abs(comp.Mean-offered) / offered
+			if rel < bestRel {
+				best, bestRel = ti, rel
+			}
+		}
+		if bestRel <= tol {
+			out[c] = best
+		} else {
+			out[c] = -1
+		}
+	}
+	return out
+}
+
+// mapDownloadClusters implements the paper's cluster-to-plan rule: a
+// download cluster belongs to the slowest member plan whose advertised
+// download (times the overprovisioning headroom) covers the cluster mean.
+// Clusters above every plan's ceiling belong to the fastest plan.
+func mapDownloadClusters(m *stats.GMM, tier plans.UploadTier, headroom float64) []int {
+	out := make([]int, m.K())
+	for c, comp := range m.Components {
+		out[c] = planByCeiling(comp.Mean, tier, headroom)
+	}
+	return out
+}
+
+// planByCeiling returns the 1-based plan tier for a download value under
+// the headroom rule.
+func planByCeiling(down float64, tier plans.UploadTier, headroom float64) int {
+	for r, p := range tier.Plans {
+		if down <= float64(p.Download)*headroom {
+			return tier.FirstTier + r
+		}
+	}
+	return tier.LastTier
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"speedctx/internal/plans"
+)
+
+// Evaluation scores a BST result against ground-truth plan tiers (available
+// for the MBA panel, and for synthetic datasets via the generator).
+type Evaluation struct {
+	Total int
+	// UploadCorrect counts samples whose stage-1 upload tier contains
+	// the true plan (this is the accuracy the paper's Table 2 reports).
+	UploadCorrect int
+	// TierCorrect counts samples whose final plan tier is exactly right.
+	TierCorrect int
+	// PerUploadTier breaks upload accuracy down by true upload tier
+	// (keyed by the tier label, e.g. "Tier 1-3").
+	PerUploadTier map[string]Accuracy
+}
+
+// Accuracy is a correct/total pair.
+type Accuracy struct {
+	Correct, Total int
+}
+
+// Value returns the fraction correct (0 when empty).
+func (a Accuracy) Value() float64 {
+	if a.Total == 0 {
+		return 0
+	}
+	return float64(a.Correct) / float64(a.Total)
+}
+
+// UploadAccuracy returns the stage-1 accuracy.
+func (e *Evaluation) UploadAccuracy() float64 {
+	if e.Total == 0 {
+		return 0
+	}
+	return float64(e.UploadCorrect) / float64(e.Total)
+}
+
+// TierAccuracy returns the exact-plan accuracy.
+func (e *Evaluation) TierAccuracy() float64 {
+	if e.Total == 0 {
+		return 0
+	}
+	return float64(e.TierCorrect) / float64(e.Total)
+}
+
+// Evaluate scores res against truth, where truth[i] is the 1-based true
+// plan tier of sample i (0 marks an off-catalog subscriber, correct when
+// BST also rejects the sample from every tier).
+func Evaluate(res *Result, truth []int) (*Evaluation, error) {
+	if len(truth) != len(res.Assignments) {
+		return nil, fmt.Errorf("core: %d truth labels for %d assignments", len(truth), len(res.Assignments))
+	}
+	tiers := res.Catalog.UploadTiers()
+	ev := &Evaluation{Total: len(truth), PerUploadTier: map[string]Accuracy{}}
+	for i, a := range res.Assignments {
+		t := truth[i]
+		if t == 0 {
+			if a.UploadTier == -1 {
+				ev.UploadCorrect++
+				ev.TierCorrect++
+			}
+			acc := ev.PerUploadTier["off-catalog"]
+			acc.Total++
+			if a.UploadTier == -1 {
+				acc.Correct++
+			}
+			ev.PerUploadTier["off-catalog"] = acc
+			continue
+		}
+		trueGroup := uploadGroupOf(tiers, t)
+		label := tiers[trueGroup].Label()
+		acc := ev.PerUploadTier[label]
+		acc.Total++
+		if a.UploadTier == trueGroup {
+			ev.UploadCorrect++
+			acc.Correct++
+		}
+		if a.Tier == t {
+			ev.TierCorrect++
+		}
+		ev.PerUploadTier[label] = acc
+	}
+	return ev, nil
+}
+
+// uploadGroupOf returns the index of the upload tier group containing the
+// 1-based plan tier.
+func uploadGroupOf(tiers []plans.UploadTier, planTier int) int {
+	for gi, t := range tiers {
+		if planTier >= t.FirstTier && planTier <= t.LastTier {
+			return gi
+		}
+	}
+	return -1
+}
+
+// TierCluster summarizes one upload tier's stage-1 outcome: how many
+// measurements landed there and the (weight-averaged) cluster mean — the
+// rows of Tables 3 and 5-7.
+type TierCluster struct {
+	Label        string
+	Measurements int
+	MeanMbps     float64
+}
+
+// UploadClusterSummary reports per-upload-tier measurement counts and
+// cluster means. Components matched to the same tier contribute
+// weight-proportionally to the mean.
+func (r *Result) UploadClusterSummary() []TierCluster {
+	tiers := r.Catalog.UploadTiers()
+	out := make([]TierCluster, len(tiers))
+	for ti, t := range tiers {
+		out[ti].Label = t.Label()
+	}
+	for ti := range tiers {
+		var wsum, msum float64
+		for c, comp := range r.Upload.Model.Components {
+			if r.Upload.ClusterTier[c] == ti {
+				wsum += comp.Weight
+				msum += comp.Weight * comp.Mean
+			}
+		}
+		if wsum > 0 {
+			out[ti].MeanMbps = msum / wsum
+		}
+	}
+	for _, a := range r.Assignments {
+		if a.UploadTier >= 0 {
+			out[a.UploadTier].Measurements++
+		}
+	}
+	return out
+}
+
+// DownloadClusterMeans returns the stage-2 component means for one upload
+// tier (ascending) — the cells of Table 4. Nil when the tier had no model.
+func (r *Result) DownloadClusterMeans(tierIndex int) []float64 {
+	for _, ds := range r.Downloads {
+		if ds.TierIndex == tierIndex {
+			if ds.Model == nil {
+				return nil
+			}
+			return ds.Model.Means()
+		}
+	}
+	return nil
+}
+
+// TierCounts returns how many samples were finally assigned to each 1-based
+// plan tier (index 0 counts unassigned/off-catalog samples).
+func (r *Result) TierCounts() []int {
+	counts := make([]int, len(r.Catalog.Plans)+1)
+	for _, a := range r.Assignments {
+		if a.Tier >= 1 && a.Tier <= len(r.Catalog.Plans) {
+			counts[a.Tier]++
+		} else {
+			counts[0]++
+		}
+	}
+	return counts
+}
+
+// ErrNoGroups is returned by Alpha when no group reaches the minimum test
+// count.
+var ErrNoGroups = errors.New("core: no groups with enough tests")
+
+// Alpha implements the §5.2 consistency check: for each group (the paper
+// groups by user and month), the α value is the largest fraction of the
+// group's tests assigned to a single tier. Groups with fewer than minTests
+// tests are skipped. Returned α values are sorted ascending.
+func Alpha(assignedTiers []int, groups []string, minTests int) ([]float64, error) {
+	if len(assignedTiers) != len(groups) {
+		return nil, fmt.Errorf("core: %d tiers for %d groups", len(assignedTiers), len(groups))
+	}
+	byGroup := map[string]map[int]int{}
+	totals := map[string]int{}
+	for i, g := range groups {
+		if byGroup[g] == nil {
+			byGroup[g] = map[int]int{}
+		}
+		byGroup[g][assignedTiers[i]]++
+		totals[g]++
+	}
+	var alphas []float64
+	for g, counts := range byGroup {
+		if totals[g] < minTests {
+			continue
+		}
+		best := 0
+		for _, n := range counts {
+			if n > best {
+				best = n
+			}
+		}
+		alphas = append(alphas, float64(best)/float64(totals[g]))
+	}
+	if len(alphas) == 0 {
+		return nil, ErrNoGroups
+	}
+	sort.Float64s(alphas)
+	return alphas, nil
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"speedctx/internal/plans"
+	"speedctx/internal/stats"
+)
+
+func TestEvaluateLengthMismatch(t *testing.T) {
+	res := &Result{Catalog: plans.CityA(), Assignments: make([]Assignment, 3)}
+	if _, err := Evaluate(res, []int{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestEvaluateCounting(t *testing.T) {
+	cat := plans.CityA()
+	res := &Result{Catalog: cat, Assignments: []Assignment{
+		{UploadTier: 0, Tier: 2},  // truth 2: upload + tier correct
+		{UploadTier: 0, Tier: 1},  // truth 2: upload correct, tier wrong
+		{UploadTier: 3, Tier: 6},  // truth 6: both correct
+		{UploadTier: 1, Tier: 4},  // truth 5: both wrong
+		{UploadTier: -1, Tier: 0}, // truth 0 (off-catalog): correct
+	}}
+	ev, err := Evaluate(res, []int{2, 2, 6, 5, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.UploadCorrect != 4 {
+		t.Errorf("UploadCorrect = %d, want 4", ev.UploadCorrect)
+	}
+	if ev.TierCorrect != 3 {
+		t.Errorf("TierCorrect = %d, want 3", ev.TierCorrect)
+	}
+	if ev.UploadAccuracy() != 0.8 {
+		t.Errorf("UploadAccuracy = %v", ev.UploadAccuracy())
+	}
+	if ev.TierAccuracy() != 0.6 {
+		t.Errorf("TierAccuracy = %v", ev.TierAccuracy())
+	}
+	if acc := ev.PerUploadTier["Tier 1-3"]; acc.Total != 2 || acc.Correct != 2 {
+		t.Errorf("Tier 1-3 accuracy = %+v", acc)
+	}
+	if acc := ev.PerUploadTier["Tier 5"]; acc.Total != 1 || acc.Correct != 0 {
+		t.Errorf("Tier 5 accuracy = %+v", acc)
+	}
+	if acc := ev.PerUploadTier["off-catalog"]; acc.Value() != 1 {
+		t.Errorf("off-catalog accuracy = %+v", acc)
+	}
+}
+
+func TestAccuracyValueEmpty(t *testing.T) {
+	if (Accuracy{}).Value() != 0 {
+		t.Error("empty accuracy should be 0")
+	}
+	ev := &Evaluation{}
+	if ev.UploadAccuracy() != 0 || ev.TierAccuracy() != 0 {
+		t.Error("empty evaluation accuracies should be 0")
+	}
+}
+
+func TestAlpha(t *testing.T) {
+	tiers := []int{1, 1, 1, 1, 2, 3, 3, 3, 3, 3}
+	groups := []string{"u1/1", "u1/1", "u1/1", "u1/1", "u1/1", "u2/1", "u2/1", "u2/1", "u2/1", "u2/1"}
+	alphas, err := Alpha(tiers, groups, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alphas) != 2 {
+		t.Fatalf("alphas = %v", alphas)
+	}
+	// u1: 4/5 = 0.8; u2: 5/5 = 1. Sorted ascending.
+	if alphas[0] != 0.8 || alphas[1] != 1 {
+		t.Errorf("alphas = %v, want [0.8 1]", alphas)
+	}
+}
+
+func TestAlphaMinTests(t *testing.T) {
+	tiers := []int{1, 2}
+	groups := []string{"a", "a"}
+	if _, err := Alpha(tiers, groups, 5); !errors.Is(err, ErrNoGroups) {
+		t.Errorf("err = %v, want ErrNoGroups", err)
+	}
+	if _, err := Alpha([]int{1}, []string{"a", "b"}, 1); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestAlphaHighConsistencyOnStableUsers(t *testing.T) {
+	// Users whose tests always land in the same tier must all have α=1.
+	var tiers []int
+	var groups []string
+	for u := 0; u < 20; u++ {
+		for k := 0; k < 8; k++ {
+			tiers = append(tiers, u%6+1)
+			groups = append(groups, string(rune('a'+u)))
+		}
+	}
+	alphas, err := Alpha(tiers, groups, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range alphas {
+		if a != 1 {
+			t.Fatalf("alpha = %v, want 1", a)
+		}
+	}
+}
+
+func TestDownloadClusterMeans(t *testing.T) {
+	cat := plans.CityA()
+	samples, _ := synthTiered(cat, 3000, 7, []float64{0.3, 0.25, 0.15, 0.1, 0.1, 0.1})
+	res, err := Fit(samples, cat, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	means := res.DownloadClusterMeans(0)
+	if len(means) == 0 {
+		t.Fatal("tier 0 download clusters missing")
+	}
+	for i := 1; i < len(means); i++ {
+		if means[i] < means[i-1] {
+			t.Error("cluster means not ascending")
+		}
+	}
+	if res.DownloadClusterMeans(99) != nil {
+		t.Error("bogus tier index should return nil")
+	}
+}
+
+func TestUploadClusterSummaryWeighting(t *testing.T) {
+	// Two components matched to the same tier combine weight-
+	// proportionally.
+	cat := plans.CityA()
+	res := &Result{
+		Catalog: cat,
+		Upload: UploadStage{
+			Model: &stats.GMM{Components: []stats.Component{
+				{Mean: 4.8, Weight: 0.3, Variance: 0.1},
+				{Mean: 5.6, Weight: 0.1, Variance: 0.1},
+				{Mean: 11, Weight: 0.2, Variance: 0.1},
+				{Mean: 16, Weight: 0.2, Variance: 0.1},
+				{Mean: 39, Weight: 0.2, Variance: 0.1},
+			}},
+			ClusterTier: []int{0, 0, 1, 2, 3},
+		},
+	}
+	rows := res.UploadClusterSummary()
+	want := (4.8*0.3 + 5.6*0.1) / 0.4
+	if diff := rows[0].MeanMbps - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("combined mean = %v, want %v", rows[0].MeanMbps, want)
+	}
+}

@@ -1,0 +1,230 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"speedctx/internal/device"
+	"speedctx/internal/units"
+	"speedctx/internal/wifi"
+)
+
+// CSV codecs for the three datasets. Formats are stable, with a header row,
+// RFC 3339 timestamps, and full float precision, so generated datasets can
+// be archived and re-analyzed without the simulator.
+
+var ooklaHeader = []string{
+	"test_id", "user_id", "city", "isp", "timestamp", "platform", "access",
+	"has_radio_info", "band", "rssi", "max_theoretical_mbps", "kernel_mem_mb",
+	"download_mbps", "upload_mbps", "latency_ms", "truth_tier",
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteOoklaCSV writes records to w in the speedctx Ookla CSV format.
+func WriteOoklaCSV(w io.Writer, recs []OoklaRecord) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(ooklaHeader); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		band := ""
+		if r.HasRadioInfo {
+			band = r.Band.String()
+		}
+		row := []string{
+			strconv.Itoa(r.TestID), strconv.Itoa(r.UserID), r.City, r.ISP,
+			r.Timestamp.Format(time.RFC3339), r.Platform.String(), string(r.Access),
+			strconv.FormatBool(r.HasRadioInfo), band, ftoa(r.RSSI),
+			ftoa(r.MaxTheoreticalMbps), strconv.Itoa(r.KernelMemMB),
+			ftoa(r.DownloadMbps), ftoa(r.UploadMbps), ftoa(r.LatencyMs),
+			strconv.Itoa(r.TruthTier),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+var platformByName = func() map[string]device.Platform {
+	m := map[string]device.Platform{}
+	for _, p := range device.Platforms() {
+		m[p.String()] = p
+	}
+	return m
+}()
+
+// ReadOoklaCSV parses the speedctx Ookla CSV format.
+func ReadOoklaCSV(r io.Reader) ([]OoklaRecord, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: empty ookla csv")
+	}
+	var out []OoklaRecord
+	for i, row := range rows[1:] {
+		if len(row) != len(ooklaHeader) {
+			return nil, fmt.Errorf("dataset: ookla row %d has %d fields, want %d", i+2, len(row), len(ooklaHeader))
+		}
+		var rec OoklaRecord
+		rec.TestID, _ = strconv.Atoi(row[0])
+		rec.UserID, _ = strconv.Atoi(row[1])
+		rec.City, rec.ISP = row[2], row[3]
+		rec.Timestamp, err = time.Parse(time.RFC3339, row[4])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: ookla row %d timestamp: %w", i+2, err)
+		}
+		p, ok := platformByName[row[5]]
+		if !ok {
+			return nil, fmt.Errorf("dataset: ookla row %d: unknown platform %q", i+2, row[5])
+		}
+		rec.Platform = p
+		rec.Access = AccessType(row[6])
+		rec.HasRadioInfo, _ = strconv.ParseBool(row[7])
+		if rec.HasRadioInfo {
+			if row[8] == wifi.Band24GHz.String() {
+				rec.Band = wifi.Band24GHz
+			} else {
+				rec.Band = wifi.Band5GHz
+			}
+		}
+		rec.RSSI, _ = strconv.ParseFloat(row[9], 64)
+		rec.MaxTheoreticalMbps, _ = strconv.ParseFloat(row[10], 64)
+		rec.KernelMemMB, _ = strconv.Atoi(row[11])
+		rec.DownloadMbps, _ = strconv.ParseFloat(row[12], 64)
+		rec.UploadMbps, _ = strconv.ParseFloat(row[13], 64)
+		rec.LatencyMs, _ = strconv.ParseFloat(row[14], 64)
+		rec.TruthTier, _ = strconv.Atoi(row[15])
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+var mlabHeader = []string{
+	"row_id", "client_ip", "server_ip", "city", "isp", "asn", "timestamp",
+	"direction", "speed_mbps", "min_rtt_ms", "truth_tier",
+}
+
+// WriteMLabCSV writes NDT rows to w.
+func WriteMLabCSV(w io.Writer, rows []MLabRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(mlabHeader); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			strconv.Itoa(r.RowID), r.ClientIP, r.ServerIP, r.City, r.ISP,
+			strconv.Itoa(r.ASN), r.Timestamp.Format(time.RFC3339),
+			string(r.Direction), ftoa(r.SpeedMbps), ftoa(r.MinRTTMs),
+			strconv.Itoa(r.TruthTier),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadMLabCSV parses NDT rows.
+func ReadMLabCSV(r io.Reader) ([]MLabRow, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: empty mlab csv")
+	}
+	var out []MLabRow
+	for i, row := range rows[1:] {
+		if len(row) != len(mlabHeader) {
+			return nil, fmt.Errorf("dataset: mlab row %d has %d fields, want %d", i+2, len(row), len(mlabHeader))
+		}
+		var rec MLabRow
+		rec.RowID, _ = strconv.Atoi(row[0])
+		rec.ClientIP, rec.ServerIP, rec.City, rec.ISP = row[1], row[2], row[3], row[4]
+		rec.ASN, _ = strconv.Atoi(row[5])
+		rec.Timestamp, err = time.Parse(time.RFC3339, row[6])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: mlab row %d timestamp: %w", i+2, err)
+		}
+		rec.Direction = MLabDirection(row[7])
+		if rec.Direction != MLabDownload && rec.Direction != MLabUpload {
+			return nil, fmt.Errorf("dataset: mlab row %d: bad direction %q", i+2, row[7])
+		}
+		rec.SpeedMbps, _ = strconv.ParseFloat(row[8], 64)
+		rec.MinRTTMs, _ = strconv.ParseFloat(row[9], 64)
+		rec.TruthTier, _ = strconv.Atoi(row[10])
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+var mbaHeader = []string{
+	"unit_id", "state", "isp", "census_tract", "timestamp",
+	"download_mbps", "upload_mbps", "plan_down_mbps", "plan_up_mbps", "tier",
+}
+
+// WriteMBACSV writes MBA records to w.
+func WriteMBACSV(w io.Writer, recs []MBARecord) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(mbaHeader); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		row := []string{
+			strconv.Itoa(r.UnitID), r.State, r.ISP, r.CensusTract,
+			r.Timestamp.Format(time.RFC3339),
+			ftoa(r.DownloadMbps), ftoa(r.UploadMbps),
+			ftoa(float64(r.PlanDown)), ftoa(float64(r.PlanUp)),
+			strconv.Itoa(r.Tier),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadMBACSV parses MBA records.
+func ReadMBACSV(r io.Reader) ([]MBARecord, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: empty mba csv")
+	}
+	var out []MBARecord
+	for i, row := range rows[1:] {
+		if len(row) != len(mbaHeader) {
+			return nil, fmt.Errorf("dataset: mba row %d has %d fields, want %d", i+2, len(row), len(mbaHeader))
+		}
+		var rec MBARecord
+		rec.UnitID, _ = strconv.Atoi(row[0])
+		rec.State, rec.ISP, rec.CensusTract = row[1], row[2], row[3]
+		rec.Timestamp, err = time.Parse(time.RFC3339, row[4])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: mba row %d timestamp: %w", i+2, err)
+		}
+		rec.DownloadMbps, _ = strconv.ParseFloat(row[5], 64)
+		rec.UploadMbps, _ = strconv.ParseFloat(row[6], 64)
+		pd, _ := strconv.ParseFloat(row[7], 64)
+		pu, _ := strconv.ParseFloat(row[8], 64)
+		rec.PlanDown, rec.PlanUp = units.Mbps(pd), units.Mbps(pu)
+		rec.Tier, _ = strconv.Atoi(row[9])
+		out = append(out, rec)
+	}
+	return out, nil
+}

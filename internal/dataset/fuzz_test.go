@@ -1,0 +1,89 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"speedctx/internal/plans"
+)
+
+// Fuzz targets for the CSV parsers: whatever bytes arrive, the readers must
+// either return an error or a well-formed slice — never panic. `go test`
+// runs the seed corpus; `go test -fuzz=FuzzReadOoklaCSV` explores further.
+
+func FuzzReadOoklaCSV(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteOoklaCSV(&buf, GenerateOokla(catalogForFuzz(), 5, 1)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("")
+	f.Add(strings.Join(ooklaHeader, ",") + "\n")
+	f.Add(strings.Join(ooklaHeader, ",") + "\n1,2\n")
+	f.Add("garbage,\"unterminated\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		recs, err := ReadOoklaCSV(strings.NewReader(data))
+		if err == nil {
+			for _, r := range recs {
+				_ = r.Platform.String()
+			}
+		}
+	})
+}
+
+func FuzzReadMLabCSV(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteMLabCSV(&buf, GenerateMLab(catalogForFuzz(), 5, 2, DefaultMLabOptions())); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("")
+	f.Add(strings.Join(mlabHeader, ",") + "\nx\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		rows, err := ReadMLabCSV(strings.NewReader(data))
+		if err == nil {
+			// Parsed rows must survive association without panics.
+			_ = Associate(rows)
+		}
+	})
+}
+
+func FuzzReadMBACSV(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteMBACSV(&buf, GenerateMBA(catalogForFuzz(), 3, 9, 3)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("")
+	f.Add(strings.Join(mbaHeader, ",") + "\n,,,,,,,,,\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		_, _ = ReadMBACSV(strings.NewReader(data))
+	})
+}
+
+func FuzzAssociate(f *testing.F) {
+	f.Add("1.1.1.1", "2.2.2.2", int64(0), int64(30), 100.0, 5.0)
+	f.Add("1.1.1.1", "1.1.1.1", int64(10), int64(-5), 0.0, 0.0)
+	f.Fuzz(func(t *testing.T, clientIP, serverIP string, off1, off2 int64, s1, s2 float64) {
+		rows := GenerateMLab(catalogForFuzz(), 3, 4, DefaultMLabOptions())
+		// Splice in adversarial rows.
+		base := rows[0].Timestamp
+		rows = append(rows,
+			MLabRow{ClientIP: clientIP, ServerIP: serverIP, Direction: MLabDownload,
+				Timestamp: base.Add(time.Duration(off1) * time.Second), SpeedMbps: s1},
+			MLabRow{ClientIP: clientIP, ServerIP: serverIP, Direction: MLabUpload,
+				Timestamp: base.Add(time.Duration(off2) * time.Second), SpeedMbps: s2},
+		)
+		tests := Associate(rows)
+		for _, p := range tests {
+			if p.Timestamp.IsZero() && p.ClientIP == "" {
+				t.Fatal("malformed pair")
+			}
+		}
+	})
+}
+
+// catalogForFuzz returns a small catalog for corpus generation.
+func catalogForFuzz() *plans.Catalog { return plans.CityA() }

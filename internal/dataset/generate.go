@@ -1,0 +1,245 @@
+package dataset
+
+import (
+	"sort"
+	"time"
+
+	"speedctx/internal/device"
+	"speedctx/internal/netsim"
+	"speedctx/internal/plans"
+	"speedctx/internal/population"
+	"speedctx/internal/stats"
+	"speedctx/internal/units"
+)
+
+// GenerateOokla synthesizes n Ookla Speedtest Intelligence rows for the
+// dominant ISP of the catalog's city, deterministic per seed. Subscribers
+// are drawn from the Ookla population model; each contributes its
+// heavy-tailed number of tests until n rows exist.
+func GenerateOokla(cat *plans.Catalog, n int, seed int64) []OoklaRecord {
+	return GenerateOoklaModel(cat, population.OoklaModel(cat), n, seed)
+}
+
+// GenerateOoklaModel is GenerateOokla with an explicit population model —
+// used for platform-restricted datasets such as the paper's Android-only
+// radio analyses.
+func GenerateOoklaModel(cat *plans.Catalog, model population.Model, n int, seed int64) []OoklaRecord {
+	rng := stats.NewRNG(seed)
+	recs := make([]OoklaRecord, 0, n)
+	userID := 0
+	for len(recs) < n {
+		sub := model.NewSubscriber(userID, rng)
+		userID++
+		for t := 0; t < sub.TestsPerYear && len(recs) < n; t++ {
+			ts := population.SampleTestTime(rng)
+			sc := model.TestScenario(&sub, netsim.VendorOokla, ts, rng)
+			m := netsim.Run(sc, rng)
+			rec := OoklaRecord{
+				TestID:       len(recs),
+				UserID:       sub.ID,
+				City:         cat.City,
+				ISP:          cat.ISP,
+				Timestamp:    ts,
+				Platform:     sub.Platform,
+				Access:       accessOf(sub.Platform),
+				DownloadMbps: float64(m.Download),
+				UploadMbps:   float64(m.Upload),
+				LatencyMs:    m.RTTMillis,
+				TruthTier:    sub.Tier,
+			}
+			if sub.Platform == device.Android {
+				rec.HasRadioInfo = true
+				rec.Band = sc.Home.WiFi.Band
+				rec.RSSI = sc.Home.WiFi.RSSI
+				rec.MaxTheoreticalMbps = float64(sc.Home.WiFi.PHYRate())
+				rec.KernelMemMB = sc.Device.KernelMemMB
+			}
+			recs = append(recs, rec)
+		}
+	}
+	return recs
+}
+
+func accessOf(p device.Platform) AccessType {
+	switch {
+	case !p.Native():
+		return AccessUnknown
+	case p.Wired():
+		return AccessEthernet
+	default:
+		return AccessWiFi
+	}
+}
+
+// MLabOptions tunes the NDT generator's quirks.
+type MLabOptions struct {
+	// OffCatalogShare is the fraction of rows from legacy/off-catalog
+	// subscribers (the ~1 Mbps upload cluster visible in Fig 6).
+	OffCatalogShare float64
+	// UnpairedShare is the fraction of tests whose upload row is missing
+	// (clients that ran only one direction), exercising the §3.2
+	// association logic.
+	UnpairedShare float64
+	// UploadDelay bounds the gap between a download row and its upload
+	// companion. The association window is 120 s.
+	UploadDelay time.Duration
+}
+
+// DefaultMLabOptions returns the calibration used by the benches.
+func DefaultMLabOptions() MLabOptions {
+	return MLabOptions{OffCatalogShare: 0.06, UnpairedShare: 0.08, UploadDelay: 40 * time.Second}
+}
+
+// GenerateMLab synthesizes NDT rows — separate download and upload rows per
+// test, as M-Lab publishes them — for ~nTests tests.
+func GenerateMLab(cat *plans.Catalog, nTests int, seed int64, opts MLabOptions) []MLabRow {
+	rng := stats.NewRNG(seed)
+	model := population.MLabModel(cat)
+	rows := make([]MLabRow, 0, 2*nTests)
+	userID := 1 << 20 // disjoint from Ookla user IDs
+	tests := 0
+	for tests < nTests {
+		sub := model.NewSubscriber(userID, rng)
+		userID++
+		offCatalog := rng.Bool(opts.OffCatalogShare)
+		if offCatalog {
+			// Legacy DSL-ish line: slow download, ~1 Mbps upload,
+			// not in the dominant ISP's current catalog.
+			sub.Tier = 0
+			sub.Plan = plans.Plan{Name: "legacy", Download: units.Mbps(rng.Uniform(8, 20)), Upload: 1}
+			sub.Access = model.AccessModel.Provision(sub.Plan, rng)
+		}
+		for t := 0; t < sub.TestsPerYear && tests < nTests; t++ {
+			ts := population.SampleTestTime(rng)
+			sc := model.TestScenario(&sub, netsim.VendorNDT, ts, rng)
+			m := netsim.Run(sc, rng)
+			srv := serverIP(rng.Intn(500))
+			rows = append(rows, MLabRow{
+				RowID: len(rows), ClientIP: clientIP(sub.ID), ServerIP: srv,
+				City: cat.City, ISP: cat.ISP, ASN: 64500,
+				Timestamp: ts, Direction: MLabDownload,
+				SpeedMbps: float64(m.Download), MinRTTMs: m.RTTMillis,
+				TruthTier: sub.Tier,
+			})
+			if !rng.Bool(opts.UnpairedShare) {
+				delay := time.Duration(rng.Uniform(2, opts.UploadDelay.Seconds())) * time.Second
+				rows = append(rows, MLabRow{
+					RowID: len(rows), ClientIP: clientIP(sub.ID), ServerIP: srv,
+					City: cat.City, ISP: cat.ISP, ASN: 64500,
+					Timestamp: ts.Add(delay), Direction: MLabUpload,
+					SpeedMbps: float64(m.Upload), MinRTTMs: m.RTTMillis,
+					TruthTier: sub.Tier,
+				})
+			}
+			tests++
+		}
+	}
+	sort.Slice(rows, func(a, b int) bool { return rows[a].Timestamp.Before(rows[b].Timestamp) })
+	return rows
+}
+
+// GenerateMBA synthesizes the Measuring Broadband America panel for a
+// state: nUnits wired measurement units reporting hourly-ish tests until
+// nRecords measurements exist, each labelled with the unit's ground-truth
+// plan.
+func GenerateMBA(cat *plans.Catalog, nUnits, nRecords int, seed int64) []MBARecord {
+	rng := stats.NewRNG(seed)
+	model := population.MBAModel(cat)
+	units_ := make([]population.Subscriber, nUnits)
+	for i := range units_ {
+		units_[i] = model.NewSubscriber(i, rng)
+	}
+	recs := make([]MBARecord, 0, nRecords)
+	// Units measure in rotation on an hourly-ish cadence through 2021.
+	// The paper's MBA data lacks September-October; reproduce the gap.
+	start := time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)
+	step := (365 * 24 * time.Hour) / time.Duration(max(nRecords/nUnits, 1))
+	for len(recs) < nRecords {
+		for i := range units_ {
+			if len(recs) >= nRecords {
+				break
+			}
+			idx := len(recs) / nUnits
+			ts := start.Add(time.Duration(idx)*step + time.Duration(rng.Intn(3600))*time.Second)
+			if ts.Month() == time.September || ts.Month() == time.October {
+				ts = ts.AddDate(0, 2, 0)
+			}
+			sub := &units_[i]
+			sc := model.TestScenario(sub, netsim.VendorOokla, ts, rng)
+			// MBA units run well-provisioned multi-connection tests
+			// directly from the modem.
+			m := netsim.Run(sc, rng)
+			recs = append(recs, MBARecord{
+				UnitID: sub.ID, State: cat.State, ISP: cat.ISP,
+				CensusTract:  "tract-" + cat.State,
+				Timestamp:    ts,
+				DownloadMbps: float64(m.Download), UploadMbps: float64(m.Upload),
+				PlanDown: sub.Plan.Download, PlanUp: sub.Plan.Upload,
+				Tier: sub.Tier,
+			})
+		}
+	}
+	return recs
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Associate implements §3.2's M-Lab pairing procedure: for every download
+// row, open a 120-second window and collect upload rows from the same
+// client and server IP; if exactly one exists, pair them; if several, pair
+// the earliest. Unmatched download rows are dropped (no upload context).
+func Associate(rows []MLabRow) []MLabTest {
+	const window = 120 * time.Second
+	type key struct{ client, server string }
+	uploads := map[key][]*MLabRow{}
+	for i := range rows {
+		if rows[i].Direction == MLabUpload {
+			k := key{rows[i].ClientIP, rows[i].ServerIP}
+			uploads[k] = append(uploads[k], &rows[i])
+		}
+	}
+	for _, ups := range uploads {
+		sort.Slice(ups, func(a, b int) bool { return ups[a].Timestamp.Before(ups[b].Timestamp) })
+	}
+	used := map[*MLabRow]bool{}
+	var tests []MLabTest
+	for i := range rows {
+		d := &rows[i]
+		if d.Direction != MLabDownload {
+			continue
+		}
+		k := key{d.ClientIP, d.ServerIP}
+		var match *MLabRow
+		for _, u := range uploads[k] {
+			if used[u] {
+				continue
+			}
+			if u.Timestamp.Before(d.Timestamp) {
+				continue
+			}
+			if u.Timestamp.Sub(d.Timestamp) > window {
+				break
+			}
+			match = u // earliest in-window upload
+			break
+		}
+		if match == nil {
+			continue
+		}
+		used[match] = true
+		tests = append(tests, MLabTest{
+			ClientIP: d.ClientIP, City: d.City, ISP: d.ISP,
+			Timestamp:    d.Timestamp,
+			DownloadMbps: d.SpeedMbps,
+			UploadMbps:   match.SpeedMbps,
+			MinRTTMs:     d.MinRTTMs,
+			TruthTier:    d.TruthTier,
+		})
+	}
+	return tests
+}

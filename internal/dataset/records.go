@@ -1,0 +1,156 @@
+// Package dataset defines the three measurement datasets the paper works
+// with — Ookla Speedtest Intelligence, M-Lab NDT, and FCC MBA — and
+// generates synthetic versions of each by driving the netsim pipeline over
+// a synthesized subscriber population.
+//
+// Records carry the same information the real datasets expose (and only
+// expose ground-truth subscription tiers where the real data does: MBA).
+// Synthetic Ookla/M-Lab records keep the generator's tier in a TruthTier
+// field so the repo can score BST against it, but the BST core never reads
+// it.
+package dataset
+
+import (
+	"fmt"
+	"time"
+
+	"speedctx/internal/device"
+	"speedctx/internal/units"
+	"speedctx/internal/wifi"
+)
+
+// AccessType is the client's reported first-hop medium.
+type AccessType string
+
+const (
+	AccessWiFi     AccessType = "wifi"
+	AccessEthernet AccessType = "ethernet"
+	AccessUnknown  AccessType = "unknown" // web tests carry no metadata
+)
+
+// OoklaRecord is one Speedtest Intelligence row: QoS metrics plus the
+// device/radio metadata available for native-application tests (§3.1).
+type OoklaRecord struct {
+	TestID    int
+	UserID    int
+	City      string
+	ISP       string
+	Timestamp time.Time
+	Platform  device.Platform
+	// Access is wifi/ethernet for native apps, unknown for web.
+	Access AccessType
+	// HasRadioInfo marks Android rows, which alone report Band, RSSI,
+	// MaxTheoreticalMbps and KernelMemMB.
+	HasRadioInfo bool
+	Band         wifi.Band
+	RSSI         float64
+	// MaxTheoreticalMbps is the radio's theoretical downlink ceiling.
+	MaxTheoreticalMbps float64
+	KernelMemMB        int
+	DownloadMbps       float64
+	UploadMbps         float64
+	LatencyMs          float64
+	// TruthTier is the generator's ground truth (absent in real data;
+	// never consumed by BST).
+	TruthTier int
+}
+
+// MLabDirection labels an NDT row's transfer direction.
+type MLabDirection string
+
+const (
+	MLabDownload MLabDirection = "download"
+	MLabUpload   MLabDirection = "upload"
+)
+
+// MLabRow is one NDT measurement row. NDT stores upload and download tests
+// as separate rows keyed by client/server IP, which is why §3.2's windowed
+// association procedure exists.
+type MLabRow struct {
+	RowID     int
+	ClientIP  string
+	ServerIP  string
+	City      string
+	ISP       string
+	ASN       int
+	Timestamp time.Time
+	Direction MLabDirection
+	SpeedMbps float64
+	MinRTTMs  float64
+	TruthTier int
+}
+
+// MLabTest is an associated <download, upload> pair produced by Associate.
+type MLabTest struct {
+	ClientIP     string
+	City         string
+	ISP          string
+	Timestamp    time.Time // download-test start
+	DownloadMbps float64
+	UploadMbps   float64
+	MinRTTMs     float64
+	TruthTier    int
+}
+
+// MBARecord is one Measuring Broadband America measurement: wired unit,
+// hourly cadence, with the subscriber's purchased plan attached (§3.3).
+type MBARecord struct {
+	UnitID       int
+	State        string
+	ISP          string
+	CensusTract  string
+	Timestamp    time.Time
+	DownloadMbps float64
+	UploadMbps   float64
+	// PlanDown/PlanUp are the ground-truth subscribed speeds.
+	PlanDown units.Mbps
+	PlanUp   units.Mbps
+	// Tier is the ground-truth 1-based tier in the state's catalog.
+	Tier int
+}
+
+// SpeedSample is the minimal view the BST core consumes: one test's
+// download and upload speed. All three datasets convert to it.
+type SpeedSample struct {
+	Download float64
+	Upload   float64
+}
+
+// OoklaSamples projects Ookla records to BST input.
+func OoklaSamples(recs []OoklaRecord) []SpeedSample {
+	out := make([]SpeedSample, len(recs))
+	for i, r := range recs {
+		out[i] = SpeedSample{Download: r.DownloadMbps, Upload: r.UploadMbps}
+	}
+	return out
+}
+
+// MLabSamples projects associated M-Lab tests to BST input.
+func MLabSamples(tests []MLabTest) []SpeedSample {
+	out := make([]SpeedSample, len(tests))
+	for i, r := range tests {
+		out[i] = SpeedSample{Download: r.DownloadMbps, Upload: r.UploadMbps}
+	}
+	return out
+}
+
+// MBASamples projects MBA records to BST input.
+func MBASamples(recs []MBARecord) []SpeedSample {
+	out := make([]SpeedSample, len(recs))
+	for i, r := range recs {
+		out[i] = SpeedSample{Download: r.DownloadMbps, Upload: r.UploadMbps}
+	}
+	return out
+}
+
+// clientIP renders a synthetic, stable per-user public IP. NAT pooling is
+// modelled by mapping several users onto one address.
+func clientIP(userID int) string {
+	pool := userID / 3 // ~3 users behind each public IP
+	return fmt.Sprintf("203.0.%d.%d", (pool/250)%250, pool%250+1)
+}
+
+// serverIP renders a synthetic M-Lab server address.
+func serverIP(idx int) string {
+	return fmt.Sprintf("198.51.100.%d", idx%250+1)
+}

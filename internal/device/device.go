@@ -1,0 +1,171 @@
+// Package device models the measurement endpoints: platform (Android, iOS,
+// desktop app, web), access medium, and the kernel-memory constraint the
+// paper finds limiting on low-memory Android devices (§6.1, Fig 9d).
+//
+// The memory effect is modelled mechanistically: available kernel memory
+// bounds the TCP receive window the device auto-tunes to, and window/RTT
+// bounds throughput. Low-memory devices additionally pay a CPU/GC penalty.
+package device
+
+import (
+	"speedctx/internal/stats"
+	"speedctx/internal/units"
+)
+
+// Platform identifies how a speed test was launched, matching the platform
+// breakdown of the paper's Table 3.
+type Platform int
+
+const (
+	// Android is Ookla's native Android app (always on WiFi in the
+	// dataset; exposes band, RSSI and kernel memory metadata).
+	Android Platform = iota
+	// IOS is Ookla's native iOS app (WiFi; no radio metadata).
+	IOS
+	// DesktopWiFi is the native desktop app on a WiFi-connected machine.
+	DesktopWiFi
+	// DesktopEthernet is the native desktop app on a wired machine.
+	DesktopEthernet
+	// Web is a browser-based test (no device metadata).
+	Web
+)
+
+var platformNames = map[Platform]string{
+	Android:         "Android-App",
+	IOS:             "iOS-App",
+	DesktopWiFi:     "Desktop WiFi-App",
+	DesktopEthernet: "Desktop Ethernet-App",
+	Web:             "Net-Web",
+}
+
+func (p Platform) String() string { return platformNames[p] }
+
+// Native reports whether the platform is a native application (i.e. not a
+// browser test). Only native apps expose device metadata.
+func (p Platform) Native() bool { return p != Web }
+
+// Wired reports whether the platform reaches the home router over Ethernet.
+func (p Platform) Wired() bool { return p == DesktopEthernet }
+
+// Platforms lists all platforms in the paper's table order.
+func Platforms() []Platform {
+	return []Platform{Android, IOS, DesktopWiFi, DesktopEthernet, Web}
+}
+
+// MemoryBin is the paper's Figure 9d grouping of available kernel memory.
+type MemoryBin int
+
+const (
+	MemBelow2GB MemoryBin = iota
+	Mem2to4GB
+	Mem4to6GB
+	MemAbove6GB
+)
+
+func (b MemoryBin) String() string {
+	switch b {
+	case MemBelow2GB:
+		return "< 2 GB"
+	case Mem2to4GB:
+		return "2 GB - 4 GB"
+	case Mem4to6GB:
+		return "4 GB - 6 GB"
+	default:
+		return "> 6 GB"
+	}
+}
+
+// MemoryBins lists the bins in ascending order.
+func MemoryBins() []MemoryBin {
+	return []MemoryBin{MemBelow2GB, Mem2to4GB, Mem4to6GB, MemAbove6GB}
+}
+
+// BinMemory places an available-kernel-memory figure (in MB, as Ookla
+// reports it) into the paper's bins.
+func BinMemory(mb int) MemoryBin {
+	switch {
+	case mb < 2048:
+		return MemBelow2GB
+	case mb < 4096:
+		return Mem2to4GB
+	case mb < 6144:
+		return Mem4to6GB
+	default:
+		return MemAbove6GB
+	}
+}
+
+// Device is a measurement endpoint.
+type Device struct {
+	Platform Platform
+	// KernelMemMB is the memory available to the kernel in MB; only
+	// meaningful for Android (Ookla reports it there).
+	KernelMemMB int
+}
+
+// RcvWindow returns the device's aggregate TCP receive-buffer budget,
+// derived from available kernel memory; a multi-connection test divides it
+// across its connections. Desktop-class devices get a full budget.
+// Tight-memory Androids cannot autotune past a modest total, which caps
+// throughput at window/RTT — the mechanism behind Figure 9d.
+func (d Device) RcvWindow() units.Bytes {
+	if d.Platform != Android && d.Platform != IOS {
+		return 6 * units.MiB
+	}
+	switch BinMemory(d.KernelMemMB) {
+	case MemBelow2GB:
+		return 384 * units.KiB
+	case Mem2to4GB:
+		return 3 * units.MiB
+	case Mem4to6GB:
+		return 4 * units.MiB
+	default:
+		return 6 * units.MiB
+	}
+}
+
+// CPUScale is a multiplicative penalty on achievable throughput from the
+// device's processing headroom (packet processing, GC pauses, browser
+// overhead).
+func (d Device) CPUScale(rng *stats.RNG) float64 {
+	switch d.Platform {
+	case Web:
+		// Browsers pay JS/engine overhead (Feamster & Livingood).
+		return rng.TruncNormal(0.88, 0.05, 0.6, 1)
+	case Android, IOS:
+		// Low-memory devices are CPU/GC-bound well before the link
+		// saturates: the dominant mechanism behind Fig 9d's 3x gap.
+		if BinMemory(d.KernelMemMB) == MemBelow2GB {
+			return rng.TruncNormal(0.22, 0.08, 0.08, 0.45)
+		}
+		return rng.TruncNormal(0.95, 0.03, 0.7, 1)
+	default:
+		return rng.TruncNormal(0.98, 0.02, 0.85, 1)
+	}
+}
+
+// MemoryModel samples Android kernel memory with the population shares of
+// Figure 9d: 7% below 2 GB, 17% in 2-4 GB, 17% in 4-6 GB, 59% above 6 GB.
+type MemoryModel struct {
+	Shares [4]float64
+}
+
+// DefaultMemoryModel returns the paper-calibrated shares.
+func DefaultMemoryModel() MemoryModel {
+	return MemoryModel{Shares: [4]float64{0.07, 0.17, 0.17, 0.59}}
+}
+
+// Sample draws an available-kernel-memory figure in MB.
+func (m MemoryModel) Sample(rng *stats.RNG) int {
+	bin := MemoryBin(rng.Categorical(m.Shares[:]))
+	switch bin {
+	case MemBelow2GB:
+		return 512 + rng.Intn(1536)
+	case Mem2to4GB:
+		return 2048 + rng.Intn(2048)
+	case Mem4to6GB:
+		return 4096 + rng.Intn(2048)
+	default:
+		return 6144 + rng.Intn(6144)
+	}
+}

@@ -1,0 +1,137 @@
+package device
+
+import (
+	"testing"
+
+	"speedctx/internal/stats"
+	"speedctx/internal/units"
+)
+
+func TestPlatformProperties(t *testing.T) {
+	if len(Platforms()) != 5 {
+		t.Fatalf("platform count = %d", len(Platforms()))
+	}
+	if !Android.Native() || Web.Native() {
+		t.Error("Native() wrong")
+	}
+	if !DesktopEthernet.Wired() || DesktopWiFi.Wired() || Android.Wired() {
+		t.Error("Wired() wrong")
+	}
+	wants := map[Platform]string{
+		Android:         "Android-App",
+		IOS:             "iOS-App",
+		DesktopWiFi:     "Desktop WiFi-App",
+		DesktopEthernet: "Desktop Ethernet-App",
+		Web:             "Net-Web",
+	}
+	for p, w := range wants {
+		if p.String() != w {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), w)
+		}
+	}
+}
+
+func TestBinMemory(t *testing.T) {
+	cases := []struct {
+		mb   int
+		want MemoryBin
+	}{
+		{512, MemBelow2GB}, {2047, MemBelow2GB}, {2048, Mem2to4GB},
+		{4095, Mem2to4GB}, {4096, Mem4to6GB}, {6143, Mem4to6GB},
+		{6144, MemAbove6GB}, {12000, MemAbove6GB},
+	}
+	for _, c := range cases {
+		if got := BinMemory(c.mb); got != c.want {
+			t.Errorf("BinMemory(%d) = %v, want %v", c.mb, got, c.want)
+		}
+	}
+	if len(MemoryBins()) != 4 {
+		t.Error("MemoryBins count")
+	}
+	for _, b := range MemoryBins() {
+		if b.String() == "" {
+			t.Error("empty bin label")
+		}
+	}
+}
+
+func TestRcvWindowMonotoneInMemory(t *testing.T) {
+	mems := []int{1024, 3000, 5000, 8000}
+	prev := units.Bytes(0)
+	for _, mb := range mems {
+		w := Device{Platform: Android, KernelMemMB: mb}.RcvWindow()
+		if w < prev {
+			t.Errorf("RcvWindow not monotone at %d MB", mb)
+		}
+		prev = w
+	}
+	// Non-mobile platforms get the full window regardless of memory.
+	d := Device{Platform: DesktopEthernet, KernelMemMB: 512}
+	if d.RcvWindow() != 6*units.MiB {
+		t.Errorf("desktop window = %v", d.RcvWindow())
+	}
+	w := Device{Platform: Web}.RcvWindow()
+	if w != 6*units.MiB {
+		t.Errorf("web window = %v", w)
+	}
+}
+
+func TestLowMemoryWindowTight(t *testing.T) {
+	d := Device{Platform: Android, KernelMemMB: 1024}
+	if d.RcvWindow() > units.MiB {
+		t.Errorf("low-memory window %v should be under 1 MiB", d.RcvWindow())
+	}
+}
+
+func TestCPUScaleRanges(t *testing.T) {
+	rng := stats.NewRNG(1)
+	for i := 0; i < 2000; i++ {
+		for _, d := range []Device{
+			{Platform: Web},
+			{Platform: Android, KernelMemMB: 1024},
+			{Platform: Android, KernelMemMB: 8192},
+			{Platform: DesktopEthernet},
+		} {
+			s := d.CPUScale(rng)
+			if s <= 0 || s > 1 {
+				t.Fatalf("CPUScale(%v) = %v out of (0,1]", d.Platform, s)
+			}
+		}
+	}
+}
+
+func TestCPUScaleLowMemoryPenalty(t *testing.T) {
+	rng := stats.NewRNG(2)
+	sumLow, sumHigh := 0.0, 0.0
+	n := 5000
+	for i := 0; i < n; i++ {
+		sumLow += Device{Platform: Android, KernelMemMB: 1024}.CPUScale(rng)
+		sumHigh += Device{Platform: Android, KernelMemMB: 8192}.CPUScale(rng)
+	}
+	if sumLow/float64(n) >= sumHigh/float64(n) {
+		t.Error("low-memory devices should average a larger CPU penalty")
+	}
+}
+
+func TestMemoryModelShares(t *testing.T) {
+	m := DefaultMemoryModel()
+	rng := stats.NewRNG(3)
+	counts := map[MemoryBin]int{}
+	n := 50000
+	for i := 0; i < n; i++ {
+		mb := m.Sample(rng)
+		if mb < 512 || mb >= 12288 {
+			t.Fatalf("memory sample out of range: %d", mb)
+		}
+		counts[BinMemory(mb)]++
+	}
+	wants := map[MemoryBin]float64{
+		MemBelow2GB: 0.07, Mem2to4GB: 0.17, Mem4to6GB: 0.17, MemAbove6GB: 0.59,
+	}
+	for bin, want := range wants {
+		got := float64(counts[bin]) / float64(n)
+		if got < want-0.02 || got > want+0.02 {
+			t.Errorf("bin %v share = %.3f, want ~%.2f", bin, got, want)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"speedctx/internal/dataset"
+	"speedctx/internal/device"
+	"speedctx/internal/report"
+	"speedctx/internal/stats"
+)
+
+// Figure14 is the MBA upload densities for States B-D (panels a-c).
+func (s *Suite) Figure14() ([]*report.Figure, error) {
+	var figs []*report.Figure
+	for i, state := range []string{"B", "C", "D"} {
+		f, err := s.mbaUploadKDE(state, fmt.Sprintf("fig14%c", 'a'+i))
+		if err != nil {
+			return nil, err
+		}
+		figs = append(figs, f)
+	}
+	return figs, nil
+}
+
+// Figure15 is the upload densities per platform for every city (panels
+// a-d), with the offered upload rates marked.
+func (s *Suite) Figure15() ([]*report.Figure, error) {
+	var figs []*report.Figure
+	for i, id := range CityIDs() {
+		b, err := s.City(id)
+		if err != nil {
+			return nil, err
+		}
+		f := &report.Figure{
+			ID:     fmt.Sprintf("fig15%c", 'a'+i),
+			Title:  fmt.Sprintf("City %s upload densities by platform", id),
+			XLabel: "Upload Speed (Mbps)", YLabel: "Density",
+		}
+		byPlat := map[device.Platform][]float64{}
+		for _, r := range b.Ookla {
+			byPlat[r.Platform] = append(byPlat[r.Platform], r.UploadMbps)
+		}
+		for _, p := range device.Platforms() {
+			if len(byPlat[p]) < 10 {
+				continue
+			}
+			f.AddSeries("Ookla-"+p.String(),
+				stats.NewKDE(byPlat[p], stats.Silverman).Grid(kdeGridN))
+		}
+		var mlab []float64
+		for _, r := range b.MLabRows {
+			if r.Direction == dataset.MLabUpload {
+				mlab = append(mlab, r.SpeedMbps)
+			}
+		}
+		if len(mlab) >= 10 {
+			f.AddSeries("Mlab-Web", stats.NewKDE(mlab, stats.Silverman).Grid(kdeGridN))
+		}
+		f.AddSeries("offered-upload-speeds", offeredMarks(b, true))
+		figs = append(figs, f)
+	}
+	return figs, nil
+}
+
+// Figures161718 are the per-upload-cluster download densities for States
+// B, C and D.
+func (s *Suite) Figures161718() ([]*report.Figure, error) {
+	var figs []*report.Figure
+	ids := map[string]string{"B": "fig16", "C": "fig17", "D": "fig18"}
+	for _, state := range []string{"B", "C", "D"} {
+		f, err := s.mbaDownloadKDE(state, ids[state])
+		if err != nil {
+			return nil, err
+		}
+		figs = append(figs, f)
+	}
+	return figs, nil
+}

@@ -1,0 +1,397 @@
+package experiments
+
+import (
+	"fmt"
+
+	"speedctx/internal/analysis"
+	"speedctx/internal/core"
+	"speedctx/internal/dataset"
+	"speedctx/internal/device"
+	"speedctx/internal/report"
+	"speedctx/internal/stats"
+)
+
+// kdeGridN is the evaluation grid used for figure density curves.
+const kdeGridN = 256
+
+// cdfPoints is the downsample size for CDF curves.
+const cdfPoints = 200
+
+// Figure1 is the motivating example: City A download CDFs,
+// uncontextualized vs progressively contextualized.
+func (s *Suite) Figure1() (*report.Figure, error) {
+	b, err := s.City("A")
+	if err != nil {
+		return nil, err
+	}
+	a, err := b.OoklaAnalysis()
+	if err != nil {
+		return nil, err
+	}
+	mc := a.Motivating()
+	top := len(b.Catalog.Plans)
+	f := &report.Figure{
+		ID:     "fig1",
+		Title:  "Raw download distributions, City A, with and without context",
+		XLabel: "Download Speed (Mbps)", YLabel: "Cum. Fraction of Tests",
+	}
+	f.AddCDF("Uncontextualized", mc.Uncontextualized, cdfPoints)
+	f.AddCDF("Tier 1", mc.Tier1, cdfPoints)
+	f.AddCDF(fmt.Sprintf("Tier %d", top), mc.TierTop, cdfPoints)
+	f.AddCDF(fmt.Sprintf("Tier %d-Android", top), mc.TierTopAndroid, cdfPoints)
+	f.AddCDF(fmt.Sprintf("Tier %d-Ethernet", top), mc.TierTopEthernet, cdfPoints)
+	return f, nil
+}
+
+// Figure2 is the per-user consistency factor CDF for iOS users with at
+// least five tests.
+func (s *Suite) Figure2() (*report.Figure, error) {
+	b, err := s.City("A")
+	if err != nil {
+		return nil, err
+	}
+	a, err := b.OoklaAnalysis()
+	if err != nil {
+		return nil, err
+	}
+	down, up := a.ConsistencyFactors(device.IOS, 5)
+	f := &report.Figure{
+		ID:     "fig2",
+		Title:  "Consistency factor, iOS users with >= 5 tests, City A",
+		XLabel: "Consistency Factor", YLabel: "Cum. Fraction of Users",
+	}
+	f.AddCDF("Download", down, cdfPoints)
+	f.AddCDF("Upload", up, cdfPoints)
+	return f, nil
+}
+
+// Figure4 is the MBA State-A upload-speed density with the offered upload
+// rates marked.
+func (s *Suite) Figure4() (*report.Figure, error) {
+	return s.mbaUploadKDE("A", "fig4")
+}
+
+func (s *Suite) mbaUploadKDE(state, id string) (*report.Figure, error) {
+	b, err := s.City(state)
+	if err != nil {
+		return nil, err
+	}
+	ups := make([]float64, len(b.MBA))
+	for i, r := range b.MBA {
+		ups[i] = r.UploadMbps
+	}
+	kde := stats.NewKDE(ups, stats.Silverman)
+	f := &report.Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("MBA State-%s upload speed density", state),
+		XLabel: "Upload Speed (Mbps)", YLabel: "Density",
+	}
+	f.AddSeries("KDE", kde.Grid(kdeGridN))
+	f.AddSeries("offered-upload-speeds", offeredMarks(b, true))
+	return f, nil
+}
+
+// offeredMarks renders the catalog's offered speeds as zero-height marks
+// (the vertical lines of the paper's density figures).
+func offeredMarks(b *CityBundle, upload bool) []stats.Point {
+	var pts []stats.Point
+	if upload {
+		for _, u := range b.Catalog.UploadSpeeds() {
+			pts = append(pts, stats.Point{X: float64(u), Y: 0})
+		}
+		return pts
+	}
+	for _, p := range b.Catalog.Plans {
+		pts = append(pts, stats.Point{X: float64(p.Download), Y: 0})
+	}
+	return pts
+}
+
+// Figure5 is the per-upload-tier download densities of the MBA State-A
+// panel (panels a-d as one multi-series figure).
+func (s *Suite) Figure5() (*report.Figure, error) {
+	return s.mbaDownloadKDE("A", "fig5")
+}
+
+func (s *Suite) mbaDownloadKDE(state, id string) (*report.Figure, error) {
+	b, err := s.City(state)
+	if err != nil {
+		return nil, err
+	}
+	res, _, err := b.MBAFit()
+	if err != nil {
+		return nil, err
+	}
+	tiers := b.Catalog.UploadTiers()
+	perTier := make([][]float64, len(tiers))
+	for i, r := range b.MBA {
+		g := res.Assignments[i].UploadTier
+		if g >= 0 {
+			perTier[g] = append(perTier[g], r.DownloadMbps)
+		}
+	}
+	f := &report.Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("MBA State-%s download densities per upload tier", state),
+		XLabel: "Download Speed (Mbps)", YLabel: "Density",
+	}
+	for g, downs := range perTier {
+		if len(downs) < 10 {
+			continue
+		}
+		kde := stats.NewKDE(downs, stats.Silverman)
+		f.AddSeries(tiers[g].Label(), kde.Grid(kdeGridN))
+	}
+	f.AddSeries("offered-download-speeds", offeredMarks(b, false))
+	return f, nil
+}
+
+// Figure6 is City A's upload densities for Ookla-Android, Ookla-Web and
+// MLab-Web (the M-Lab curve carries the extra ~1 Mbps cluster).
+func (s *Suite) Figure6() (*report.Figure, error) {
+	b, err := s.City("A")
+	if err != nil {
+		return nil, err
+	}
+	f := &report.Figure{
+		ID:     "fig6",
+		Title:  "City A upload densities by platform",
+		XLabel: "Upload Speed (Mbps)", YLabel: "Density",
+	}
+	var android, web []float64
+	for _, r := range b.Ookla {
+		switch r.Platform {
+		case device.Android:
+			android = append(android, r.UploadMbps)
+		case device.Web:
+			web = append(web, r.UploadMbps)
+		}
+	}
+	var mlab []float64
+	for _, r := range b.MLabRows {
+		if r.Direction == dataset.MLabUpload {
+			mlab = append(mlab, r.SpeedMbps)
+		}
+	}
+	for _, series := range []struct {
+		name string
+		vals []float64
+	}{
+		{"Ookla-Android", android}, {"Ookla-Web", web}, {"MLab-Web", mlab},
+	} {
+		if len(series.vals) < 10 {
+			continue
+		}
+		f.AddSeries(series.name, stats.NewKDE(series.vals, stats.Silverman).Grid(kdeGridN))
+	}
+	f.AddSeries("offered-upload-speeds", offeredMarks(b, true))
+	return f, nil
+}
+
+// Figure7 is the download density within each upload cluster of City A's
+// Ookla Android tests.
+func (s *Suite) Figure7() (*report.Figure, error) {
+	b, err := s.City("A")
+	if err != nil {
+		return nil, err
+	}
+	var samples []core.Sample
+	for _, r := range b.Ookla {
+		if r.Platform == device.Android {
+			samples = append(samples, core.Sample{Download: r.DownloadMbps, Upload: r.UploadMbps})
+		}
+	}
+	res, err := core.Fit(samples, b.Catalog, core.Config{})
+	if err != nil {
+		return nil, err
+	}
+	tiers := b.Catalog.UploadTiers()
+	perTier := make([][]float64, len(tiers))
+	for i, sm := range samples {
+		g := res.Assignments[i].UploadTier
+		if g >= 0 {
+			perTier[g] = append(perTier[g], sm.Download)
+		}
+	}
+	f := &report.Figure{
+		ID:     "fig7",
+		Title:  "City A Android download densities per upload cluster",
+		XLabel: "Download Speed (Mbps)", YLabel: "Density",
+	}
+	for g, downs := range perTier {
+		if len(downs) < 10 {
+			continue
+		}
+		f.AddSeries(tiers[g].Label(), stats.NewKDE(downs, stats.Silverman).Grid(kdeGridN))
+	}
+	return f, nil
+}
+
+// Figure8 is the CDF of per-user-month BST assignment consistency (alpha).
+func (s *Suite) Figure8() (*report.Figure, error) {
+	b, err := s.City("A")
+	if err != nil {
+		return nil, err
+	}
+	a, err := b.OoklaAnalysis()
+	if err != nil {
+		return nil, err
+	}
+	alphas, err := a.AlphaPerUserMonth(5)
+	if err != nil {
+		return nil, err
+	}
+	f := &report.Figure{
+		ID:     "fig8",
+		Title:  "BST assignment consistency per user-month",
+		XLabel: "alpha", YLabel: "Cum. Fraction of User/Month",
+	}
+	f.AddCDF("alpha", alphas, cdfPoints)
+	return f, nil
+}
+
+// Figure9 returns the four panels of the paper's Figure 9: access type,
+// WiFi band, RSSI bin and kernel-memory bin.
+func (s *Suite) Figure9(panel string) (*report.Figure, error) {
+	b, err := s.City("A")
+	if err != nil {
+		return nil, err
+	}
+	a, err := b.OoklaAnalysis()
+	if err != nil {
+		return nil, err
+	}
+	android, err := b.AndroidAnalysis()
+	if err != nil {
+		return nil, err
+	}
+	f := &report.Figure{
+		XLabel: "Normalized Download Speed", YLabel: "Cum. Fraction of Tests",
+	}
+	switch panel {
+	case "a":
+		f.ID, f.Title = "fig9a", "Access type (WiFi vs Ethernet)"
+		addGroups(f, a.ByAccessType())
+	case "b":
+		f.ID, f.Title = "fig9b", "WiFi band (Android)"
+		addGroups(f, android.ByBand())
+	case "c":
+		f.ID, f.Title = "fig9c", "RSSI bins (Android, 5 GHz)"
+		addGroups(f, android.ByRSSIBin())
+	case "d":
+		f.ID, f.Title = "fig9d", "Available kernel memory (Android, 5 GHz, RSSI > -50)"
+		addGroups(f, android.ByMemoryBin())
+	default:
+		return nil, fmt.Errorf("experiments: unknown figure 9 panel %q", panel)
+	}
+	return f, nil
+}
+
+func addGroups(f *report.Figure, groups []analysis.Group) {
+	for _, g := range groups {
+		if len(g.Values) == 0 {
+			continue
+		}
+		f.AddCDF(g.Name, g.Values, cdfPoints)
+	}
+}
+
+// Figure10 compares the Best group against Local-bottleneck tests.
+func (s *Suite) Figure10() (*report.Figure, error) {
+	b, err := s.City("A")
+	if err != nil {
+		return nil, err
+	}
+	a, err := b.AndroidAnalysis()
+	if err != nil {
+		return nil, err
+	}
+	f := &report.Figure{
+		ID: "fig10", Title: "Best vs Local-bottleneck (Android)",
+		XLabel: "Normalized Download Speed", YLabel: "Cum. Fraction of Tests",
+	}
+	addGroups(f, a.BestVsBottleneck())
+	return f, nil
+}
+
+// Figure11 is the test-volume share per 6-hour bin per tier group.
+func (s *Suite) Figure11() (*report.Figure, error) {
+	b, err := s.City("A")
+	if err != nil {
+		return nil, err
+	}
+	a, err := b.OoklaAnalysis()
+	if err != nil {
+		return nil, err
+	}
+	rows := a.VolumeByHourBin()
+	tiers := b.Catalog.UploadTiers()
+	f := &report.Figure{
+		ID: "fig11", Title: "Share of tests per 6-hour bin per tier group",
+		XLabel: "Hour bin (0: 00-06 .. 3: 18-00)", YLabel: "Percentage of Tests",
+	}
+	for g, row := range rows {
+		pts := make([]stats.Point, len(row))
+		for i, v := range row {
+			pts[i] = stats.Point{X: float64(i), Y: v}
+		}
+		f.AddSeries(tiers[g].Label(), pts)
+	}
+	return f, nil
+}
+
+// Figure12 is the normalized download CDF per hour bin for one upload tier
+// group (the paper shows Tiers 4 and 5: groups 1 and 2).
+func (s *Suite) Figure12(tierGroup int) (*report.Figure, error) {
+	b, err := s.City("A")
+	if err != nil {
+		return nil, err
+	}
+	a, err := b.OoklaAnalysis()
+	if err != nil {
+		return nil, err
+	}
+	label := "all tiers"
+	if tierGroup >= 0 && tierGroup < len(b.Catalog.UploadTiers()) {
+		label = b.Catalog.UploadTiers()[tierGroup].Label()
+	}
+	f := &report.Figure{
+		ID:     fmt.Sprintf("fig12-%d", tierGroup),
+		Title:  fmt.Sprintf("Normalized download by time of day, %s", label),
+		XLabel: "Normalized Download Speed", YLabel: "Cum. Fraction of Tests",
+	}
+	addGroups(f, a.ByHourBin(tierGroup))
+	return f, nil
+}
+
+// Figure13 compares Ookla vs M-Lab normalized download per tier group.
+func (s *Suite) Figure13() ([]*report.Figure, error) {
+	b, err := s.City("A")
+	if err != nil {
+		return nil, err
+	}
+	oa, err := b.OoklaAnalysis()
+	if err != nil {
+		return nil, err
+	}
+	ma, err := b.MLabAnalysis()
+	if err != nil {
+		return nil, err
+	}
+	vts, err := analysis.VendorComparison(oa, ma)
+	if err != nil {
+		return nil, err
+	}
+	var figs []*report.Figure
+	for i, vt := range vts {
+		f := &report.Figure{
+			ID:     fmt.Sprintf("fig13%c", 'a'+i),
+			Title:  fmt.Sprintf("Ookla vs M-Lab normalized download, %s", vt.Label),
+			XLabel: "Normalized Download Speed", YLabel: "Cum. Fraction of Tests",
+		}
+		f.AddCDF("Ookla", vt.Ookla.Values, cdfPoints)
+		f.AddCDF("M-Lab", vt.MLab.Values, cdfPoints)
+		figs = append(figs, f)
+	}
+	return figs, nil
+}

@@ -1,0 +1,171 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from the synthetic datasets. The CLI (cmd/speedctx), the bench
+// harness (bench_test.go) and EXPERIMENTS.md all drive this package, so a
+// number printed anywhere traces to exactly one implementation.
+//
+// A Suite lazily generates and caches each city's datasets at a configured
+// scale (fraction of the paper's Table 1 row counts) and memoizes the BST
+// fits, which dominate runtime.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"speedctx/internal/analysis"
+	"speedctx/internal/core"
+	"speedctx/internal/dataset"
+	"speedctx/internal/device"
+	"speedctx/internal/plans"
+	"speedctx/internal/population"
+)
+
+// PaperCounts are the dataset sizes of the paper's Table 1.
+var PaperCounts = map[string]struct {
+	Ookla, MLab, MBA int
+	MBAUnits         int
+}{
+	"A": {214000, 113000, 25900, 20},
+	"B": {205000, 376000, 14900, 17},
+	"C": {128000, 64000, 10900, 10},
+	"D": {198000, 166000, 8900, 11},
+}
+
+// Suite generates and caches the per-city data baskets.
+type Suite struct {
+	// Scale is the fraction of the paper's row counts to generate.
+	Scale float64
+	// Seed roots all generation randomness.
+	Seed int64
+
+	mu     sync.Mutex
+	cities map[string]*CityBundle
+}
+
+// NewSuite creates a suite at the given scale (0 selects 0.02, i.e. ~4k
+// Ookla rows for City A).
+func NewSuite(scale float64, seed int64) *Suite {
+	if scale <= 0 {
+		scale = 0.02
+	}
+	if seed == 0 {
+		seed = 2021
+	}
+	return &Suite{Scale: scale, Seed: seed, cities: map[string]*CityBundle{}}
+}
+
+// CityBundle is one city's generated data plus memoized BST fits.
+type CityBundle struct {
+	Catalog   *plans.Catalog
+	Ookla     []dataset.OoklaRecord
+	MLabRows  []dataset.MLabRow
+	MLabTests []dataset.MLabTest
+	MBA       []dataset.MBARecord
+
+	ooklaOnce sync.Once
+	ooklaA    *analysis.Ookla
+	ooklaErr  error
+	mlabOnce  sync.Once
+	mlabA     *analysis.MLab
+	mlabErr   error
+
+	androidOnce sync.Once
+	androidA    *analysis.Ookla
+	androidErr  error
+	androidSeed int64
+	androidN    int
+}
+
+func scaled(n int, scale float64) int {
+	v := int(float64(n) * scale)
+	if v < 400 {
+		v = 400
+	}
+	return v
+}
+
+// City returns (generating on first use) the bundle for a city ID.
+func (s *Suite) City(id string) (*CityBundle, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.cities[id]; ok {
+		return b, nil
+	}
+	cat, ok := plans.ByCity(id)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown city %q", id)
+	}
+	counts, ok := PaperCounts[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: no paper counts for city %q", id)
+	}
+	seed := s.Seed + int64(id[0])*1000
+	b := &CityBundle{Catalog: cat}
+	b.Ookla = dataset.GenerateOokla(cat, scaled(counts.Ookla, s.Scale), seed)
+	b.MLabRows = dataset.GenerateMLab(cat, scaled(counts.MLab, s.Scale), seed+1, dataset.DefaultMLabOptions())
+	b.MLabTests = dataset.Associate(b.MLabRows)
+	b.MBA = dataset.GenerateMBA(cat, counts.MBAUnits, scaled(counts.MBA, s.Scale), seed+2)
+	b.androidSeed = seed + 3
+	// The paper's radio analyses (Figs 9b-d, 10) use Android-only
+	// slices; generate an Android-only dataset large enough for stable
+	// per-bin medians.
+	b.androidN = scaled(counts.Ookla/3, s.Scale)
+	if b.androidN < 6000 {
+		b.androidN = 6000
+	}
+	s.cities[id] = b
+	return b, nil
+}
+
+// AndroidAnalysis returns (generating on first use) the BST
+// contextualization of an Android-only dataset for the city — the slice the
+// paper's radio/memory analyses run on.
+func (b *CityBundle) AndroidAnalysis() (*analysis.Ookla, error) {
+	b.androidOnce.Do(func() {
+		model := population.OoklaModel(b.Catalog).WithOnlyPlatform(device.Android)
+		recs := dataset.GenerateOoklaModel(b.Catalog, model, b.androidN, b.androidSeed)
+		b.androidA, b.androidErr = analysis.AnalyzeOokla(b.Catalog, recs, core.Config{})
+	})
+	return b.androidA, b.androidErr
+}
+
+// OoklaAnalysis returns the memoized BST contextualization of the city's
+// Ookla dataset.
+func (b *CityBundle) OoklaAnalysis() (*analysis.Ookla, error) {
+	b.ooklaOnce.Do(func() {
+		b.ooklaA, b.ooklaErr = analysis.AnalyzeOokla(b.Catalog, b.Ookla, core.Config{})
+	})
+	return b.ooklaA, b.ooklaErr
+}
+
+// MLabAnalysis returns the memoized BST contextualization of the city's
+// associated NDT tests.
+func (b *CityBundle) MLabAnalysis() (*analysis.MLab, error) {
+	b.mlabOnce.Do(func() {
+		b.mlabA, b.mlabErr = analysis.AnalyzeMLab(b.Catalog, b.MLabTests, core.Config{})
+	})
+	return b.mlabA, b.mlabErr
+}
+
+// MBAFit runs BST over the city's MBA panel and scores it against the
+// ground-truth tiers.
+func (b *CityBundle) MBAFit() (*core.Result, *core.Evaluation, error) {
+	samples := make([]core.Sample, len(b.MBA))
+	truth := make([]int, len(b.MBA))
+	for i, r := range b.MBA {
+		samples[i] = core.Sample{Download: r.DownloadMbps, Upload: r.UploadMbps}
+		truth[i] = r.Tier
+	}
+	res, err := core.Fit(samples, b.Catalog, core.Config{})
+	if err != nil {
+		return nil, nil, err
+	}
+	ev, err := core.Evaluate(res, truth)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, ev, nil
+}
+
+// CityIDs lists the study cities in paper order.
+func CityIDs() []string { return []string{"A", "B", "C", "D"} }

@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"speedctx/internal/core"
+	"speedctx/internal/dataset"
+	"speedctx/internal/device"
+	"speedctx/internal/report"
+)
+
+// Table1 reports the generated dataset sizes per city (paper Table 1,
+// scaled).
+func (s *Suite) Table1() (*report.Table, error) {
+	t := &report.Table{
+		Title:   fmt.Sprintf("Table 1: dataset sizes (scale %.3g of the paper's counts)", s.Scale),
+		Headers: []string{"City/State", "ISP", "Ookla", "M-Lab", "MBA"},
+	}
+	for _, id := range CityIDs() {
+		b, err := s.City(id)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(id, b.Catalog.ISP, len(b.Ookla), len(b.MLabRows), len(b.MBA))
+	}
+	return t, nil
+}
+
+// Table2 reports BST upload-tier accuracy on the MBA panel per state
+// (paper Table 2: 96.84-99.33%).
+func (s *Suite) Table2() (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Table 2: BST upload selection accuracy on the MBA panel",
+		Headers: []string{"State", "ISP", "#Units", "#Records", "Accuracy"},
+	}
+	for _, id := range CityIDs() {
+		b, err := s.City(id)
+		if err != nil {
+			return nil, err
+		}
+		_, ev, err := b.MBAFit()
+		if err != nil {
+			return nil, err
+		}
+		units := map[int]bool{}
+		for _, r := range b.MBA {
+			units[r.UnitID] = true
+		}
+		t.AddRow(id, b.Catalog.ISP, len(units), ev.Total,
+			fmt.Sprintf("%.2f%%", 100*ev.UploadAccuracy()))
+	}
+	return t, nil
+}
+
+// platformSlices splits a city's datasets into the paper's Table 3 rows:
+// the five Ookla platforms plus M-Lab NDT-Web.
+type platformSlice struct {
+	Vendor   string
+	Platform string
+	Samples  []core.Sample
+}
+
+func (b *CityBundle) platformSlices() []platformSlice {
+	byPlat := map[device.Platform][]core.Sample{}
+	for _, r := range b.Ookla {
+		byPlat[r.Platform] = append(byPlat[r.Platform],
+			core.Sample{Download: r.DownloadMbps, Upload: r.UploadMbps})
+	}
+	var out []platformSlice
+	for _, p := range device.Platforms() {
+		out = append(out, platformSlice{
+			Vendor: "Ookla", Platform: p.String(), Samples: byPlat[p],
+		})
+	}
+	var ml []core.Sample
+	for _, r := range b.MLabTests {
+		ml = append(ml, core.Sample{Download: r.DownloadMbps, Upload: r.UploadMbps})
+	}
+	out = append(out, platformSlice{Vendor: "M-Lab", Platform: "NDT-Web", Samples: ml})
+	return out
+}
+
+// UploadClusterTable builds the Table 3/5/6/7 row set for a city: per
+// platform, the measurement count and BST cluster mean for each upload tier
+// group.
+func (s *Suite) UploadClusterTable(cityID string) (*report.Table, error) {
+	b, err := s.City(cityID)
+	if err != nil {
+		return nil, err
+	}
+	tiers := b.Catalog.UploadTiers()
+	headers := []string{"Platform", "Type"}
+	for _, tier := range tiers {
+		headers = append(headers, tier.Label()+" #", tier.Label()+" mean")
+	}
+	num := map[string]int{"A": 3, "B": 5, "C": 6, "D": 7}[cityID]
+	t := &report.Table{
+		Title: fmt.Sprintf("Table %d: upload clusters per platform, City %s (%s)",
+			num, cityID, b.Catalog.ISP),
+		Headers: headers,
+	}
+	for _, ps := range b.platformSlices() {
+		row := []interface{}{ps.Vendor, ps.Platform}
+		res, err := core.Fit(ps.Samples, b.Catalog, core.Config{})
+		if err != nil {
+			for range tiers {
+				row = append(row, 0, "-")
+			}
+			t.AddRow(row...)
+			continue
+		}
+		for _, tc := range res.UploadClusterSummary() {
+			row = append(row, tc.Measurements, tc.MeanMbps)
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Table3 is City A's upload cluster table.
+func (s *Suite) Table3() (*report.Table, error) { return s.UploadClusterTable("A") }
+
+// Table4 reports City A's stage-2 download cluster means per platform and
+// plan tier (paper Table 4).
+func (s *Suite) Table4() (*report.Table, error) {
+	b, err := s.City("A")
+	if err != nil {
+		return nil, err
+	}
+	headers := []string{"Platform", "Type"}
+	for i := range b.Catalog.Plans {
+		headers = append(headers, fmt.Sprintf("Tier %d", i+1))
+	}
+	t := &report.Table{
+		Title:   "Table 4: download cluster means (Mbps) per subscription tier, City A",
+		Headers: headers,
+	}
+	for _, ps := range b.platformSlices() {
+		row := []interface{}{ps.Vendor, ps.Platform}
+		res, err := core.Fit(ps.Samples, b.Catalog, core.Config{})
+		if err != nil {
+			for range b.Catalog.Plans {
+				row = append(row, "-")
+			}
+			t.AddRow(row...)
+			continue
+		}
+		perPlan := make([][]float64, len(b.Catalog.Plans)+1)
+		for _, ds := range res.Downloads {
+			if ds.Model == nil {
+				continue
+			}
+			for c, comp := range ds.Model.Components {
+				plan := ds.ComponentPlan[c]
+				if plan >= 1 && plan <= len(b.Catalog.Plans) {
+					perPlan[plan] = append(perPlan[plan], comp.Mean)
+				}
+			}
+		}
+		for planTier := 1; planTier <= len(b.Catalog.Plans); planTier++ {
+			row = append(row, joinMeans(perPlan[planTier]))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+func joinMeans(ms []float64) string {
+	if len(ms) == 0 {
+		return "-"
+	}
+	sort.Float64s(ms)
+	parts := make([]string, len(ms))
+	for i, m := range ms {
+		parts[i] = fmt.Sprintf("%.0f", m)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Tables567 returns the appendix upload-cluster tables for Cities B-D.
+func (s *Suite) Tables567() ([]*report.Table, error) {
+	var out []*report.Table
+	for _, id := range []string{"B", "C", "D"} {
+		t, err := s.UploadClusterTable(id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// MLabAssociationStats summarizes the §3.2 windowed association: row
+// counts, pair counts and pairing rate (an extension table not in the
+// paper but implied by its methodology).
+func (s *Suite) MLabAssociationStats(cityID string) (*report.Table, error) {
+	b, err := s.City(cityID)
+	if err != nil {
+		return nil, err
+	}
+	downloads := 0
+	for _, r := range b.MLabRows {
+		if r.Direction == dataset.MLabDownload {
+			downloads++
+		}
+	}
+	t := &report.Table{
+		Title:   fmt.Sprintf("M-Lab association (City %s)", cityID),
+		Headers: []string{"Rows", "Download rows", "Associated pairs", "Pair rate"},
+	}
+	rate := 0.0
+	if downloads > 0 {
+		rate = float64(len(b.MLabTests)) / float64(downloads)
+	}
+	t.AddRow(len(b.MLabRows), downloads, len(b.MLabTests), fmt.Sprintf("%.1f%%", 100*rate))
+	return t, nil
+}

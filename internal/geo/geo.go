@@ -1,0 +1,141 @@
+// Package geo provides the geographic substrate: cities, census blocks, a
+// synthetic residential street-address base (standing in for the Zillow
+// ZTRAX dataset the paper obtained under DUA), and an IP-geolocation noise
+// model matching the error properties discussed in the paper's ethics
+// section (§3.4).
+package geo
+
+import (
+	"fmt"
+	"math"
+
+	"speedctx/internal/stats"
+)
+
+// City describes one of the four anonymized metropolitan study areas. The
+// paper states each has a population between 400,000 and 700,000.
+type City struct {
+	ID         string // "A".."D"
+	State      string // state identifier used by the MBA dataset
+	Population int
+	Blocks     []CensusBlock
+}
+
+// CensusBlock is the FCC Form 477 reporting granularity.
+type CensusBlock struct {
+	ID         string
+	CityID     string
+	Households int
+}
+
+// Address is a residential street address, the granularity at which the
+// plan-lookup tool queries ISPs.
+type Address struct {
+	Number  int
+	Street  string
+	CityID  string
+	BlockID string
+}
+
+// String renders a cleaned, well-formatted address, as required by the
+// lookup tool.
+func (a Address) String() string {
+	return fmt.Sprintf("%d %s, City-%s", a.Number, a.Street, a.CityID)
+}
+
+var streetNames = []string{
+	"Oak St", "Maple Ave", "Cedar Ln", "Pine Dr", "Elm St", "Birch Rd",
+	"Walnut Blvd", "Chestnut Ct", "Spruce Way", "Willow Pl", "Aspen Ter",
+	"Juniper St", "Magnolia Ave", "Sycamore Ln", "Laurel Dr", "Hawthorn Rd",
+}
+
+// CityPopulations gives each study city a fixed population in the paper's
+// stated 400k-700k range.
+var CityPopulations = map[string]int{
+	"A": 650000, "B": 540000, "C": 430000, "D": 590000,
+}
+
+// NewCity builds a deterministic city with nBlocks census blocks. Household
+// counts are drawn from the provided RNG, so the same seed reproduces the
+// same city.
+func NewCity(id string, nBlocks int, rng *stats.RNG) *City {
+	pop, ok := CityPopulations[id]
+	if !ok {
+		pop = 500000
+	}
+	c := &City{ID: id, State: id, Population: pop}
+	for i := 0; i < nBlocks; i++ {
+		c.Blocks = append(c.Blocks, CensusBlock{
+			ID:         fmt.Sprintf("%s-%06d", id, i),
+			CityID:     id,
+			Households: 50 + rng.Intn(450),
+		})
+	}
+	return c
+}
+
+// AddressBase is the synthetic stand-in for the Zillow residential property
+// address dataset: a deterministic well-formatted address universe per city.
+type AddressBase struct {
+	city *City
+	rng  *stats.RNG
+}
+
+// NewAddressBase creates an address generator for the city.
+func NewAddressBase(city *City, rng *stats.RNG) *AddressBase {
+	return &AddressBase{city: city, rng: rng}
+}
+
+// Sample draws n random residential addresses, mirroring the paper's random
+// selection of 100k addresses per city for the plan survey.
+func (b *AddressBase) Sample(n int) []Address {
+	out := make([]Address, n)
+	for i := range out {
+		blk := b.city.Blocks[b.rng.Intn(len(b.city.Blocks))]
+		out[i] = Address{
+			Number:  100 + b.rng.Intn(9900),
+			Street:  streetNames[b.rng.Intn(len(streetNames))],
+			CityID:  b.city.ID,
+			BlockID: blk.ID,
+		}
+	}
+	return out
+}
+
+// LatLon is a geographic coordinate.
+type LatLon struct {
+	Lat, Lon float64
+}
+
+// TruncateGPS truncates coordinates after three decimal places, the
+// anonymization Ookla applies (accurate to ~111 m, per §3.4).
+func TruncateGPS(p LatLon) LatLon {
+	t := func(v float64) float64 { return float64(int64(v*1000)) / 1000 }
+	return LatLon{Lat: t(p.Lat), Lon: t(p.Lon)}
+}
+
+// IPGeolocate models IP-geolocation error: the returned location is the true
+// location displaced by a heavy-tailed error that can exceed 30 km, matching
+// the error magnitude the paper cites for M-Lab client localization. The
+// displacement is in degrees, approximating 1 degree ~= 111 km.
+func IPGeolocate(truth LatLon, rng *stats.RNG) LatLon {
+	// Median error a few km; tail beyond 30 km.
+	errKM := rng.Pareto(2, 1.3)
+	if errKM > 500 {
+		errKM = 500
+	}
+	deg := errKM / 111.0
+	theta := rng.Uniform(0, 2*math.Pi)
+	return LatLon{
+		Lat: truth.Lat + deg*math.Cos(theta),
+		Lon: truth.Lon + deg*math.Sin(theta)/math.Cos(truth.Lat*math.Pi/180),
+	}
+}
+
+// DistanceKM approximates the distance between two coordinates with an
+// equirectangular projection (adequate at city scale).
+func DistanceKM(a, b LatLon) float64 {
+	dLat := (a.Lat - b.Lat) * 111.0
+	dLon := (a.Lon - b.Lon) * 111.0 * math.Cos(a.Lat*math.Pi/180)
+	return math.Sqrt(dLat*dLat + dLon*dLon)
+}

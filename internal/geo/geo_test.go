@@ -1,0 +1,110 @@
+package geo
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"speedctx/internal/stats"
+)
+
+func TestNewCity(t *testing.T) {
+	c := NewCity("A", 100, stats.NewRNG(1))
+	if c.Population != 650000 {
+		t.Errorf("population = %d", c.Population)
+	}
+	if len(c.Blocks) != 100 {
+		t.Fatalf("blocks = %d", len(c.Blocks))
+	}
+	for _, b := range c.Blocks {
+		if b.CityID != "A" {
+			t.Errorf("block city = %q", b.CityID)
+		}
+		if b.Households < 50 || b.Households >= 500 {
+			t.Errorf("households = %d", b.Households)
+		}
+		if !strings.HasPrefix(b.ID, "A-") {
+			t.Errorf("block id = %q", b.ID)
+		}
+	}
+	// Unknown city gets the default population.
+	if NewCity("X", 1, stats.NewRNG(1)).Population != 500000 {
+		t.Error("unknown city default population")
+	}
+}
+
+func TestPopulationRange(t *testing.T) {
+	// The paper: each city has 400k-700k people.
+	for id, pop := range CityPopulations {
+		if pop < 400000 || pop > 700000 {
+			t.Errorf("city %s population %d outside the paper's range", id, pop)
+		}
+	}
+}
+
+func TestAddressSampleDeterminism(t *testing.T) {
+	gen := func() []Address {
+		rng := stats.NewRNG(5)
+		city := NewCity("B", 50, rng)
+		return NewAddressBase(city, rng).Sample(20)
+	}
+	a, b := gen(), gen()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("address sampling not deterministic")
+		}
+	}
+}
+
+func TestAddressString(t *testing.T) {
+	a := Address{Number: 123, Street: "Oak St", CityID: "A"}
+	if got := a.String(); got != "123 Oak St, City-A" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestTruncateGPS(t *testing.T) {
+	p := TruncateGPS(LatLon{Lat: 34.412345, Lon: -119.861987})
+	if p.Lat != 34.412 || p.Lon != -119.861 {
+		t.Errorf("TruncateGPS = %+v", p)
+	}
+}
+
+func TestIPGeolocateErrorDistribution(t *testing.T) {
+	rng := stats.NewRNG(9)
+	truth := LatLon{Lat: 34.4, Lon: -119.8}
+	over30 := 0
+	n := 5000
+	for i := 0; i < n; i++ {
+		loc := IPGeolocate(truth, rng)
+		d := DistanceKM(truth, loc)
+		if d < 2-1e-9 {
+			t.Fatalf("geolocation error %v below Pareto minimum", d)
+		}
+		if d > 30 {
+			over30++
+		}
+		if d > 501 {
+			t.Fatalf("error %v exceeds cap", d)
+		}
+	}
+	// The paper: errors "can exceed 30 KM" — the tail must exist but not
+	// dominate.
+	if over30 == 0 {
+		t.Error("no geolocation errors above 30 km; tail missing")
+	}
+	if float64(over30)/float64(n) > 0.5 {
+		t.Errorf("%d/%d errors above 30 km; tail too heavy", over30, n)
+	}
+}
+
+func TestDistanceKM(t *testing.T) {
+	a := LatLon{Lat: 0, Lon: 0}
+	b := LatLon{Lat: 1, Lon: 0}
+	if d := DistanceKM(a, b); math.Abs(d-111) > 0.5 {
+		t.Errorf("1 degree latitude = %v km", d)
+	}
+	if d := DistanceKM(a, a); d != 0 {
+		t.Errorf("zero distance = %v", d)
+	}
+}

@@ -1,0 +1,197 @@
+// Package mbaraw implements the FCC Measuring Broadband America raw-data
+// release format: the `curr_httpgetmt.csv` (download) and
+// `curr_httppostmt.csv` (upload) files plus the unit-profile spreadsheet's
+// subscription columns. A user holding the real MBA release can convert it
+// into the dataset.MBARecord form this repo's BST pipeline consumes,
+// replaying the paper's Table 2 evaluation on actual data.
+package mbaraw
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"speedctx/internal/dataset"
+	"speedctx/internal/units"
+)
+
+// TimeLayout is the dtime format the MBA release uses.
+const TimeLayout = "2006-01-02 15:04:05"
+
+// ThroughputRow is one row of curr_httpgetmt.csv / curr_httppostmt.csv:
+// a single HTTP GET/POST multi-thread throughput measurement.
+type ThroughputRow struct {
+	UnitID int
+	DTime  time.Time
+	// Target is the test server hostname.
+	Target string
+	// BytesSec is the measured throughput in bytes per second — the
+	// column the MBA reports derive speeds from.
+	BytesSec float64
+	// BytesTotal is the transfer volume.
+	BytesTotal int64
+	// Successes/Failures count the fetch threads.
+	Successes int
+	Failures  int
+}
+
+// Mbps returns the row's throughput in Mbps.
+func (r ThroughputRow) Mbps() float64 {
+	return units.FromBytesPerSecond(r.BytesSec).BitsPerSecond() / 1e6
+}
+
+var throughputHeader = []string{
+	"unit_id", "dtime", "target", "bytes_sec", "bytes_total", "successes", "failures",
+}
+
+// WriteThroughputCSV writes rows in the release schema.
+func WriteThroughputCSV(w io.Writer, rows []ThroughputRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(throughputHeader); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			strconv.Itoa(r.UnitID),
+			r.DTime.Format(TimeLayout),
+			r.Target,
+			strconv.FormatFloat(r.BytesSec, 'f', -1, 64),
+			strconv.FormatInt(r.BytesTotal, 10),
+			strconv.Itoa(r.Successes),
+			strconv.Itoa(r.Failures),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadThroughputCSV parses the release schema.
+func ReadThroughputCSV(r io.Reader) ([]ThroughputRow, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("mbaraw: empty throughput csv")
+	}
+	var out []ThroughputRow
+	for i, rec := range recs[1:] {
+		if len(rec) != len(throughputHeader) {
+			return nil, fmt.Errorf("mbaraw: row %d has %d fields, want %d", i+2, len(rec), len(throughputHeader))
+		}
+		var row ThroughputRow
+		row.UnitID, _ = strconv.Atoi(rec[0])
+		row.DTime, err = time.Parse(TimeLayout, rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("mbaraw: row %d dtime: %w", i+2, err)
+		}
+		row.Target = rec[2]
+		row.BytesSec, _ = strconv.ParseFloat(rec[3], 64)
+		row.BytesTotal, _ = strconv.ParseInt(rec[4], 10, 64)
+		row.Successes, _ = strconv.Atoi(rec[5])
+		row.Failures, _ = strconv.Atoi(rec[6])
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// UnitProfile is the subscription ground truth from the unit-profile
+// spreadsheet: the columns the paper relies on (§3.3).
+type UnitProfile struct {
+	UnitID int
+	ISP    string
+	State  string
+	// DownloadMbps/UploadMbps are the subscribed plan speeds.
+	DownloadMbps float64
+	UploadMbps   float64
+	Technology   string // "Cable", "Fiber", "DSL", ...
+}
+
+// Merge joins download rows, upload rows and unit profiles into
+// dataset.MBARecord measurements: every download row is paired with the
+// nearest upload row of the same unit within the pairing window (the MBA
+// test cycle runs both directions back to back).
+func Merge(gets, posts []ThroughputRow, profiles []UnitProfile, window time.Duration) ([]dataset.MBARecord, error) {
+	if window <= 0 {
+		window = time.Hour
+	}
+	prof := map[int]UnitProfile{}
+	for _, p := range profiles {
+		prof[p.UnitID] = p
+	}
+	byUnit := map[int][]ThroughputRow{}
+	for _, r := range posts {
+		byUnit[r.UnitID] = append(byUnit[r.UnitID], r)
+	}
+	for _, rows := range byUnit {
+		sort.Slice(rows, func(a, b int) bool { return rows[a].DTime.Before(rows[b].DTime) })
+	}
+	var out []dataset.MBARecord
+	for _, g := range gets {
+		p, ok := prof[g.UnitID]
+		if !ok {
+			// Units without profiles carry no ground truth; the
+			// paper drops them.
+			continue
+		}
+		ups := byUnit[g.UnitID]
+		// Binary search the first upload at or after the download.
+		i := sort.Search(len(ups), func(i int) bool { return !ups[i].DTime.Before(g.DTime) })
+		best := -1
+		if i < len(ups) && ups[i].DTime.Sub(g.DTime) <= window {
+			best = i
+		}
+		if i > 0 && (best == -1 || g.DTime.Sub(ups[i-1].DTime) < ups[best].DTime.Sub(g.DTime)) {
+			if g.DTime.Sub(ups[i-1].DTime) <= window {
+				best = i - 1
+			}
+		}
+		if best == -1 {
+			continue
+		}
+		out = append(out, dataset.MBARecord{
+			UnitID: g.UnitID, State: p.State, ISP: p.ISP,
+			Timestamp:    g.DTime,
+			DownloadMbps: g.Mbps(), UploadMbps: ups[best].Mbps(),
+			PlanDown: units.Mbps(p.DownloadMbps), PlanUp: units.Mbps(p.UploadMbps),
+		})
+	}
+	return out, nil
+}
+
+// Export converts this repo's synthetic MBA records into the raw release
+// format (download rows, upload rows, profiles) — useful for testing
+// pipelines that expect the FCC layout.
+func Export(recs []dataset.MBARecord) (gets, posts []ThroughputRow, profiles []UnitProfile) {
+	seen := map[int]bool{}
+	for _, r := range recs {
+		bytesSecDown := r.DownloadMbps * 1e6 / 8
+		bytesSecUp := r.UploadMbps * 1e6 / 8
+		gets = append(gets, ThroughputRow{
+			UnitID: r.UnitID, DTime: r.Timestamp, Target: "samknows1.level3.net",
+			BytesSec: bytesSecDown, BytesTotal: int64(bytesSecDown * 10),
+			Successes: 3,
+		})
+		posts = append(posts, ThroughputRow{
+			UnitID: r.UnitID, DTime: r.Timestamp.Add(30 * time.Second), Target: "samknows1.level3.net",
+			BytesSec: bytesSecUp, BytesTotal: int64(bytesSecUp * 10),
+			Successes: 3,
+		})
+		if !seen[r.UnitID] {
+			seen[r.UnitID] = true
+			profiles = append(profiles, UnitProfile{
+				UnitID: r.UnitID, ISP: r.ISP, State: r.State,
+				DownloadMbps: float64(r.PlanDown), UploadMbps: float64(r.PlanUp),
+				Technology: "Cable",
+			})
+		}
+	}
+	return gets, posts, profiles
+}

@@ -1,0 +1,179 @@
+package mbaraw
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"speedctx/internal/core"
+	"speedctx/internal/dataset"
+	"speedctx/internal/plans"
+)
+
+func TestThroughputCSVRoundTrip(t *testing.T) {
+	rows := []ThroughputRow{
+		{UnitID: 1, DTime: time.Date(2021, 3, 1, 10, 0, 0, 0, time.UTC),
+			Target: "samknows1.level3.net", BytesSec: 12500000, BytesTotal: 125000000, Successes: 3},
+		{UnitID: 2, DTime: time.Date(2021, 3, 1, 11, 0, 0, 0, time.UTC),
+			Target: "samknows2.level3.net", BytesSec: 625000, BytesTotal: 6250000, Successes: 2, Failures: 1},
+	}
+	var buf bytes.Buffer
+	if err := WriteThroughputCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadThroughputCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("rows = %d", len(back))
+	}
+	for i := range rows {
+		if !rows[i].DTime.Equal(back[i].DTime) {
+			t.Fatalf("row %d dtime", i)
+		}
+		a, b := rows[i], back[i]
+		a.DTime, b.DTime = time.Time{}, time.Time{}
+		if a != b {
+			t.Fatalf("row %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestThroughputMbps(t *testing.T) {
+	// 12.5 MB/s = 100 Mbps.
+	r := ThroughputRow{BytesSec: 12.5e6}
+	if got := r.Mbps(); math.Abs(got-100) > 1e-9 {
+		t.Errorf("Mbps = %v, want 100", got)
+	}
+}
+
+func TestReadThroughputErrors(t *testing.T) {
+	if _, err := ReadThroughputCSV(strings.NewReader("")); err == nil {
+		t.Error("empty csv should error")
+	}
+	bad := strings.Join(throughputHeader, ",") + "\n1,notatime,x,1,1,1,1\n"
+	if _, err := ReadThroughputCSV(strings.NewReader(bad)); err == nil {
+		t.Error("bad dtime should error")
+	}
+	short := strings.Join(throughputHeader, ",") + "\n1,2\n"
+	if _, err := ReadThroughputCSV(strings.NewReader(short)); err == nil {
+		t.Error("short row should error")
+	}
+}
+
+func TestExportMergeRoundTrip(t *testing.T) {
+	orig := dataset.GenerateMBA(plans.CityA(), 12, 1500, 71)
+	gets, posts, profiles := Export(orig)
+	if len(gets) != len(orig) || len(posts) != len(orig) {
+		t.Fatalf("export sizes: %d gets, %d posts for %d records", len(gets), len(posts), len(orig))
+	}
+	if len(profiles) != 12 {
+		t.Fatalf("profiles = %d", len(profiles))
+	}
+	merged, err := Merge(gets, posts, profiles, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != len(orig) {
+		t.Fatalf("merged %d of %d records", len(merged), len(orig))
+	}
+	// The merged records preserve plan ground truth and speeds.
+	for i := range merged {
+		if merged[i].PlanDown == 0 || merged[i].PlanUp == 0 {
+			t.Fatal("lost plan ground truth")
+		}
+		if math.Abs(merged[i].DownloadMbps-gets[i].Mbps()) > 1e-9 {
+			t.Fatal("download speed distorted")
+		}
+	}
+}
+
+func TestMergeWindowAndMissingProfile(t *testing.T) {
+	base := time.Date(2021, 5, 1, 8, 0, 0, 0, time.UTC)
+	gets := []ThroughputRow{
+		{UnitID: 1, DTime: base, BytesSec: 12.5e6},
+		{UnitID: 2, DTime: base, BytesSec: 12.5e6},                     // no profile
+		{UnitID: 1, DTime: base.Add(48 * time.Hour), BytesSec: 12.5e6}, // no upload in window
+	}
+	posts := []ThroughputRow{
+		{UnitID: 1, DTime: base.Add(10 * time.Minute), BytesSec: 1.25e6},
+	}
+	profiles := []UnitProfile{{UnitID: 1, ISP: "ISP-A", State: "A", DownloadMbps: 100, UploadMbps: 10}}
+	merged, err := Merge(gets, posts, profiles, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 1 {
+		t.Fatalf("merged = %d, want 1", len(merged))
+	}
+	if merged[0].UploadMbps != 10 {
+		t.Errorf("upload = %v, want 10 Mbps", merged[0].UploadMbps)
+	}
+}
+
+func TestMergePrefersNearestUpload(t *testing.T) {
+	base := time.Date(2021, 5, 1, 8, 0, 0, 0, time.UTC)
+	gets := []ThroughputRow{{UnitID: 1, DTime: base, BytesSec: 12.5e6}}
+	posts := []ThroughputRow{
+		{UnitID: 1, DTime: base.Add(-20 * time.Minute), BytesSec: 1e6},
+		{UnitID: 1, DTime: base.Add(5 * time.Minute), BytesSec: 2e6},
+	}
+	profiles := []UnitProfile{{UnitID: 1, ISP: "ISP-A", State: "A", DownloadMbps: 100, UploadMbps: 10}}
+	merged, err := Merge(gets, posts, profiles, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 1 || math.Abs(merged[0].UploadMbps-16) > 1e-9 {
+		t.Fatalf("merged = %+v, want the +5min upload (16 Mbps)", merged)
+	}
+}
+
+func TestRawPipelineFeedsBST(t *testing.T) {
+	// End to end: synthetic MBA -> raw release files -> merge -> BST.
+	cat := plans.CityA()
+	orig := dataset.GenerateMBA(cat, 15, 2500, 72)
+	gets, posts, profiles := Export(orig)
+
+	var gbuf, pbuf bytes.Buffer
+	if err := WriteThroughputCSV(&gbuf, gets); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteThroughputCSV(&pbuf, posts); err != nil {
+		t.Fatal(err)
+	}
+	gets2, err := ReadThroughputCSV(&gbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	posts2, err := ReadThroughputCSV(&pbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := Merge(gets2, posts2, profiles, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := make([]core.Sample, len(merged))
+	truth := make([]int, len(merged))
+	for i, r := range merged {
+		samples[i] = core.Sample{Download: r.DownloadMbps, Upload: r.UploadMbps}
+		truth[i] = cat.TierOfPlan(r.PlanDown, r.PlanUp)
+		if truth[i] == 0 {
+			t.Fatalf("record %d: plan %v/%v not in catalog", i, r.PlanDown, r.PlanUp)
+		}
+	}
+	res, err := core.Fit(samples, cat, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := core.Evaluate(res, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := ev.UploadAccuracy(); acc < 0.96 {
+		t.Errorf("BST on raw-format pipeline = %v, want >= 0.96", acc)
+	}
+}

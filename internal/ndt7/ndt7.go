@@ -1,0 +1,347 @@
+// Package ndt7 implements an NDT7-style speed test — the protocol M-Lab's
+// Speed Test has used since 2019 — over this repo's stdlib WebSocket
+// (internal/ws): a single WebSocket connection per direction, bulk binary
+// messages, and periodic JSON measurement records, matching the message
+// shapes of the real ndt7 spec.
+//
+// Together with internal/speedtest (the multi-connection raw-TCP harness),
+// this gives the repo working implementations of both §6.3 methodologies at
+// the protocol level: one WebSocket stream (M-Lab) versus parallel TCP
+// streams (Ookla).
+package ndt7
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"speedctx/internal/speedtest"
+	"speedctx/internal/units"
+	"speedctx/internal/ws"
+)
+
+// Paths of the two subtests, as in the ndt7 spec.
+const (
+	DownloadPath = "/ndt/v7/download"
+	UploadPath   = "/ndt/v7/upload"
+)
+
+// MaxRuntime bounds a subtest, mirroring ndt7's ~10 s + slack.
+const MaxRuntime = 15 * time.Second
+
+// AppInfo is the byte/time counter of an ndt7 measurement record.
+type AppInfo struct {
+	// ElapsedTime is microseconds since the subtest began.
+	ElapsedTime int64
+	// NumBytes is the application-level byte count so far.
+	NumBytes int64
+}
+
+// Measurement is the JSON record both sides emit every ~250 ms.
+type Measurement struct {
+	AppInfo AppInfo
+}
+
+// Rate returns the measurement's mean throughput.
+func (m Measurement) Rate() units.Mbps {
+	if m.AppInfo.ElapsedTime <= 0 {
+		return 0
+	}
+	return units.FromBytesPerSecond(float64(m.AppInfo.NumBytes) /
+		(float64(m.AppInfo.ElapsedTime) / 1e6))
+}
+
+// ServerConfig shapes the ndt7 server.
+type ServerConfig struct {
+	// Rate is the shaped byte rate per connection; <= 0 means unshaped.
+	// (NDT7 is single-connection, so per-connection shaping is the
+	// whole-path shaping.)
+	Rate float64
+	// Duration is the subtest length; 0 selects 10 s.
+	Duration time.Duration
+}
+
+func (c *ServerConfig) defaults() {
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.Duration > MaxRuntime {
+		c.Duration = MaxRuntime
+	}
+}
+
+// Server serves the two ndt7 endpoints.
+type Server struct {
+	cfg       ServerConfig
+	hs        *http.Server
+	ln        net.Listener
+	wg        sync.WaitGroup
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// NewServer listens on addr and serves ndt7 subtests.
+func NewServer(addr string, cfg ServerConfig) (*Server, error) {
+	cfg.defaults()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, ln: ln, done: make(chan struct{})}
+	mux := http.NewServeMux()
+	mux.HandleFunc(DownloadPath, s.handleDownload)
+	mux.HandleFunc(UploadPath, s.handleUpload)
+	s.hs = &http.Server{Handler: mux}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.hs.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server. It is idempotent.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.done)
+		err = s.hs.Close()
+		s.wg.Wait()
+	})
+	return err
+}
+
+func (s *Server) handleDownload(w http.ResponseWriter, r *http.Request) {
+	conn, err := ws.Upgrade(w, r)
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.Duration)
+	defer cancel()
+	var bucket *speedtest.TokenBucket
+	if s.cfg.Rate > 0 {
+		bucket = speedtest.NewTokenBucket(s.cfg.Rate, 0)
+	}
+	payload := make([]byte, 1<<16)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	start := time.Now()
+	var sent int64
+	nextMeasurement := start.Add(250 * time.Millisecond)
+	deadline := start.Add(s.cfg.Duration)
+	for time.Now().Before(deadline) {
+		select {
+		case <-s.done:
+			return
+		default:
+		}
+		if err := bucket.Take(ctx, len(payload)); err != nil {
+			break
+		}
+		conn.SetDeadline(time.Now().Add(5 * time.Second))
+		if err := conn.WriteMessage(ws.OpBinary, payload); err != nil {
+			return
+		}
+		sent += int64(len(payload))
+		if now := time.Now(); now.After(nextMeasurement) {
+			nextMeasurement = now.Add(250 * time.Millisecond)
+			m := Measurement{AppInfo: AppInfo{
+				ElapsedTime: now.Sub(start).Microseconds(),
+				NumBytes:    sent,
+			}}
+			data, _ := json.Marshal(m)
+			if err := conn.WriteMessage(ws.OpText, data); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	conn, err := ws.Upgrade(w, r)
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.Duration+5*time.Second)
+	defer cancel()
+	var bucket *speedtest.TokenBucket
+	if s.cfg.Rate > 0 {
+		bucket = speedtest.NewTokenBucket(s.cfg.Rate, 0)
+	}
+	start := time.Now()
+	var received int64
+	nextMeasurement := start.Add(250 * time.Millisecond)
+	deadline := start.Add(s.cfg.Duration + 2*time.Second)
+	for time.Now().Before(deadline) {
+		conn.SetDeadline(deadline.Add(time.Second))
+		op, msg, err := conn.ReadMessage()
+		if err != nil {
+			return
+		}
+		if op != ws.OpBinary {
+			continue
+		}
+		// Shaping on the receive side applies backpressure through
+		// the unread socket buffer, like a shaped uplink.
+		if err := bucket.Take(ctx, len(msg)); err != nil {
+			return
+		}
+		received += int64(len(msg))
+		if now := time.Now(); now.After(nextMeasurement) {
+			nextMeasurement = now.Add(250 * time.Millisecond)
+			m := Measurement{AppInfo: AppInfo{
+				ElapsedTime: now.Sub(start).Microseconds(),
+				NumBytes:    received,
+			}}
+			data, _ := json.Marshal(m)
+			if err := conn.WriteMessage(ws.OpText, data); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// Result is a completed ndt7 subtest.
+type Result struct {
+	// Throughput is the client-side mean rate over the transfer.
+	Throughput units.Mbps
+	// Bytes is the client-side byte count.
+	Bytes int64
+	// Elapsed is the transfer time.
+	Elapsed time.Duration
+	// ServerMeasurements are the JSON records the server emitted.
+	ServerMeasurements []Measurement
+}
+
+// Download runs the ndt7 download subtest against addr for the duration
+// (0 selects 10 s).
+func Download(ctx context.Context, addr string, duration time.Duration) (Result, error) {
+	if duration <= 0 {
+		duration = 10 * time.Second
+	}
+	conn, err := ws.Dial(addr, DownloadPath, 5*time.Second)
+	if err != nil {
+		return Result{}, fmt.Errorf("ndt7: dial: %w", err)
+	}
+	defer conn.Close()
+
+	start := time.Now()
+	end := start.Add(duration)
+	var res Result
+	for time.Now().Before(end) {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		conn.SetDeadline(end.Add(2 * time.Second))
+		op, msg, err := conn.ReadMessage()
+		if err != nil {
+			if errors.Is(err, ws.ErrClosed) || isTimeout(err) {
+				break
+			}
+			return res, err
+		}
+		switch op {
+		case ws.OpBinary:
+			res.Bytes += int64(len(msg))
+		case ws.OpText:
+			var m Measurement
+			if json.Unmarshal(msg, &m) == nil {
+				res.ServerMeasurements = append(res.ServerMeasurements, m)
+			}
+		}
+	}
+	res.Elapsed = time.Since(start)
+	if res.Elapsed > 0 {
+		res.Throughput = units.FromBytesPerSecond(float64(res.Bytes) / res.Elapsed.Seconds())
+	}
+	return res, nil
+}
+
+// Upload runs the ndt7 upload subtest. The reported throughput is the
+// server's final measurement (the receiver-side count, as the ndt7 spec
+// prefers), falling back to the client-side rate.
+func Upload(ctx context.Context, addr string, duration time.Duration) (Result, error) {
+	if duration <= 0 {
+		duration = 10 * time.Second
+	}
+	conn, err := ws.Dial(addr, UploadPath, 5*time.Second)
+	if err != nil {
+		return Result{}, fmt.Errorf("ndt7: dial: %w", err)
+	}
+	defer conn.Close()
+
+	payload := make([]byte, 1<<16)
+	start := time.Now()
+	end := start.Add(duration)
+	var res Result
+
+	// Reader goroutine collects the server's measurement records.
+	type measurementList struct {
+		sync.Mutex
+		ms []Measurement
+	}
+	var got measurementList
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			op, msg, err := conn.ReadMessage()
+			if err != nil {
+				return
+			}
+			if op != ws.OpText {
+				continue
+			}
+			var m Measurement
+			if json.Unmarshal(msg, &m) == nil {
+				got.Lock()
+				got.ms = append(got.ms, m)
+				got.Unlock()
+			}
+		}
+	}()
+
+	for time.Now().Before(end) {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		conn.SetDeadline(end.Add(2 * time.Second))
+		if err := conn.WriteMessage(ws.OpBinary, payload); err != nil {
+			break
+		}
+		res.Bytes += int64(len(payload))
+	}
+	res.Elapsed = time.Since(start)
+	conn.Close()
+	<-readerDone
+
+	got.Lock()
+	res.ServerMeasurements = append(res.ServerMeasurements, got.ms...)
+	got.Unlock()
+	if n := len(res.ServerMeasurements); n > 0 {
+		res.Throughput = res.ServerMeasurements[n-1].Rate()
+	} else if res.Elapsed > 0 {
+		res.Throughput = units.FromBytesPerSecond(float64(res.Bytes) / res.Elapsed.Seconds())
+	}
+	return res, nil
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout() ||
+		strings.Contains(err.Error(), "i/o timeout")
+}

@@ -1,0 +1,152 @@
+package ndt7
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"speedctx/internal/speedtest"
+)
+
+func newServer(t *testing.T, cfg ServerConfig) *Server {
+	t.Helper()
+	s, err := NewServer("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestDownloadShaped(t *testing.T) {
+	// 5 MB/s => 40 Mbps.
+	s := newServer(t, ServerConfig{Rate: 5e6, Duration: 1500 * time.Millisecond})
+	res, err := Download(context.Background(), s.Addr(), 1500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(res.Throughput)
+	if got < 25 || got > 50 {
+		t.Errorf("shaped ndt7 download = %v Mbps, want ~40", got)
+	}
+	if len(res.ServerMeasurements) < 3 {
+		t.Errorf("server measurements = %d, want >= 3 over 1.5 s", len(res.ServerMeasurements))
+	}
+	// Measurements are monotone in both time and bytes.
+	for i := 1; i < len(res.ServerMeasurements); i++ {
+		a, b := res.ServerMeasurements[i-1].AppInfo, res.ServerMeasurements[i].AppInfo
+		if b.ElapsedTime <= a.ElapsedTime || b.NumBytes < a.NumBytes {
+			t.Fatalf("measurements not monotone: %+v then %+v", a, b)
+		}
+	}
+	// The server's view and the client's view agree within slack.
+	last := res.ServerMeasurements[len(res.ServerMeasurements)-1]
+	rate := float64(last.Rate())
+	if rate < got*0.5 || rate > got*2 {
+		t.Errorf("server rate %v vs client rate %v diverge", rate, got)
+	}
+}
+
+func TestUploadShaped(t *testing.T) {
+	s := newServer(t, ServerConfig{Rate: 4e6, Duration: 1500 * time.Millisecond})
+	res, err := Upload(context.Background(), s.Addr(), 1200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ServerMeasurements) == 0 {
+		t.Fatal("no server measurements for upload")
+	}
+	got := float64(res.Throughput)
+	// Receiver-side rate should be near the 32 Mbps shape.
+	if got < 15 || got > 45 {
+		t.Errorf("shaped ndt7 upload = %v Mbps, want ~32", got)
+	}
+}
+
+func TestMeasurementRate(t *testing.T) {
+	m := Measurement{AppInfo: AppInfo{ElapsedTime: 1_000_000, NumBytes: 1_250_000}}
+	if got := float64(m.Rate()); got != 10 {
+		t.Errorf("Rate = %v, want 10 Mbps", got)
+	}
+	if (Measurement{}).Rate() != 0 {
+		t.Error("zero measurement should have zero rate")
+	}
+}
+
+func TestNDT7VsMultiConnectionGap(t *testing.T) {
+	// The protocol-level §6.3 comparison: an ndt7 single WebSocket
+	// stream against the multi-connection raw-TCP harness over the same
+	// per-flow ceiling. Both servers shape each connection to 2 MB/s;
+	// the multi-connection client opens 4.
+	ndtSrv := newServer(t, ServerConfig{Rate: 2e6, Duration: 2 * time.Second})
+	ooklaSrv, err := speedtest.NewServer("127.0.0.1:0", speedtest.ServerConfig{
+		TotalRate:   8e6,
+		PerConnRate: 2e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ooklaSrv.Close()
+
+	ndt, err := Download(context.Background(), ndtSrv.Addr(), 1200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := speedtest.Download(context.Background(), ooklaSrv.Addr(), speedtest.ClientSpec{
+		Connections: 4, Duration: 1200 * time.Millisecond, WarmupDiscard: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(multi.Throughput) / float64(ndt.Throughput)
+	if ratio < 2 {
+		t.Errorf("multi (%v) / ndt7 (%v) = %v, want >= 2", multi.Throughput, ndt.Throughput, ratio)
+	}
+}
+
+func TestServerClose(t *testing.T) {
+	s := newServer(t, ServerConfig{Rate: 1e6, Duration: 10 * time.Second})
+	done := make(chan error, 1)
+	go func() {
+		_, err := Download(context.Background(), s.Addr(), 8*time.Second)
+		done <- err
+	}()
+	time.Sleep(300 * time.Millisecond)
+	s.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("client hung after server close")
+	}
+}
+
+func TestDownloadContextCancel(t *testing.T) {
+	s := newServer(t, ServerConfig{Rate: 1e6, Duration: 10 * time.Second})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(200 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := Download(ctx, s.Addr(), 8*time.Second); err == nil {
+		t.Error("cancelled download should error")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := ServerConfig{}
+	cfg.defaults()
+	if cfg.Duration != 10*time.Second {
+		t.Errorf("default duration = %v", cfg.Duration)
+	}
+	cfg = ServerConfig{Duration: time.Hour}
+	cfg.defaults()
+	if cfg.Duration != MaxRuntime {
+		t.Errorf("duration cap = %v", cfg.Duration)
+	}
+}
+
+func TestDialUnreachable(t *testing.T) {
+	if _, err := Download(context.Background(), "127.0.0.1:1", time.Second); err == nil {
+		t.Error("unreachable server should error")
+	}
+}

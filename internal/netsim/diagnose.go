@@ -1,0 +1,119 @@
+package netsim
+
+import (
+	"time"
+
+	"speedctx/internal/tcpmodel"
+	"speedctx/internal/units"
+)
+
+// Bottleneck names the constraint that binds a scenario's download
+// throughput — the §6 diagnosis ("is it the access network, the home
+// network, the device, or the test?") made explicit.
+type Bottleneck int
+
+const (
+	// BottleneckAccess: the provisioned access link is the ceiling; a
+	// shortfall against the plan here is provider-attributable.
+	BottleneckAccess Bottleneck = iota
+	// BottleneckWiFi: the home wireless hop caps throughput below the
+	// access link.
+	BottleneckWiFi
+	// BottleneckDevice: the endpoint's receive-window/CPU budget caps
+	// throughput below both links.
+	BottleneckDevice
+	// BottleneckMethodology: the links and device could carry more, but
+	// the test methodology (single loss-bound TCP connection) cannot
+	// extract it.
+	BottleneckMethodology
+)
+
+var bottleneckNames = map[Bottleneck]string{
+	BottleneckAccess:      "access-link",
+	BottleneckWiFi:        "home-wifi",
+	BottleneckDevice:      "device",
+	BottleneckMethodology: "methodology",
+}
+
+func (b Bottleneck) String() string { return bottleneckNames[b] }
+
+// Diagnosis reports the candidate download ceilings of a scenario and
+// which one binds. Ceilings are deterministic expectations (no per-test
+// noise), so the diagnosis is stable for a given scenario.
+type Diagnosis struct {
+	Bottleneck Bottleneck
+	// AccessCap is the provisioned access-link ceiling (time-of-day
+	// adjusted).
+	AccessCap units.Mbps
+	// HomeCap is the home hop's ceiling (Ethernet or the WiFi link's
+	// effective throughput).
+	HomeCap units.Mbps
+	// DeviceCap is the endpoint ceiling: aggregate receive window over
+	// the path RTT, scaled by the platform's typical CPU headroom.
+	DeviceCap units.Mbps
+	// MethodologyCap is the expected ceiling of the vendor's TCP
+	// methodology on this path (loss-limited Mathis rate times the
+	// connection count, unbounded for multi-connection tests that
+	// saturate).
+	MethodologyCap units.Mbps
+}
+
+// Diagnose computes the scenario's binding constraint. The smallest
+// ceiling wins; ties prefer the earlier (more upstream) stage.
+func Diagnose(sc Scenario) Diagnosis {
+	d := Diagnosis{
+		AccessCap: units.Mbps(float64(sc.Access.DownCapacity) * TimeOfDayFactor(sc.Hour)),
+		HomeCap:   sc.Home.Throughput(),
+	}
+
+	rtt := sc.Access.RTT
+	if rtt <= 0 {
+		rtt = 20 * time.Millisecond
+	}
+	if !sc.Home.Ethernet {
+		rtt += 3 * time.Millisecond
+	}
+	spec := sc.Vendor.Spec()
+	// Aggregate receive window over RTT, degraded by the platform's
+	// typical CPU headroom (the deterministic center of CPUScale).
+	window := tcpmodel.WindowLimit(sc.Device.RcvWindow(), rtt)
+	d.DeviceCap = units.Mbps(float64(window) * typicalCPUScale(sc))
+
+	// Methodology ceiling: per-connection Mathis rate times connections.
+	loss := sc.Access.LossRate
+	if loss > 0 {
+		perConn := tcpmodel.MathisThroughput(tcpmodel.DefaultMSS, rtt, loss)
+		d.MethodologyCap = units.Mbps(float64(perConn) * float64(spec.Connections))
+	} else {
+		d.MethodologyCap = units.Mbps(1e12)
+	}
+
+	d.Bottleneck = BottleneckAccess
+	minCap := d.AccessCap
+	if d.HomeCap < minCap {
+		d.Bottleneck, minCap = BottleneckWiFi, d.HomeCap
+	}
+	if d.DeviceCap < minCap {
+		d.Bottleneck, minCap = BottleneckDevice, d.DeviceCap
+	}
+	if d.MethodologyCap < minCap {
+		d.Bottleneck = BottleneckMethodology
+	}
+	return d
+}
+
+// typicalCPUScale is the deterministic center of the device's CPU penalty
+// (see device.CPUScale).
+func typicalCPUScale(sc Scenario) float64 {
+	switch {
+	case sc.Device.Platform.Native() && !sc.Device.Platform.Wired():
+		if sc.Device.KernelMemMB > 0 && sc.Device.KernelMemMB < 2048 {
+			return 0.22
+		}
+		return 0.95
+	case sc.Device.Platform.Wired():
+		return 0.98
+	default:
+		return 0.88
+	}
+}

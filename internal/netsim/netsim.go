@@ -1,0 +1,220 @@
+// Package netsim composes the substrates into an end-to-end speed-test
+// simulator: a subscriber's plan is provisioned onto a DOCSIS-style access
+// link, the client reaches the router over Ethernet or a WiFi link, the
+// device contributes receive-window and CPU constraints, and the vendor's
+// methodology (multi-connection Ookla vs single-connection NDT) runs over
+// the composed path via the tcpmodel simulator.
+//
+// Every factor the paper contextualizes on (§6) is an explicit, separately
+// controllable input here, which is what makes the reproduction's figures
+// mechanistic instead of curve-fit.
+package netsim
+
+import (
+	"time"
+
+	"speedctx/internal/device"
+	"speedctx/internal/plans"
+	"speedctx/internal/stats"
+	"speedctx/internal/tcpmodel"
+	"speedctx/internal/units"
+	"speedctx/internal/wifi"
+)
+
+// Vendor is the speed-test methodology in use.
+type Vendor int
+
+const (
+	// VendorOokla runs multiple parallel TCP connections and discards
+	// the ramp-up from its average.
+	VendorOokla Vendor = iota
+	// VendorNDT runs M-Lab's single-connection 10-second test whose
+	// average includes slow start.
+	VendorNDT
+)
+
+func (v Vendor) String() string {
+	if v == VendorOokla {
+		return "Ookla"
+	}
+	return "M-Lab NDT"
+}
+
+// Spec returns the vendor's tcpmodel test specification.
+func (v Vendor) Spec() tcpmodel.TestSpec {
+	if v == VendorOokla {
+		return tcpmodel.OoklaSpec()
+	}
+	return tcpmodel.NDTSpec()
+}
+
+// AccessLink is the provisioned cable/fiber access connection of a
+// household. ISPs overprovision advertised rates by ~10-15% (the paper's
+// MBA stage-2 means exceed the advertised speeds for mid tiers), and a small
+// fraction of households see degraded service.
+type AccessLink struct {
+	DownCapacity units.Mbps
+	UpCapacity   units.Mbps
+	// RTT is the round-trip time from home to the (nearby) test server.
+	RTT time.Duration
+	// LossRate is the random per-packet loss on the path.
+	LossRate float64
+}
+
+// AccessModel draws access links for a plan.
+type AccessModel struct {
+	// OverprovisionMean is the mean multiplier on advertised rates.
+	OverprovisionMean float64
+	// DegradedProb is the probability a household's access is degraded
+	// (modem faults, plant noise, oversubscription, throttling).
+	DegradedProb float64
+}
+
+// DefaultAccessModel returns the calibration used by the dataset
+// generators.
+func DefaultAccessModel() AccessModel {
+	return AccessModel{OverprovisionMean: 1.14, DegradedProb: 0.06}
+}
+
+// Provision draws the household's access link for the given plan.
+func (m AccessModel) Provision(plan plans.Plan, rng *stats.RNG) AccessLink {
+	over := rng.TruncNormal(m.OverprovisionMean, 0.04, 1.0, 1.3)
+	down := float64(plan.Download) * over
+	up := float64(plan.Upload) * rng.TruncNormal(m.OverprovisionMean+0.02, 0.04, 1.0, 1.35)
+	if rng.Bool(m.DegradedProb) {
+		// Degraded households deliver 40-90% of the advertised rate.
+		down = float64(plan.Download) * rng.Uniform(0.4, 0.9)
+	}
+	return AccessLink{
+		DownCapacity: units.Mbps(down),
+		UpCapacity:   units.Mbps(up),
+		RTT:          time.Duration(rng.TruncNormal(22, 7, 8, 60)) * time.Millisecond,
+		LossRate:     rng.LogNormal(-11.0, 1.0), // median ~1.7e-5
+	}
+}
+
+// HomeLink is the hop between the client and the home router.
+type HomeLink struct {
+	// Ethernet marks a wired client; WiFi is ignored then.
+	Ethernet bool
+	WiFi     wifi.Link
+}
+
+// Throughput returns the home hop's effective capacity. Gigabit Ethernet in
+// practice delivers ~940 Mbps of TCP goodput; WiFi delegates to the link
+// model.
+func (h HomeLink) Throughput() units.Mbps {
+	if h.Ethernet {
+		return 940
+	}
+	return h.WiFi.Throughput()
+}
+
+// TimeOfDayFactor returns the capacity multiplier for the local hour. The
+// paper finds time of day has only a marginal effect (§6.2); the model
+// applies a small peak-hour dip (evening busy hours lose a few percent).
+func TimeOfDayFactor(hour int) float64 {
+	switch {
+	case hour >= 0 && hour < 6:
+		return 1.0
+	case hour < 12:
+		return 0.985
+	case hour < 18:
+		return 0.975
+	default:
+		return 0.97
+	}
+}
+
+// Scenario fully describes one speed-test execution.
+type Scenario struct {
+	Plan   plans.Plan
+	Access AccessLink
+	Home   HomeLink
+	Device device.Device
+	Vendor Vendor
+	// Hour is the local hour of day (0-23).
+	Hour int
+}
+
+// Measurement is the simulated test outcome.
+type Measurement struct {
+	Download units.Mbps
+	Upload   units.Mbps
+	// RTTMillis is the path RTT the test observed.
+	RTTMillis float64
+	// DownBottleneck is the composed pre-TCP download capacity, kept for
+	// diagnosis in tests and ablations.
+	DownBottleneck units.Mbps
+}
+
+// Run executes the scenario: it composes the bottleneck, runs the vendor's
+// TCP methodology for download and upload, and applies the device's CPU
+// scale. Deterministic per rng seed.
+func Run(sc Scenario, rng *stats.RNG) Measurement {
+	tod := TimeOfDayFactor(sc.Hour)
+	homeCap := sc.Home.Throughput()
+
+	downCap := units.Mbps(float64(sc.Access.DownCapacity) * tod)
+	if homeCap < downCap {
+		downCap = homeCap
+	}
+	// WiFi adds latency and loss on top of the access path.
+	rtt := sc.Access.RTT
+	loss := sc.Access.LossRate
+	if !sc.Home.Ethernet {
+		rtt += time.Duration(rng.TruncNormal(3, 1.5, 1, 10)) * time.Millisecond
+		loss += rng.LogNormal(-10.4, 0.8) * sc.Home.WiFi.Contention
+	}
+
+	cpu := sc.Device.CPUScale(rng)
+	spec := sc.Vendor.Spec()
+	// The device's receive-buffer budget is an aggregate across the
+	// test's parallel connections: kernel memory bounds the total socket
+	// buffer pool, so each connection gets an equal share.
+	perConnWindow := sc.Device.RcvWindow() / units.Bytes(spec.Connections)
+
+	downPath := tcpmodel.Path{
+		Capacity:  downCap,
+		RTT:       rtt,
+		LossRate:  loss,
+		RcvWindow: perConnWindow,
+	}
+	down := tcpmodel.Simulate(downPath, spec, rng)
+	// NDT's browser client (single socket, JS read loop) sheds a further
+	// slice of download goodput at the receiver; Ookla's native engines
+	// do not. Upload is sender-paced and unaffected. This is the client-
+	// side half of the §6.3 vendor gap (Clark & Wedeman 2021).
+	clientScale := 1.0
+	if sc.Vendor == VendorNDT {
+		clientScale = rng.TruncNormal(0.87, 0.05, 0.6, 1)
+	}
+
+	upCap := units.Mbps(float64(sc.Access.UpCapacity) * tod)
+	// The home hop is rarely the upload bottleneck (uploads are slow),
+	// but a dying WiFi link still binds.
+	if homeCap < upCap {
+		upCap = homeCap
+	}
+	upPath := tcpmodel.Path{
+		Capacity:  upCap,
+		RTT:       rtt,
+		LossRate:  loss,
+		RcvWindow: perConnWindow,
+	}
+	up := tcpmodel.Simulate(upPath, spec, rng)
+
+	// Uploads run at a tiny fraction of download rates and are not
+	// CPU-bound even on weak devices (the CPU penalty is receive-side
+	// packet processing); only a residual penalty applies.
+	upCPU := cpu
+	if upCPU < 0.9 {
+		upCPU = 0.9
+	}
+	return Measurement{
+		Download:       units.Mbps(float64(down.Goodput) * cpu * clientScale),
+		Upload:         units.Mbps(float64(up.Goodput) * upCPU),
+		RTTMillis:      float64(rtt) / float64(time.Millisecond),
+		DownBottleneck: downCap,
+	}
+}

@@ -1,0 +1,211 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"speedctx/internal/device"
+	"speedctx/internal/plans"
+	"speedctx/internal/stats"
+	"speedctx/internal/units"
+	"speedctx/internal/wifi"
+)
+
+func planA(t *testing.T, tier int) plans.Plan {
+	t.Helper()
+	p, ok := plans.CityA().PlanByTier(tier)
+	if !ok {
+		t.Fatalf("no tier %d", tier)
+	}
+	return p
+}
+
+func TestProvisionOverprovisions(t *testing.T) {
+	m := AccessModel{OverprovisionMean: 1.14} // no degradation
+	rng := stats.NewRNG(1)
+	plan := planA(t, 2) // 100/5
+	over := 0
+	n := 2000
+	for i := 0; i < n; i++ {
+		a := m.Provision(plan, rng)
+		if a.DownCapacity >= plan.Download {
+			over++
+		}
+		if a.UpCapacity < plan.Upload {
+			t.Fatalf("upload under-provisioned: %v", a.UpCapacity)
+		}
+		if a.RTT < 8*time.Millisecond || a.RTT > 60*time.Millisecond {
+			t.Fatalf("RTT out of range: %v", a.RTT)
+		}
+		if a.LossRate <= 0 {
+			t.Fatalf("loss rate = %v", a.LossRate)
+		}
+	}
+	if over != n {
+		t.Errorf("only %d/%d links at or above advertised", over, n)
+	}
+}
+
+func TestProvisionDegraded(t *testing.T) {
+	m := AccessModel{OverprovisionMean: 1.14, DegradedProb: 1}
+	rng := stats.NewRNG(2)
+	plan := planA(t, 4) // 400/10
+	for i := 0; i < 500; i++ {
+		a := m.Provision(plan, rng)
+		if a.DownCapacity >= plan.Download {
+			t.Fatalf("degraded link at %v >= advertised %v", a.DownCapacity, plan.Download)
+		}
+		if float64(a.DownCapacity) < 0.4*float64(plan.Download) {
+			t.Fatalf("degraded link below 40%%: %v", a.DownCapacity)
+		}
+	}
+}
+
+func TestHomeLinkThroughput(t *testing.T) {
+	eth := HomeLink{Ethernet: true}
+	if eth.Throughput() != 940 {
+		t.Errorf("Ethernet throughput = %v", eth.Throughput())
+	}
+	link := wifi.Link{Band: wifi.Band5GHz, RSSI: -45}
+	wl := HomeLink{WiFi: link}
+	if wl.Throughput() != link.Throughput() {
+		t.Error("WiFi throughput should delegate to the link")
+	}
+}
+
+func TestTimeOfDayFactorShape(t *testing.T) {
+	// Night >= morning >= afternoon >= evening; all within a few percent
+	// (the paper's "minimal impact" finding).
+	f0, f6, f12, f18 := TimeOfDayFactor(3), TimeOfDayFactor(9), TimeOfDayFactor(15), TimeOfDayFactor(21)
+	if !(f0 >= f6 && f6 >= f12 && f12 >= f18) {
+		t.Errorf("TOD ordering broken: %v %v %v %v", f0, f6, f12, f18)
+	}
+	if f18 < 0.95 {
+		t.Errorf("evening dip too large: %v", f18)
+	}
+}
+
+func baseScenario(t *testing.T, tier int) Scenario {
+	return Scenario{
+		Plan: planA(t, tier),
+		Access: AccessLink{
+			DownCapacity: planA(t, tier).Download,
+			UpCapacity:   planA(t, tier).Upload,
+			RTT:          20 * time.Millisecond,
+			LossRate:     1e-5,
+		},
+		Home:   HomeLink{Ethernet: true},
+		Device: device.Device{Platform: device.DesktopEthernet},
+		Vendor: VendorOokla,
+		Hour:   10,
+	}
+}
+
+func TestRunEthernetNearPlan(t *testing.T) {
+	sc := baseScenario(t, 2) // 100/5 plan
+	m := Run(sc, stats.NewRNG(3))
+	if float64(m.Download) < 85 || float64(m.Download) > 105 {
+		t.Errorf("Ethernet download on 100 Mbps plan = %v", m.Download)
+	}
+	if float64(m.Upload) < 4 || float64(m.Upload) > 5.5 {
+		t.Errorf("upload on 5 Mbps plan = %v", m.Upload)
+	}
+}
+
+func TestRunWiFiSlowerThanEthernet(t *testing.T) {
+	scEth := baseScenario(t, 6) // 1200/35
+	scEth.Access.DownCapacity, scEth.Access.UpCapacity = 1200, 35
+	scWiFi := scEth
+	scWiFi.Home = HomeLink{WiFi: wifi.Link{Band: wifi.Band24GHz, RSSI: -60, Contention: 0.4}}
+	scWiFi.Device = device.Device{Platform: device.Android, KernelMemMB: 8192}
+
+	eth := Run(scEth, stats.NewRNG(4))
+	wf := Run(scWiFi, stats.NewRNG(4))
+	if wf.Download >= eth.Download {
+		t.Errorf("2.4 GHz WiFi (%v) should lag Ethernet (%v)", wf.Download, eth.Download)
+	}
+	if float64(wf.Download) > 130*0.65 {
+		t.Errorf("2.4 GHz download %v exceeds the band's ceiling", wf.Download)
+	}
+}
+
+func TestRunNDTLagsOokla(t *testing.T) {
+	sc := baseScenario(t, 5) // 800/15
+	sc.Access.DownCapacity, sc.Access.UpCapacity = 800, 15
+	sc.Access.LossRate = 3e-5
+	ookla := Run(sc, stats.NewRNG(5))
+	sc.Vendor = VendorNDT
+	ndt := Run(sc, stats.NewRNG(5))
+	if ndt.Download >= ookla.Download {
+		t.Errorf("NDT (%v) should lag Ookla (%v) at 800 Mbps", ndt.Download, ookla.Download)
+	}
+}
+
+func TestRunUploadMoreConsistentThanDownload(t *testing.T) {
+	// Repeat the same WiFi subscriber's test many times; upload speeds
+	// must have a higher consistency factor — the paper's §4.1 core
+	// observation that makes BST possible.
+	sc := baseScenario(t, 6)
+	sc.Access.DownCapacity, sc.Access.UpCapacity = 1300, 38
+	sc.Device = device.Device{Platform: device.IOS, KernelMemMB: 4096}
+	rng := stats.NewRNG(6)
+	lm := wifi.DefaultLinkModel()
+	var downs, ups []float64
+	for i := 0; i < 60; i++ {
+		sc.Home = HomeLink{WiFi: lm.Sample(rng)}
+		m := Run(sc, rng)
+		downs = append(downs, float64(m.Download))
+		ups = append(ups, float64(m.Upload))
+	}
+	cfDown := stats.ConsistencyFactor(downs)
+	cfUp := stats.ConsistencyFactor(ups)
+	if cfUp <= cfDown {
+		t.Errorf("upload consistency %v should exceed download consistency %v", cfUp, cfDown)
+	}
+	if cfUp < 0.7 {
+		t.Errorf("upload consistency %v too low", cfUp)
+	}
+}
+
+func TestRunLowMemoryCapsDownload(t *testing.T) {
+	sc := baseScenario(t, 6)
+	sc.Access.DownCapacity = 1300
+	sc.Home = HomeLink{WiFi: wifi.Link{Band: wifi.Band5GHz, RSSI: -40, Contention: 0.05}}
+	sc.Device = device.Device{Platform: device.Android, KernelMemMB: 8192}
+	rich := Run(sc, stats.NewRNG(7))
+	sc.Device = device.Device{Platform: device.Android, KernelMemMB: 1024}
+	poor := Run(sc, stats.NewRNG(7))
+	if float64(poor.Download) > 0.7*float64(rich.Download) {
+		t.Errorf("low-memory download %v not clearly below high-memory %v", poor.Download, rich.Download)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	sc := baseScenario(t, 3)
+	a := Run(sc, stats.NewRNG(8))
+	b := Run(sc, stats.NewRNG(8))
+	if a != b {
+		t.Error("Run not deterministic")
+	}
+}
+
+func TestVendorStringsAndSpecs(t *testing.T) {
+	if VendorOokla.String() != "Ookla" || VendorNDT.String() != "M-Lab NDT" {
+		t.Error("vendor strings")
+	}
+	if VendorOokla.Spec().Connections <= VendorNDT.Spec().Connections {
+		t.Error("vendor specs")
+	}
+}
+
+func TestMeasurementBottleneckReported(t *testing.T) {
+	sc := baseScenario(t, 1)
+	sc.Access.DownCapacity = 25
+	m := Run(sc, stats.NewRNG(9))
+	if m.DownBottleneck != units.Mbps(25*TimeOfDayFactor(sc.Hour)) {
+		t.Errorf("DownBottleneck = %v", m.DownBottleneck)
+	}
+	if m.RTTMillis < 19 || m.RTTMillis > 21 {
+		t.Errorf("Ethernet RTT = %v ms", m.RTTMillis)
+	}
+}

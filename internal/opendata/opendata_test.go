@@ -1,0 +1,171 @@
+package opendata
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"speedctx/internal/dataset"
+	"speedctx/internal/geo"
+	"speedctx/internal/plans"
+)
+
+func TestQuadkeyKnownValues(t *testing.T) {
+	// Bing tile system documentation examples (zoom 3).
+	cases := []struct {
+		x, y int
+		want string
+	}{
+		{0, 0, "000"}, {1, 0, "001"}, {0, 1, "002"}, {1, 1, "003"},
+		{7, 7, "333"}, {3, 5, "213"},
+	}
+	for _, c := range cases {
+		if got := TileToQuadkey(c.x, c.y, 3); got != c.want {
+			t.Errorf("TileToQuadkey(%d,%d,3) = %q, want %q", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestQuadkeyRoundTrip(t *testing.T) {
+	f := func(xr, yr uint16) bool {
+		x, y := int(xr)%65536, int(yr)%65536
+		qk := TileToQuadkey(x, y, TileZoom)
+		if len(qk) != TileZoom {
+			return false
+		}
+		gx, gy, zoom, err := QuadkeyToTile(qk)
+		return err == nil && gx == x && gy == y && zoom == TileZoom
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuadkeyInvalid(t *testing.T) {
+	if _, _, _, err := QuadkeyToTile("01x2"); err == nil {
+		t.Error("invalid digit should error")
+	}
+}
+
+func TestLatLonToTileSeattle(t *testing.T) {
+	// Bing docs: (47.61, -122.33) at zoom 3 -> tile (1, 2), quadkey 021.
+	x, y := LatLonToTile(47.61, -122.33, 3)
+	if x != 1 || y != 2 {
+		t.Errorf("tile = (%d, %d), want (1, 2)", x, y)
+	}
+	if qk := TileToQuadkey(x, y, 3); qk != "021" {
+		t.Errorf("quadkey = %q, want 021", qk)
+	}
+}
+
+func TestLatLonClamping(t *testing.T) {
+	// Poles and antimeridian must stay in range.
+	for _, c := range [][2]float64{{90, 0}, {-90, 0}, {0, 180}, {0, -180}, {91, 999}} {
+		x, y := LatLonToTile(c[0], c[1], TileZoom)
+		max := 1<<TileZoom - 1
+		if x < 0 || x > max || y < 0 || y > max {
+			t.Errorf("tile out of range for %v: (%d, %d)", c, x, y)
+		}
+	}
+}
+
+func TestTileBoundsContainPoint(t *testing.T) {
+	lat, lon := 34.42, -119.70
+	x, y := LatLonToTile(lat, lon, TileZoom)
+	minLat, minLon, maxLat, maxLon := TileBounds(x, y, TileZoom)
+	if !(minLat <= lat && lat <= maxLat && minLon <= lon && lon <= maxLon) {
+		t.Errorf("point (%v,%v) outside its tile bounds [%v..%v, %v..%v]",
+			lat, lon, minLat, maxLat, minLon, maxLon)
+	}
+	// Zoom-16 tiles are small: well under 0.01 degrees.
+	if maxLat-minLat > 0.01 || maxLon-minLon > 0.01 {
+		t.Errorf("tile too large: %v x %v degrees", maxLat-minLat, maxLon-minLon)
+	}
+}
+
+func TestAggregateAndRoundTrip(t *testing.T) {
+	recs := dataset.GenerateOokla(plans.CityA(), 3000, 61)
+	center := geo.LatLon{Lat: 34.42, Lon: -119.70}
+	tiles := Aggregate(recs, center, 5)
+	if len(tiles) < 50 {
+		t.Fatalf("only %d tiles; users not spread", len(tiles))
+	}
+	totalTests := 0
+	for _, tl := range tiles {
+		totalTests += tl.Tests
+		if tl.Devices < 1 || tl.Devices > tl.Tests {
+			t.Fatalf("tile %s devices %d vs tests %d", tl.Quadkey, tl.Devices, tl.Tests)
+		}
+		if tl.AvgDKbps <= 0 || tl.AvgUKbps <= 0 {
+			t.Fatalf("tile %s has non-positive speeds", tl.Quadkey)
+		}
+		if len(tl.Quadkey) != TileZoom {
+			t.Fatalf("tile key %q wrong length", tl.Quadkey)
+		}
+	}
+	if totalTests != len(recs) {
+		t.Errorf("tile tests sum to %d, want %d", totalTests, len(recs))
+	}
+	// Sorted by quadkey.
+	for i := 1; i < len(tiles); i++ {
+		if tiles[i].Quadkey < tiles[i-1].Quadkey {
+			t.Fatal("tiles not sorted")
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteTilesCSV(&buf, tiles); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTilesCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(tiles) {
+		t.Fatalf("round trip %d != %d", len(back), len(tiles))
+	}
+	for i := range tiles {
+		if tiles[i] != back[i] {
+			t.Fatalf("tile %d mismatch: %+v vs %+v", i, tiles[i], back[i])
+		}
+	}
+}
+
+func TestAggregateDeterminism(t *testing.T) {
+	recs := dataset.GenerateOokla(plans.CityB(), 500, 62)
+	center := geo.LatLon{Lat: 40, Lon: -100}
+	a := Aggregate(recs, center, 9)
+	b := Aggregate(recs, center, 9)
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic tile count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic tiles")
+		}
+	}
+}
+
+func TestReadTilesErrors(t *testing.T) {
+	if _, err := ReadTilesCSV(strings.NewReader("")); err == nil {
+		t.Error("empty csv should error")
+	}
+	bad := strings.Join(tileHeader, ",") + "\nzzz,1,2,3,4,5\n"
+	if _, err := ReadTilesCSV(strings.NewReader(bad)); err == nil {
+		t.Error("bad quadkey should error")
+	}
+	short := strings.Join(tileHeader, ",") + "\n0123,1\n"
+	if _, err := ReadTilesCSV(strings.NewReader(short)); err == nil {
+		t.Error("short row should error")
+	}
+}
+
+func TestTileSamples(t *testing.T) {
+	tiles := []Tile{{AvgDKbps: 115000, AvgUKbps: 12000}}
+	s := TileSamples(tiles)
+	if math.Abs(s[0].Download-115) > 1e-9 || math.Abs(s[0].Upload-12) > 1e-9 {
+		t.Errorf("samples = %+v", s)
+	}
+}

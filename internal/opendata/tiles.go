@@ -1,0 +1,168 @@
+package opendata
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"speedctx/internal/dataset"
+	"speedctx/internal/geo"
+	"speedctx/internal/stats"
+)
+
+// Tile is one row of the Ookla open-data schema: per-quadkey aggregates in
+// kbps, matching the public release's columns.
+type Tile struct {
+	Quadkey  string
+	AvgDKbps int
+	AvgUKbps int
+	// AvgLatMs is the average latency.
+	AvgLatMs int
+	// Tests and Devices are the aggregate counts.
+	Tests   int
+	Devices int
+}
+
+// Aggregate folds per-test Ookla records into open-data tiles. Since
+// synthetic records carry no coordinates, each user is assigned a stable
+// pseudo-location inside the city's bounding box (seeded by city), so a
+// user's tests land in one tile — matching how the real release counts
+// devices.
+func Aggregate(recs []dataset.OoklaRecord, cityCenter geo.LatLon, seed int64) []Tile {
+	tiles, _ := AggregateWithMajority(recs, cityCenter, seed)
+	return tiles
+}
+
+// AggregateWithMajority additionally returns, for each tile (aligned with
+// the tile slice), the majority ground-truth tier of the tests that landed
+// in it — available only for synthetic records and used by the
+// aggregation-loss experiment. Ties break toward the lower tier.
+func AggregateWithMajority(recs []dataset.OoklaRecord, cityCenter geo.LatLon, seed int64) ([]Tile, []int) {
+	type acc struct {
+		dSum, uSum, latSum float64
+		tests              int
+		devices            map[int]bool
+		tierCounts         map[int]int
+	}
+	rng := stats.NewRNG(seed)
+	userLoc := map[int]geo.LatLon{}
+	tiles := map[string]*acc{}
+	for _, r := range recs {
+		loc, ok := userLoc[r.UserID]
+		if !ok {
+			// Spread users over ~a city-sized area (0.2 degrees).
+			loc = geo.LatLon{
+				Lat: cityCenter.Lat + rng.Uniform(-0.1, 0.1),
+				Lon: cityCenter.Lon + rng.Uniform(-0.1, 0.1),
+			}
+			userLoc[r.UserID] = loc
+		}
+		qk := Quadkey(loc.Lat, loc.Lon)
+		a := tiles[qk]
+		if a == nil {
+			a = &acc{devices: map[int]bool{}, tierCounts: map[int]int{}}
+			tiles[qk] = a
+		}
+		a.dSum += r.DownloadMbps
+		a.uSum += r.UploadMbps
+		a.latSum += r.LatencyMs
+		a.tests++
+		a.devices[r.UserID] = true
+		a.tierCounts[r.TruthTier]++
+	}
+	keys := make([]string, 0, len(tiles))
+	for qk := range tiles {
+		keys = append(keys, qk)
+	}
+	sort.Strings(keys)
+	out := make([]Tile, 0, len(keys))
+	majority := make([]int, 0, len(keys))
+	for _, qk := range keys {
+		a := tiles[qk]
+		out = append(out, Tile{
+			Quadkey:  qk,
+			AvgDKbps: int(a.dSum / float64(a.tests) * 1000),
+			AvgUKbps: int(a.uSum / float64(a.tests) * 1000),
+			AvgLatMs: int(a.latSum / float64(a.tests)),
+			Tests:    a.tests,
+			Devices:  len(a.devices),
+		})
+		bestTier, bestN := 0, -1
+		for tier, n := range a.tierCounts {
+			if n > bestN || (n == bestN && tier < bestTier) {
+				bestTier, bestN = tier, n
+			}
+		}
+		majority = append(majority, bestTier)
+	}
+	return out, majority
+}
+
+var tileHeader = []string{"quadkey", "avg_d_kbps", "avg_u_kbps", "avg_lat_ms", "tests", "devices"}
+
+// WriteTilesCSV writes tiles in the open-data CSV schema.
+func WriteTilesCSV(w io.Writer, tiles []Tile) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(tileHeader); err != nil {
+		return err
+	}
+	for _, t := range tiles {
+		row := []string{
+			t.Quadkey,
+			strconv.Itoa(t.AvgDKbps), strconv.Itoa(t.AvgUKbps),
+			strconv.Itoa(t.AvgLatMs), strconv.Itoa(t.Tests), strconv.Itoa(t.Devices),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTilesCSV parses the open-data CSV schema.
+func ReadTilesCSV(r io.Reader) ([]Tile, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("opendata: empty tiles csv")
+	}
+	var out []Tile
+	for i, row := range rows[1:] {
+		if len(row) != len(tileHeader) {
+			return nil, fmt.Errorf("opendata: row %d has %d fields, want %d", i+2, len(row), len(tileHeader))
+		}
+		var t Tile
+		t.Quadkey = row[0]
+		if _, _, _, err := QuadkeyToTile(t.Quadkey); err != nil {
+			return nil, fmt.Errorf("opendata: row %d: %w", i+2, err)
+		}
+		t.AvgDKbps, _ = strconv.Atoi(row[1])
+		t.AvgUKbps, _ = strconv.Atoi(row[2])
+		t.AvgLatMs, _ = strconv.Atoi(row[3])
+		t.Tests, _ = strconv.Atoi(row[4])
+		t.Devices, _ = strconv.Atoi(row[5])
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// TileSamples converts tiles to BST input: one <download, upload> pair per
+// tile (the tile means). This is deliberately lossy — it is what an analyst
+// restricted to the public aggregates would have to feed BST, and the
+// experiments package shows how much tier recovery degrades.
+func TileSamples(tiles []Tile) []dataset.SpeedSample {
+	out := make([]dataset.SpeedSample, len(tiles))
+	for i, t := range tiles {
+		out[i] = dataset.SpeedSample{
+			Download: float64(t.AvgDKbps) / 1000,
+			Upload:   float64(t.AvgUKbps) / 1000,
+		}
+	}
+	return out
+}

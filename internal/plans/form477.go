@@ -1,0 +1,108 @@
+package plans
+
+import (
+	"sort"
+
+	"speedctx/internal/geo"
+	"speedctx/internal/stats"
+	"speedctx/internal/units"
+)
+
+// Form477Record is one row of the FCC's Fixed Broadband Deployment data
+// (Form 477): an ISP's claim to serve a census block with given maximum
+// advertised speeds. The paper uses this dataset only to identify the
+// dominant residential ISP per city (§3.1) — it deliberately does NOT
+// contain the full plan catalog, which is why the BST methodology needs the
+// separate address-level lookup tool.
+type Form477Record struct {
+	BlockID string
+	ISP     string
+	MaxDown units.Mbps
+	MaxUp   units.Mbps
+}
+
+// Form477 is a per-city deployment report.
+type Form477 struct {
+	CityID  string
+	Records []Form477Record
+}
+
+// BuildForm477 synthesizes a deployment report for a city: the dominant ISP
+// (the city's catalog ISP) claims nearly all blocks; two smaller competitors
+// claim overlapping minorities. Coverage draws come from rng, so reports are
+// reproducible per seed.
+func BuildForm477(city *geo.City, catalog *Catalog, rng *stats.RNG) *Form477 {
+	f := &Form477{CityID: city.ID}
+	maxDown := catalog.MaxDownload()
+	var maxUp units.Mbps
+	for _, p := range catalog.Plans {
+		if p.Upload > maxUp {
+			maxUp = p.Upload
+		}
+	}
+	competitors := []struct {
+		name     string
+		coverage float64
+		down, up units.Mbps
+	}{
+		{catalog.ISP + "-DSL-rival", 0.45, 100, 10},
+		{catalog.ISP + "-fiber-rival", 0.20, 1000, 1000},
+	}
+	for _, b := range city.Blocks {
+		// Dominant ISP covers ~97% of blocks.
+		if rng.Bool(0.97) {
+			f.Records = append(f.Records, Form477Record{
+				BlockID: b.ID, ISP: catalog.ISP, MaxDown: maxDown, MaxUp: maxUp,
+			})
+		}
+		for _, c := range competitors {
+			if rng.Bool(c.coverage) {
+				f.Records = append(f.Records, Form477Record{
+					BlockID: b.ID, ISP: c.name, MaxDown: c.down, MaxUp: c.up,
+				})
+			}
+		}
+	}
+	return f
+}
+
+// BlocksServed counts distinct census blocks each ISP claims.
+func (f *Form477) BlocksServed() map[string]int {
+	seen := map[string]map[string]bool{}
+	for _, r := range f.Records {
+		if seen[r.ISP] == nil {
+			seen[r.ISP] = map[string]bool{}
+		}
+		seen[r.ISP][r.BlockID] = true
+	}
+	out := make(map[string]int, len(seen))
+	for isp, blocks := range seen {
+		out[isp] = len(blocks)
+	}
+	return out
+}
+
+// DominantISP implements the paper's selection procedure: the ISP covering
+// the highest number of census blocks in the city. Ties break
+// lexicographically for determinism.
+func (f *Form477) DominantISP() string {
+	counts := f.BlocksServed()
+	type kv struct {
+		isp string
+		n   int
+	}
+	var all []kv
+	for isp, n := range counts {
+		all = append(all, kv{isp, n})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].n != all[b].n {
+			return all[a].n > all[b].n
+		}
+		return all[a].isp < all[b].isp
+	})
+	if len(all) == 0 {
+		return ""
+	}
+	return all[0].isp
+}

@@ -1,0 +1,62 @@
+package plans
+
+import (
+	"testing"
+
+	"speedctx/internal/geo"
+	"speedctx/internal/stats"
+)
+
+func TestBuildForm477DominantISP(t *testing.T) {
+	rng := stats.NewRNG(100)
+	city := geo.NewCity("A", 500, rng)
+	cat := CityA()
+	f := BuildForm477(city, cat, rng)
+	if f.CityID != "A" {
+		t.Errorf("CityID = %q", f.CityID)
+	}
+	if got := f.DominantISP(); got != "ISP-A" {
+		t.Errorf("DominantISP = %q, want ISP-A", got)
+	}
+	served := f.BlocksServed()
+	if served["ISP-A"] < 450 {
+		t.Errorf("dominant ISP serves %d/500 blocks, want >= 450", served["ISP-A"])
+	}
+	// Competitors exist but serve fewer blocks.
+	for isp, n := range served {
+		if isp == "ISP-A" {
+			continue
+		}
+		if n >= served["ISP-A"] {
+			t.Errorf("competitor %s serves %d >= dominant %d", isp, n, served["ISP-A"])
+		}
+	}
+}
+
+func TestForm477Determinism(t *testing.T) {
+	build := func() int {
+		rng := stats.NewRNG(7)
+		city := geo.NewCity("B", 200, rng)
+		return len(BuildForm477(city, CityB(), rng).Records)
+	}
+	if build() != build() {
+		t.Error("Form477 generation is not deterministic")
+	}
+}
+
+func TestDominantISPEmpty(t *testing.T) {
+	f := &Form477{CityID: "A"}
+	if got := f.DominantISP(); got != "" {
+		t.Errorf("empty report dominant = %q", got)
+	}
+}
+
+func TestDominantISPTieBreak(t *testing.T) {
+	f := &Form477{Records: []Form477Record{
+		{BlockID: "1", ISP: "zeta"},
+		{BlockID: "1", ISP: "alpha"},
+	}}
+	if got := f.DominantISP(); got != "alpha" {
+		t.Errorf("tie break = %q, want alpha", got)
+	}
+}

@@ -1,0 +1,133 @@
+package plans
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"speedctx/internal/geo"
+	"speedctx/internal/units"
+)
+
+// ErrQueryBudget is returned by the lookup tool once the per-ISP query
+// budget is exhausted. The paper deliberately limits query volume "to
+// prevent overloading ISP infrastructure"; the simulated tool enforces the
+// same discipline so the survey code path is realistic.
+var ErrQueryBudget = errors.New("plans: per-ISP query budget exhausted")
+
+// ErrUnknownCity is returned for an address outside the study cities.
+var ErrUnknownCity = errors.New("plans: no catalog for address city")
+
+// LookupTool simulates querying an ISP's availability portal for the plans
+// offered at one street address (the modified tool of Major et al. [42]).
+// Queries are budgeted per ISP.
+type LookupTool struct {
+	budget  int
+	queries map[string]int // ISP -> queries made
+}
+
+// NewLookupTool creates a tool that allows up to budget queries per ISP.
+// budget <= 0 means unlimited.
+func NewLookupTool(budget int) *LookupTool {
+	return &LookupTool{budget: budget, queries: map[string]int{}}
+}
+
+// Queries reports how many lookups were issued against an ISP.
+func (t *LookupTool) Queries(isp string) int { return t.queries[isp] }
+
+// LookupPlans returns the plans the dominant ISP offers at the address. In
+// the study cities plan choices are uniform city-wide (the paper's first
+// observation), so the answer depends only on the address's city — but the
+// tool still charges the query against the budget, like the real portal
+// would.
+func (t *LookupTool) LookupPlans(addr geo.Address) ([]Plan, error) {
+	cat, ok := ByCity(addr.CityID)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownCity, addr.CityID)
+	}
+	if t.budget > 0 && t.queries[cat.ISP] >= t.budget {
+		return nil, fmt.Errorf("%w: %s", ErrQueryBudget, cat.ISP)
+	}
+	t.queries[cat.ISP]++
+	out := make([]Plan, len(cat.Plans))
+	copy(out, cat.Plans)
+	return out, nil
+}
+
+// SurveyResult summarizes a plan survey over sampled addresses, reproducing
+// the two observations of §4.1.
+type SurveyResult struct {
+	CityID string
+	// AddressesQueried is the number of addresses successfully queried.
+	AddressesQueried int
+	// UniformAcrossAddresses is true when every queried address returned
+	// the identical plan set.
+	UniformAcrossAddresses bool
+	// Plans is the (uniform) plan set discovered.
+	Plans []Plan
+	// DistinctUploadSpeeds and DistinctDownloadSpeeds report the size of
+	// each speed set; the paper observes uploads form a much smaller,
+	// slower set.
+	DistinctUploadSpeeds   []units.Mbps
+	DistinctDownloadSpeeds []units.Mbps
+}
+
+// Survey queries the tool for every address and checks plan uniformity. It
+// stops early (without error) if the query budget runs out, keeping
+// whatever sample it collected — exactly what a polite crawler does.
+func Survey(t *LookupTool, addrs []geo.Address) (*SurveyResult, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("plans: empty address sample")
+	}
+	res := &SurveyResult{CityID: addrs[0].CityID, UniformAcrossAddresses: true}
+	var first []Plan
+	for _, a := range addrs {
+		ps, err := t.LookupPlans(a)
+		if errors.Is(err, ErrQueryBudget) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.AddressesQueried++
+		if first == nil {
+			first = ps
+			continue
+		}
+		if !samePlans(first, ps) {
+			res.UniformAcrossAddresses = false
+		}
+	}
+	if res.AddressesQueried == 0 {
+		return nil, ErrQueryBudget
+	}
+	res.Plans = first
+	res.DistinctUploadSpeeds = distinctSpeeds(first, func(p Plan) units.Mbps { return p.Upload })
+	res.DistinctDownloadSpeeds = distinctSpeeds(first, func(p Plan) units.Mbps { return p.Download })
+	return res, nil
+}
+
+func samePlans(a, b []Plan) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func distinctSpeeds(ps []Plan, get func(Plan) units.Mbps) []units.Mbps {
+	set := map[units.Mbps]bool{}
+	for _, p := range ps {
+		set[get(p)] = true
+	}
+	out := make([]units.Mbps, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

@@ -1,0 +1,109 @@
+package plans
+
+import (
+	"errors"
+	"testing"
+
+	"speedctx/internal/geo"
+	"speedctx/internal/stats"
+)
+
+func sampleAddrs(t *testing.T, cityID string, n int) []geo.Address {
+	t.Helper()
+	rng := stats.NewRNG(200)
+	city := geo.NewCity(cityID, 100, rng)
+	return geo.NewAddressBase(city, rng).Sample(n)
+}
+
+func TestLookupPlansUniform(t *testing.T) {
+	tool := NewLookupTool(0)
+	addrs := sampleAddrs(t, "A", 50)
+	first, err := tool.LookupPlans(addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range addrs[1:] {
+		ps, err := tool.LookupPlans(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !samePlans(first, ps) {
+			t.Fatal("plans differ across addresses within a city")
+		}
+	}
+	if tool.Queries("ISP-A") != 50 {
+		t.Errorf("query count = %d", tool.Queries("ISP-A"))
+	}
+}
+
+func TestLookupUnknownCity(t *testing.T) {
+	tool := NewLookupTool(0)
+	_, err := tool.LookupPlans(geo.Address{CityID: "Z"})
+	if !errors.Is(err, ErrUnknownCity) {
+		t.Errorf("err = %v, want ErrUnknownCity", err)
+	}
+}
+
+func TestLookupBudget(t *testing.T) {
+	tool := NewLookupTool(3)
+	addrs := sampleAddrs(t, "A", 5)
+	for i := 0; i < 3; i++ {
+		if _, err := tool.LookupPlans(addrs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tool.LookupPlans(addrs[3]); !errors.Is(err, ErrQueryBudget) {
+		t.Errorf("err = %v, want ErrQueryBudget", err)
+	}
+}
+
+func TestSurveyObservations(t *testing.T) {
+	tool := NewLookupTool(0)
+	res, err := Survey(tool, sampleAddrs(t, "A", 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.UniformAcrossAddresses {
+		t.Error("survey should find uniform plans (observation 1)")
+	}
+	if res.AddressesQueried != 200 {
+		t.Errorf("queried = %d", res.AddressesQueried)
+	}
+	if len(res.DistinctUploadSpeeds) != 4 {
+		t.Errorf("distinct uploads = %v, want 4 values", res.DistinctUploadSpeeds)
+	}
+	if len(res.DistinctDownloadSpeeds) != 6 {
+		t.Errorf("distinct downloads = %v, want 6 values", res.DistinctDownloadSpeeds)
+	}
+	// Observation 2: fewer, slower upload speeds.
+	if len(res.DistinctUploadSpeeds) >= len(res.DistinctDownloadSpeeds) {
+		t.Error("uploads should be fewer than downloads")
+	}
+	maxUp := res.DistinctUploadSpeeds[len(res.DistinctUploadSpeeds)-1]
+	minDown := res.DistinctDownloadSpeeds[0]
+	if float64(maxUp) > 2*float64(minDown) {
+		t.Errorf("uploads unexpectedly fast: max up %v vs min down %v", maxUp, minDown)
+	}
+}
+
+func TestSurveyBudgetExhaustion(t *testing.T) {
+	tool := NewLookupTool(10)
+	res, err := Survey(tool, sampleAddrs(t, "A", 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AddressesQueried != 10 {
+		t.Errorf("queried = %d, want 10 (budget-limited)", res.AddressesQueried)
+	}
+	// Completely exhausted budget before the survey starts.
+	res2, err := Survey(tool, sampleAddrs(t, "A", 5))
+	if !errors.Is(err, ErrQueryBudget) || res2 != nil {
+		t.Errorf("exhausted survey = %v, %v", res2, err)
+	}
+}
+
+func TestSurveyEmpty(t *testing.T) {
+	if _, err := Survey(NewLookupTool(0), nil); err == nil {
+		t.Error("empty survey should error")
+	}
+}

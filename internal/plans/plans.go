@@ -1,0 +1,228 @@
+// Package plans models residential broadband subscription plans: the tiered
+// <download, upload> offerings of the dominant ISP in each of the four
+// cities the paper studies, the FCC Form-477-style deployment reports used
+// to pick the dominant ISP, and the address-level plan-lookup tool (a
+// re-implementation of the approach of Major et al. [42] that the paper
+// modified).
+//
+// The paper's two empirical observations about plan structure (§4.1) are
+// properties of these catalogs by construction, because that is exactly what
+// the paper's measurement tool discovered about real ISPs:
+//
+//  1. Plan choices do not vary across street addresses within a city.
+//  2. The set of distinct upload speeds is much smaller than the set of
+//     download speeds, and upload rates are much slower.
+package plans
+
+import (
+	"fmt"
+	"sort"
+
+	"speedctx/internal/units"
+)
+
+// Plan is one residential broadband subscription offering.
+type Plan struct {
+	// Name is the marketing name of the plan.
+	Name string
+	// Download is the advertised maximum download speed.
+	Download units.Mbps
+	// Upload is the advertised maximum upload speed.
+	Upload units.Mbps
+}
+
+func (p Plan) String() string {
+	return fmt.Sprintf("%s (%g/%g Mbps)", p.Name, float64(p.Download), float64(p.Upload))
+}
+
+// Catalog is the set of plans the dominant residential ISP offers in a city.
+// Plans are sorted by ascending download speed; the index of a plan in Plans
+// is its tier number minus one (Tier 1 = Plans[0]).
+type Catalog struct {
+	ISP   string // anonymized ISP name, e.g. "ISP-A"
+	City  string // city identifier, "A".."D"
+	State string // state identifier, matches the MBA dataset naming
+	Plans []Plan
+}
+
+// Tier returns the 1-based tier number of the given plan index.
+func (c *Catalog) Tier(planIdx int) int { return planIdx + 1 }
+
+// PlanByTier returns the plan with the given 1-based tier number.
+func (c *Catalog) PlanByTier(tier int) (Plan, bool) {
+	if tier < 1 || tier > len(c.Plans) {
+		return Plan{}, false
+	}
+	return c.Plans[tier-1], true
+}
+
+// UploadTier groups the plans of a catalog that share one advertised upload
+// speed. This grouping is the pivot of the BST methodology: stage 1 assigns
+// a measurement to an UploadTier; stage 2 selects among its Plans.
+type UploadTier struct {
+	// Upload is the shared advertised upload speed.
+	Upload units.Mbps
+	// Plans are the member plans, ascending by download speed.
+	Plans []Plan
+	// FirstTier and LastTier are the 1-based tier numbers covered, used
+	// for the paper's "Tier 1-3" style labels.
+	FirstTier, LastTier int
+}
+
+// Label renders the paper-style tier-range label, e.g. "Tier 1-3" or
+// "Tier 4".
+func (u UploadTier) Label() string {
+	if u.FirstTier == u.LastTier {
+		return fmt.Sprintf("Tier %d", u.FirstTier)
+	}
+	return fmt.Sprintf("Tier %d-%d", u.FirstTier, u.LastTier)
+}
+
+// Downloads returns the advertised download speeds of the member plans.
+func (u UploadTier) Downloads() []units.Mbps {
+	out := make([]units.Mbps, len(u.Plans))
+	for i, p := range u.Plans {
+		out[i] = p.Download
+	}
+	return out
+}
+
+// UploadTiers groups the catalog's plans by advertised upload speed,
+// ascending. Tier numbering follows ascending download speed over the whole
+// catalog.
+func (c *Catalog) UploadTiers() []UploadTier {
+	byUp := map[units.Mbps][]int{}
+	for i, p := range c.Plans {
+		byUp[p.Upload] = append(byUp[p.Upload], i)
+	}
+	ups := make([]units.Mbps, 0, len(byUp))
+	for u := range byUp {
+		ups = append(ups, u)
+	}
+	sort.Slice(ups, func(a, b int) bool { return ups[a] < ups[b] })
+	out := make([]UploadTier, 0, len(ups))
+	for _, u := range ups {
+		idxs := byUp[u]
+		sort.Ints(idxs)
+		t := UploadTier{Upload: u, FirstTier: idxs[0] + 1, LastTier: idxs[len(idxs)-1] + 1}
+		for _, i := range idxs {
+			t.Plans = append(t.Plans, c.Plans[i])
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// UploadSpeeds returns the distinct advertised upload speeds, ascending.
+func (c *Catalog) UploadSpeeds() []units.Mbps {
+	tiers := c.UploadTiers()
+	out := make([]units.Mbps, len(tiers))
+	for i, t := range tiers {
+		out[i] = t.Upload
+	}
+	return out
+}
+
+// MaxDownload returns the fastest advertised download speed in the catalog.
+func (c *Catalog) MaxDownload() units.Mbps {
+	var m units.Mbps
+	for _, p := range c.Plans {
+		if p.Download > m {
+			m = p.Download
+		}
+	}
+	return m
+}
+
+// TierOfPlan returns the 1-based tier of the plan with the given advertised
+// speeds, or 0 when no such plan exists.
+func (c *Catalog) TierOfPlan(down, up units.Mbps) int {
+	for i, p := range c.Plans {
+		if p.Download == down && p.Upload == up {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// CityA returns ISP-A's catalog, matching the offerings described in §4.1 of
+// the paper: three download speeds sharing a 5 Mbps upload, then 400/10,
+// 800/15 and 1200/35.
+func CityA() *Catalog {
+	return &Catalog{
+		ISP: "ISP-A", City: "A", State: "A",
+		Plans: []Plan{
+			{Name: "Starter 25", Download: 25, Upload: 5},
+			{Name: "Essential 100", Download: 100, Upload: 5},
+			{Name: "Fast 200", Download: 200, Upload: 5},
+			{Name: "Superfast 400", Download: 400, Upload: 10},
+			{Name: "Ultrafast 800", Download: 800, Upload: 15},
+			{Name: "Gigabit Extra 1200", Download: 1200, Upload: 35},
+		},
+	}
+}
+
+// CityB returns ISP-B's catalog. The appendix (Table 5, Fig 16) shows four
+// upload tiers grouping six plans as Tier 1-2, Tier 3, Tier 4-5, Tier 6.
+func CityB() *Catalog {
+	return &Catalog{
+		ISP: "ISP-B", City: "B", State: "B",
+		Plans: []Plan{
+			{Name: "Base 50", Download: 50, Upload: 5},
+			{Name: "Select 150", Download: 150, Upload: 5},
+			{Name: "Preferred 300", Download: 300, Upload: 10},
+			{Name: "Premier 500", Download: 500, Upload: 20},
+			{Name: "Extreme 800", Download: 800, Upload: 20},
+			{Name: "Gig 1200", Download: 1200, Upload: 35},
+		},
+	}
+}
+
+// CityC returns ISP-C's catalog. Table 6 / Fig 17 show four upload tiers
+// grouping eight plans as Tier 1-3, Tier 4-5, Tier 6-7, Tier 8.
+func CityC() *Catalog {
+	return &Catalog{
+		ISP: "ISP-C", City: "C", State: "C",
+		Plans: []Plan{
+			{Name: "Basic 25", Download: 25, Upload: 5},
+			{Name: "Standard 75", Download: 75, Upload: 5},
+			{Name: "Plus 150", Download: 150, Upload: 5},
+			{Name: "Turbo 300", Download: 300, Upload: 10},
+			{Name: "Turbo Max 400", Download: 400, Upload: 10},
+			{Name: "Velocity 600", Download: 600, Upload: 20},
+			{Name: "Velocity Pro 800", Download: 800, Upload: 20},
+			{Name: "Gigablast 1200", Download: 1200, Upload: 35},
+		},
+	}
+}
+
+// CityD returns ISP-D's catalog. Table 7 / Fig 18 show three upload tiers
+// grouping five plans as Tier 1-2, Tier 3-4, Tier 5, with slower uploads
+// (~3, ~10, ~30 Mbps) than the other ISPs.
+func CityD() *Catalog {
+	return &Catalog{
+		ISP: "ISP-D", City: "D", State: "D",
+		Plans: []Plan{
+			{Name: "Everyday 50", Download: 50, Upload: 3},
+			{Name: "Everyday Plus 100", Download: 100, Upload: 3},
+			{Name: "Advanced 200", Download: 200, Upload: 10},
+			{Name: "Advanced Max 400", Download: 400, Upload: 10},
+			{Name: "Gig Service 1000", Download: 1000, Upload: 30},
+		},
+	}
+}
+
+// AllCities returns the four catalogs in city order A-D.
+func AllCities() []*Catalog {
+	return []*Catalog{CityA(), CityB(), CityC(), CityD()}
+}
+
+// ByCity returns the catalog for a city identifier ("A".."D").
+func ByCity(city string) (*Catalog, bool) {
+	for _, c := range AllCities() {
+		if c.City == city {
+			return c, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,144 @@
+package plans
+
+import (
+	"testing"
+
+	"speedctx/internal/units"
+)
+
+func TestCityACatalogMatchesPaper(t *testing.T) {
+	c := CityA()
+	if len(c.Plans) != 6 {
+		t.Fatalf("City A should offer 6 plans, got %d", len(c.Plans))
+	}
+	wantDown := []units.Mbps{25, 100, 200, 400, 800, 1200}
+	wantUp := []units.Mbps{5, 5, 5, 10, 15, 35}
+	for i, p := range c.Plans {
+		if p.Download != wantDown[i] || p.Upload != wantUp[i] {
+			t.Errorf("plan %d = %v/%v, want %v/%v", i, p.Download, p.Upload, wantDown[i], wantUp[i])
+		}
+	}
+}
+
+func TestUploadTiersCityA(t *testing.T) {
+	tiers := CityA().UploadTiers()
+	if len(tiers) != 4 {
+		t.Fatalf("City A should have 4 upload tiers, got %d", len(tiers))
+	}
+	wantLabels := []string{"Tier 1-3", "Tier 4", "Tier 5", "Tier 6"}
+	wantUploads := []units.Mbps{5, 10, 15, 35}
+	wantPlanCounts := []int{3, 1, 1, 1}
+	for i, tier := range tiers {
+		if tier.Label() != wantLabels[i] {
+			t.Errorf("tier %d label = %q, want %q", i, tier.Label(), wantLabels[i])
+		}
+		if tier.Upload != wantUploads[i] {
+			t.Errorf("tier %d upload = %v, want %v", i, tier.Upload, wantUploads[i])
+		}
+		if len(tier.Plans) != wantPlanCounts[i] {
+			t.Errorf("tier %d plan count = %d, want %d", i, len(tier.Plans), wantPlanCounts[i])
+		}
+	}
+	// Downloads within Tier 1-3 ascend.
+	downs := tiers[0].Downloads()
+	if downs[0] != 25 || downs[1] != 100 || downs[2] != 200 {
+		t.Errorf("Tier 1-3 downloads = %v", downs)
+	}
+}
+
+func TestUploadTiersOtherCities(t *testing.T) {
+	cases := []struct {
+		cat       *Catalog
+		tiers     int
+		labels    []string
+		maxUpload units.Mbps
+		planCount int
+	}{
+		{CityB(), 4, []string{"Tier 1-2", "Tier 3", "Tier 4-5", "Tier 6"}, 35, 6},
+		{CityC(), 4, []string{"Tier 1-3", "Tier 4-5", "Tier 6-7", "Tier 8"}, 35, 8},
+		{CityD(), 3, []string{"Tier 1-2", "Tier 3-4", "Tier 5"}, 30, 5},
+	}
+	for _, c := range cases {
+		tiers := c.cat.UploadTiers()
+		if len(tiers) != c.tiers {
+			t.Errorf("%s: %d tiers, want %d", c.cat.City, len(tiers), c.tiers)
+			continue
+		}
+		for i, tier := range tiers {
+			if tier.Label() != c.labels[i] {
+				t.Errorf("%s tier %d label = %q, want %q", c.cat.City, i, tier.Label(), c.labels[i])
+			}
+		}
+		if tiers[len(tiers)-1].Upload != c.maxUpload {
+			t.Errorf("%s top upload = %v, want %v", c.cat.City, tiers[len(tiers)-1].Upload, c.maxUpload)
+		}
+		if len(c.cat.Plans) != c.planCount {
+			t.Errorf("%s plan count = %d, want %d", c.cat.City, len(c.cat.Plans), c.planCount)
+		}
+	}
+}
+
+func TestUploadSlowerAndFewerThanDownload(t *testing.T) {
+	// The paper's second observation (§4.1) must hold for every catalog.
+	for _, cat := range AllCities() {
+		ups := cat.UploadSpeeds()
+		downs := map[units.Mbps]bool{}
+		for _, p := range cat.Plans {
+			downs[p.Download] = true
+			if p.Upload >= p.Download {
+				t.Errorf("%s %v: upload >= download", cat.ISP, p)
+			}
+		}
+		if len(ups) >= len(downs) {
+			t.Errorf("%s: %d upload speeds vs %d download speeds; uploads should be fewer",
+				cat.ISP, len(ups), len(downs))
+		}
+	}
+}
+
+func TestTierLookups(t *testing.T) {
+	c := CityA()
+	if p, ok := c.PlanByTier(1); !ok || p.Download != 25 {
+		t.Errorf("PlanByTier(1) = %v, %v", p, ok)
+	}
+	if p, ok := c.PlanByTier(6); !ok || p.Download != 1200 {
+		t.Errorf("PlanByTier(6) = %v, %v", p, ok)
+	}
+	if _, ok := c.PlanByTier(0); ok {
+		t.Error("PlanByTier(0) should fail")
+	}
+	if _, ok := c.PlanByTier(7); ok {
+		t.Error("PlanByTier(7) should fail")
+	}
+	if tier := c.TierOfPlan(400, 10); tier != 4 {
+		t.Errorf("TierOfPlan(400,10) = %d, want 4", tier)
+	}
+	if tier := c.TierOfPlan(400, 99); tier != 0 {
+		t.Errorf("TierOfPlan mismatch should be 0, got %d", tier)
+	}
+	if c.MaxDownload() != 1200 {
+		t.Errorf("MaxDownload = %v", c.MaxDownload())
+	}
+	if c.Tier(0) != 1 {
+		t.Errorf("Tier(0) = %d", c.Tier(0))
+	}
+}
+
+func TestByCity(t *testing.T) {
+	for _, id := range []string{"A", "B", "C", "D"} {
+		c, ok := ByCity(id)
+		if !ok || c.City != id {
+			t.Errorf("ByCity(%q) failed", id)
+		}
+	}
+	if _, ok := ByCity("Z"); ok {
+		t.Error("ByCity(Z) should fail")
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	p := Plan{Name: "Gig", Download: 1200, Upload: 35}
+	if got := p.String(); got != "Gig (1200/35 Mbps)" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,290 @@
+// Package population synthesizes the subscriber base behind the
+// crowdsourced datasets: who subscribes to which plan, what device and home
+// network they test from, how often and at what time of day they test.
+//
+// The mixes are calibrated to the shares the paper reports: roughly half of
+// tests originate from the lowest subscription tier group; ~97% of native
+// app tests run over WiFi; M-Lab's user base skews toward lower tiers; test
+// volume is lowest overnight and highest in the afternoon and evening
+// (Fig 11), yet time of day barely affects performance (§6.2).
+package population
+
+import (
+	"time"
+
+	"speedctx/internal/device"
+	"speedctx/internal/netsim"
+	"speedctx/internal/plans"
+	"speedctx/internal/stats"
+	"speedctx/internal/wifi"
+)
+
+// Subscriber is one household/user of the dominant ISP.
+type Subscriber struct {
+	ID   int
+	City string
+	// Tier is the 1-based subscription tier in the city catalog — the
+	// ground truth BST tries to recover.
+	Tier int
+	Plan plans.Plan
+	// Access is the household's provisioned access link (stable across
+	// the user's tests).
+	Access netsim.AccessLink
+	// Platform is the user's measurement platform.
+	Platform device.Platform
+	// KernelMemMB is the device's nominal kernel memory (Android/iOS).
+	KernelMemMB int
+	// BaseWiFi is the client's usual link to the home AP; per-test
+	// samples jitter around it. Unused for wired platforms.
+	BaseWiFi wifi.Link
+	// WebWired marks web-platform users testing from a wired desktop.
+	// The dataset cannot see this (web tests carry no access metadata),
+	// but the performance difference is real.
+	WebWired bool
+	// TestsPerYear is how many speed tests the user runs in the study
+	// year.
+	TestsPerYear int
+}
+
+// Wired reports whether the subscriber tests over Ethernet.
+func (s *Subscriber) Wired() bool { return s.Platform.Wired() || s.WebWired }
+
+// Model holds the population mixes for one vendor's user base in one city.
+type Model struct {
+	Catalog *plans.Catalog
+	// TierWeights is indexed by tier-1; it is the probability a user
+	// subscribes to each plan.
+	TierWeights []float64
+	// PlatformWeights is indexed by device.Platform.
+	PlatformWeights [5]float64
+	// AccessModel provisions household links.
+	AccessModel netsim.AccessModel
+	// LinkModel draws WiFi links.
+	LinkModel wifi.LinkModel
+	// MemoryModel draws Android kernel memory.
+	MemoryModel device.MemoryModel
+	// MeanTestsPerYear controls the heavy-tailed per-user test count.
+	MeanTestsPerYear float64
+	// EthernetTierWeights, when non-nil, replaces TierWeights for
+	// wired-desktop users (Table 3: they skew to premium tiers).
+	EthernetTierWeights []float64
+}
+
+// OoklaModel returns the Ookla user-base calibration for a city catalog.
+// Tier weights follow Table 3's tier-group shares (~44% in the lowest
+// group, ~25% on the top tier); the platform mix follows the City-A
+// measurement counts (Web ~48%, iOS ~35%, Android ~9%, desktop the rest).
+func OoklaModel(cat *plans.Catalog) Model {
+	return Model{
+		Catalog:          cat,
+		TierWeights:      spreadTierWeights(cat, []float64{0.44, 0.15, 0.16, 0.25}),
+		PlatformWeights:  [5]float64{0.09, 0.35, 0.05, 0.025, 0.485},
+		AccessModel:      netsim.DefaultAccessModel(),
+		LinkModel:        wifi.DefaultLinkModel(),
+		MemoryModel:      device.DefaultMemoryModel(),
+		MeanTestsPerYear: 6,
+		// Wired-desktop testers skew premium (Table 3's Desktop
+		// Ethernet-App column: ~40% on the top tier).
+		EthernetTierWeights: spreadTierWeights(cat, []float64{0.20, 0.14, 0.26, 0.40}),
+	}
+}
+
+// WithOnlyPlatform restricts the model's population to a single platform —
+// used for the paper's Android-only radio analyses (Figs 9b-d, 10).
+func (m Model) WithOnlyPlatform(p device.Platform) Model {
+	m.PlatformWeights = [5]float64{}
+	m.PlatformWeights[p] = 1
+	return m
+}
+
+// MLabModel returns the M-Lab user-base calibration: all tests are
+// web-initiated and the tier mix skews lower (Table 3's NDT row: ~62% in
+// the lowest group, ~8% on the top tier).
+func MLabModel(cat *plans.Catalog) Model {
+	return Model{
+		Catalog:          cat,
+		TierWeights:      spreadTierWeights(cat, []float64{0.62, 0.15, 0.14, 0.09}),
+		PlatformWeights:  [5]float64{0, 0, 0, 0, 1},
+		AccessModel:      netsim.DefaultAccessModel(),
+		LinkModel:        wifi.DefaultLinkModel(),
+		MemoryModel:      device.DefaultMemoryModel(),
+		MeanTestsPerYear: 3,
+	}
+}
+
+// MBAModel returns the Measuring Broadband America panel calibration: wired
+// measurement units attached to cable modems, with no lowest-tier (25 Mbps)
+// units in State A — the paper notes the MBA panel lacks that plan.
+func MBAModel(cat *plans.Catalog) Model {
+	groupWeights := []float64{0.60, 0.16, 0.10, 0.14}
+	m := Model{
+		Catalog:          cat,
+		TierWeights:      spreadTierWeights(cat, groupWeights),
+		PlatformWeights:  [5]float64{0, 0, 0, 1, 0},
+		AccessModel:      netsim.DefaultAccessModel(),
+		LinkModel:        wifi.DefaultLinkModel(),
+		MemoryModel:      device.DefaultMemoryModel(),
+		MeanTestsPerYear: 1200, // units test multiple times per day
+	}
+	if cat.City == "A" {
+		// No 25/5 plan in the MBA State-A panel (§4.3).
+		m.TierWeights[0] = 0
+	}
+	return m
+}
+
+// spreadTierWeights expands per-upload-tier-group weights into per-plan
+// weights: within a group, lower download plans are more popular.
+func spreadTierWeights(cat *plans.Catalog, groupWeights []float64) []float64 {
+	weights := make([]float64, len(cat.Plans))
+	tiers := cat.UploadTiers()
+	// Cities differ in upload-tier group count; renormalize the group
+	// weights over the groups that exist.
+	gws := make([]float64, len(tiers))
+	gsum := 0.0
+	for gi := range tiers {
+		if gi < len(groupWeights) {
+			gws[gi] = groupWeights[gi]
+		} else {
+			gws[gi] = 0.25
+		}
+		gsum += gws[gi]
+	}
+	for gi := range gws {
+		gws[gi] /= gsum
+	}
+	for gi, tier := range tiers {
+		gw := gws[gi]
+		n := len(tier.Plans)
+		// Within a group, mid plans are the most popular: entry plans
+		// are budget niches, top plans premium niches.
+		pattern := []float64{0.8, 1.2, 0.8, 0.6, 0.5}
+		denom := 0.0
+		for r := 0; r < n; r++ {
+			denom += pattern[r%len(pattern)]
+		}
+		for r := 0; r < n; r++ {
+			planIdx := tier.FirstTier - 1 + r
+			weights[planIdx] = gw * pattern[r%len(pattern)] / denom
+		}
+	}
+	return weights
+}
+
+// NewSubscriber draws one subscriber from the model.
+func (m Model) NewSubscriber(id int, rng *stats.RNG) Subscriber {
+	platform := device.Platform(rng.Categorical(m.PlatformWeights[:]))
+	tierWeights := m.TierWeights
+	if platform == device.DesktopEthernet && m.EthernetTierWeights != nil {
+		tierWeights = m.EthernetTierWeights
+	}
+	tierIdx := rng.Categorical(tierWeights)
+	plan := m.Catalog.Plans[tierIdx]
+
+	s := Subscriber{
+		ID:       id,
+		City:     m.Catalog.City,
+		Tier:     tierIdx + 1,
+		Plan:     plan,
+		Access:   m.AccessModel.Provision(plan, rng),
+		Platform: platform,
+	}
+	if platform == device.Android || platform == device.IOS {
+		s.KernelMemMB = m.MemoryModel.Sample(rng)
+	}
+	if platform == device.Web {
+		// A good share of browser tests run from wired desktops; the
+		// dataset cannot tell, but the speeds reflect it.
+		s.WebWired = rng.Bool(0.35)
+	}
+	if !s.Wired() {
+		s.BaseWiFi = m.LinkModel.Sample(rng)
+	}
+	// Heavy-tailed test counts: most users test once or twice, a few
+	// test dozens of times (the paper's 23k of 85k users with >= 5
+	// tests).
+	n := int(rng.Pareto(1, 1.25))
+	if n < 1 {
+		n = 1
+	}
+	if float64(n) > m.MeanTestsPerYear*5 {
+		n = int(m.MeanTestsPerYear * 5)
+	}
+	s.TestsPerYear = n
+	return s
+}
+
+// hourBinWeights are the shares of tests per 6-hour local-time bin
+// (00-06, 06-12, 12-18, 18-24), calibrated to Figure 11.
+var hourBinWeights = []float64{0.10, 0.22, 0.35, 0.33}
+
+// SampleTestTime draws a local timestamp in the study year (2021) with the
+// diurnal volume profile of Figure 11.
+func SampleTestTime(rng *stats.RNG) time.Time {
+	bin := rng.Categorical(hourBinWeights)
+	hour := bin*6 + rng.Intn(6)
+	dayOfYear := rng.Intn(365)
+	base := time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)
+	return base.AddDate(0, 0, dayOfYear).
+		Add(time.Duration(hour) * time.Hour).
+		Add(time.Duration(rng.Intn(3600)) * time.Second)
+}
+
+// HourBin returns the paper's 6-hour bin index (0: 00-06 ... 3: 18-24) for
+// a timestamp.
+func HourBin(ts time.Time) int { return ts.Hour() / 6 }
+
+// HourBinLabel renders the paper's bin labels.
+func HourBinLabel(bin int) string {
+	labels := []string{"00-06", "06-12", "12-18", "18-00"}
+	if bin < 0 || bin >= len(labels) {
+		return "?"
+	}
+	return labels[bin]
+}
+
+// TestScenario builds the netsim scenario for one of the subscriber's
+// tests: per-test WiFi jitter around the base link, per-test kernel memory
+// availability, and the vendor methodology.
+func (m Model) TestScenario(s *Subscriber, vendor netsim.Vendor, ts time.Time, rng *stats.RNG) netsim.Scenario {
+	sc := netsim.Scenario{
+		Plan:   s.Plan,
+		Access: s.Access,
+		Vendor: vendor,
+		Hour:   ts.Hour(),
+	}
+	if s.Wired() {
+		sc.Home = netsim.HomeLink{Ethernet: true}
+	} else {
+		link := s.BaseWiFi
+		link.RSSI += rng.Normal(0, 3.5)
+		// Contention varies substantially test to test with channel
+		// occupancy — the main source of download-speed inconsistency
+		// the paper measures in Fig 2.
+		link.Contention *= rng.TruncNormal(1, 0.4, 0.25, 2.2)
+		// Congestion events: some tests run while the channel is
+		// hammered (neighbour backups, streaming bursts, microwave on
+		// 2.4 GHz). These produce the very-low-speed clusters the
+		// paper observes even in low subscription tiers.
+		pCongested := 0.12
+		if link.Band == wifi.Band24GHz {
+			pCongested = 0.25
+		}
+		if rng.Bool(pCongested) {
+			if c := rng.Uniform(0.65, 0.95); c > link.Contention {
+				link.Contention = c
+			}
+		}
+		if link.Contention > 0.95 {
+			link.Contention = 0.95
+		}
+		sc.Home = netsim.HomeLink{WiFi: link}
+	}
+	mem := s.KernelMemMB
+	if mem > 0 {
+		// Available kernel memory fluctuates with device load.
+		mem = int(float64(mem) * rng.TruncNormal(0.92, 0.08, 0.6, 1))
+	}
+	sc.Device = device.Device{Platform: s.Platform, KernelMemMB: mem}
+	return sc
+}

@@ -1,0 +1,283 @@
+package population
+
+import (
+	"testing"
+	"time"
+
+	"speedctx/internal/device"
+	"speedctx/internal/netsim"
+	"speedctx/internal/plans"
+	"speedctx/internal/stats"
+)
+
+func TestSpreadTierWeightsSumToOne(t *testing.T) {
+	for _, cat := range plans.AllCities() {
+		for _, m := range []Model{OoklaModel(cat), MLabModel(cat)} {
+			sum := 0.0
+			for _, w := range m.TierWeights {
+				if w < 0 {
+					t.Fatalf("%s: negative weight", cat.City)
+				}
+				sum += w
+			}
+			if sum < 0.999 || sum > 1.001 {
+				t.Errorf("%s weights sum = %v", cat.City, sum)
+			}
+			if len(m.TierWeights) != len(cat.Plans) {
+				t.Errorf("%s weight count mismatch", cat.City)
+			}
+		}
+	}
+}
+
+func TestOoklaTierMixSkewsLow(t *testing.T) {
+	cat := plans.CityA()
+	m := OoklaModel(cat)
+	rng := stats.NewRNG(1)
+	groupCounts := make([]int, 4)
+	tiers := cat.UploadTiers()
+	n := 20000
+	for i := 0; i < n; i++ {
+		s := m.NewSubscriber(i, rng)
+		for gi, tier := range tiers {
+			if s.Tier >= tier.FirstTier && s.Tier <= tier.LastTier {
+				groupCounts[gi]++
+			}
+		}
+	}
+	lowShare := float64(groupCounts[0]) / float64(n)
+	if lowShare < 0.38 || lowShare > 0.50 {
+		t.Errorf("lowest tier-group share = %v, want ~0.44", lowShare)
+	}
+	topShare := float64(groupCounts[3]) / float64(n)
+	if topShare < 0.19 || topShare > 0.31 {
+		t.Errorf("top tier share = %v, want ~0.25", topShare)
+	}
+}
+
+func TestMLabSkewsLowerThanOokla(t *testing.T) {
+	cat := plans.CityA()
+	rng := stats.NewRNG(2)
+	low := func(m Model) float64 {
+		c := 0
+		for i := 0; i < 10000; i++ {
+			if m.NewSubscriber(i, rng).Tier <= 3 {
+				c++
+			}
+		}
+		return float64(c) / 10000
+	}
+	if lo, lm := low(OoklaModel(cat)), low(MLabModel(cat)); lm <= lo {
+		t.Errorf("M-Lab low-tier share %v should exceed Ookla's %v", lm, lo)
+	}
+}
+
+func TestMBAModelWiredNoTier1(t *testing.T) {
+	m := MBAModel(plans.CityA())
+	rng := stats.NewRNG(3)
+	for i := 0; i < 5000; i++ {
+		s := m.NewSubscriber(i, rng)
+		if s.Platform != device.DesktopEthernet {
+			t.Fatal("MBA units must be wired")
+		}
+		if s.Tier == 1 {
+			t.Fatal("MBA State-A panel must not include the 25 Mbps plan")
+		}
+	}
+	// Other states keep their full plan range.
+	mB := MBAModel(plans.CityB())
+	saw1 := false
+	for i := 0; i < 5000; i++ {
+		if mB.NewSubscriber(i, rng).Tier == 1 {
+			saw1 = true
+			break
+		}
+	}
+	if !saw1 {
+		t.Error("MBA State-B should include tier 1")
+	}
+}
+
+func TestNativeAppsMostlyWiFi(t *testing.T) {
+	// ~97% of native-app tests are over WiFi in the paper.
+	m := OoklaModel(plans.CityA())
+	rng := stats.NewRNG(4)
+	native, wired := 0, 0
+	for i := 0; i < 30000; i++ {
+		s := m.NewSubscriber(i, rng)
+		if !s.Platform.Native() {
+			continue
+		}
+		native++
+		if s.Wired() {
+			wired++
+		}
+	}
+	wifiShare := 1 - float64(wired)/float64(native)
+	if wifiShare < 0.93 || wifiShare > 0.99 {
+		t.Errorf("native WiFi share = %v, want ~0.95-0.97", wifiShare)
+	}
+}
+
+func TestSubscriberFields(t *testing.T) {
+	m := OoklaModel(plans.CityA())
+	rng := stats.NewRNG(5)
+	sawAndroidMem := false
+	for i := 0; i < 2000; i++ {
+		s := m.NewSubscriber(i, rng)
+		if s.TestsPerYear < 1 {
+			t.Fatalf("TestsPerYear = %d", s.TestsPerYear)
+		}
+		if s.Plan.Download == 0 {
+			t.Fatal("empty plan")
+		}
+		if s.Tier < 1 || s.Tier > 6 {
+			t.Fatalf("tier = %d", s.Tier)
+		}
+		if s.Platform == device.Android && s.KernelMemMB > 0 {
+			sawAndroidMem = true
+		}
+	}
+	if !sawAndroidMem {
+		t.Error("no Android subscriber with kernel memory metadata")
+	}
+}
+
+func TestHeavyTailedTestCounts(t *testing.T) {
+	m := OoklaModel(plans.CityA())
+	rng := stats.NewRNG(6)
+	ge5 := 0
+	n := 10000
+	for i := 0; i < n; i++ {
+		if m.NewSubscriber(i, rng).TestsPerYear >= 5 {
+			ge5++
+		}
+	}
+	share := float64(ge5) / float64(n)
+	// Paper: 23k of 85k users issued >= 5 tests (~27%).
+	if share < 0.1 || share > 0.45 {
+		t.Errorf(">=5-tests user share = %v, want ~0.27", share)
+	}
+}
+
+func TestSampleTestTimeDistribution(t *testing.T) {
+	rng := stats.NewRNG(7)
+	counts := make([]int, 4)
+	n := 40000
+	for i := 0; i < n; i++ {
+		ts := SampleTestTime(rng)
+		if ts.Year() != 2021 {
+			t.Fatalf("year = %d", ts.Year())
+		}
+		counts[HourBin(ts)]++
+	}
+	wants := []float64{0.10, 0.22, 0.35, 0.33}
+	for i, want := range wants {
+		got := float64(counts[i]) / float64(n)
+		if got < want-0.03 || got > want+0.03 {
+			t.Errorf("bin %s share = %v, want ~%v", HourBinLabel(i), got, want)
+		}
+	}
+}
+
+func TestHourBinLabels(t *testing.T) {
+	wants := []string{"00-06", "06-12", "12-18", "18-00"}
+	for i, w := range wants {
+		if HourBinLabel(i) != w {
+			t.Errorf("label %d = %q", i, HourBinLabel(i))
+		}
+	}
+	if HourBinLabel(9) != "?" {
+		t.Error("out-of-range label")
+	}
+	if HourBin(time.Date(2021, 5, 1, 13, 0, 0, 0, time.UTC)) != 2 {
+		t.Error("HourBin(13h) != 2")
+	}
+}
+
+func TestTestScenarioWiFiJitter(t *testing.T) {
+	m := OoklaModel(plans.CityA())
+	rng := stats.NewRNG(8)
+	var s Subscriber
+	for {
+		s = m.NewSubscriber(0, rng)
+		if s.Platform == device.Android {
+			break
+		}
+	}
+	ts := time.Date(2021, 3, 4, 14, 0, 0, 0, time.UTC)
+	sc1 := m.TestScenario(&s, netsim.VendorOokla, ts, rng)
+	sc2 := m.TestScenario(&s, netsim.VendorOokla, ts, rng)
+	if sc1.Home.Ethernet {
+		t.Fatal("Android scenario should be WiFi")
+	}
+	if sc1.Home.WiFi.RSSI == sc2.Home.WiFi.RSSI {
+		t.Error("per-test RSSI jitter missing")
+	}
+	if sc1.Hour != 14 {
+		t.Errorf("hour = %d", sc1.Hour)
+	}
+	if sc1.Device.KernelMemMB <= 0 || sc1.Device.KernelMemMB > s.KernelMemMB {
+		t.Errorf("per-test kernel memory %d vs nominal %d", sc1.Device.KernelMemMB, s.KernelMemMB)
+	}
+	if sc1.Home.WiFi.Contention > 0.95 {
+		t.Error("contention cap exceeded")
+	}
+}
+
+func TestTestScenarioWired(t *testing.T) {
+	m := MBAModel(plans.CityA())
+	rng := stats.NewRNG(9)
+	s := m.NewSubscriber(0, rng)
+	sc := m.TestScenario(&s, netsim.VendorOokla, time.Now(), rng)
+	if !sc.Home.Ethernet {
+		t.Error("MBA scenario should be wired")
+	}
+	if sc.Device.KernelMemMB != 0 {
+		t.Error("wired unit should not report kernel memory")
+	}
+}
+
+func TestEthernetUsersSkewPremium(t *testing.T) {
+	// Table 3's Desktop Ethernet-App column concentrates on the top
+	// tier; the model must reflect that.
+	m := OoklaModel(plans.CityA())
+	rng := stats.NewRNG(21)
+	ethTop, ethTotal := 0, 0
+	wifiTop, wifiTotal := 0, 0
+	for i := 0; i < 60000; i++ {
+		s := m.NewSubscriber(i, rng)
+		if s.Platform == device.DesktopEthernet {
+			ethTotal++
+			if s.Tier == 6 {
+				ethTop++
+			}
+		} else if s.Platform == device.IOS {
+			wifiTotal++
+			if s.Tier == 6 {
+				wifiTop++
+			}
+		}
+	}
+	if ethTotal < 500 || wifiTotal < 500 {
+		t.Fatalf("samples too small: %d / %d", ethTotal, wifiTotal)
+	}
+	ethShare := float64(ethTop) / float64(ethTotal)
+	wifiShare := float64(wifiTop) / float64(wifiTotal)
+	if ethShare < 0.3 || ethShare > 0.5 {
+		t.Errorf("Ethernet top-tier share = %v, want ~0.4", ethShare)
+	}
+	if ethShare <= wifiShare {
+		t.Errorf("Ethernet top-tier share %v should exceed iOS share %v", ethShare, wifiShare)
+	}
+}
+
+func TestWithOnlyPlatform(t *testing.T) {
+	m := OoklaModel(plans.CityA()).WithOnlyPlatform(device.Android)
+	rng := stats.NewRNG(22)
+	for i := 0; i < 1000; i++ {
+		if s := m.NewSubscriber(i, rng); s.Platform != device.Android {
+			t.Fatalf("platform = %v", s.Platform)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package report
+
+import (
+	"fmt"
+	"io"
+)
+
+// Heatmap is a 2-D density field with axis coordinates, used for the joint
+// <upload, download> density views.
+type Heatmap struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	// Xs and Ys are the axis coordinates; Values is row-major
+	// ([iy*len(Xs)+ix]).
+	Xs, Ys []float64
+	Values []float64
+}
+
+// Valid reports whether the dimensions are consistent.
+func (h *Heatmap) Valid() bool {
+	return len(h.Xs) > 0 && len(h.Ys) > 0 && len(h.Values) == len(h.Xs)*len(h.Ys)
+}
+
+// Write emits the heatmap as a labelled CSV block (x,y,value per line).
+func (h *Heatmap) Write(w io.Writer) error {
+	if !h.Valid() {
+		return fmt.Errorf("report: heatmap %q has inconsistent dimensions", h.ID)
+	}
+	if _, err := fmt.Fprintf(w, "# %s: %s\n# x=%s y=%s (%dx%d grid)\n",
+		h.ID, h.Title, h.XLabel, h.YLabel, len(h.Xs), len(h.Ys)); err != nil {
+		return err
+	}
+	for iy, y := range h.Ys {
+		for ix, x := range h.Xs {
+			if _, err := fmt.Fprintf(w, "%g,%g,%g\n", x, y, h.Values[iy*len(h.Xs)+ix]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ASCII renders the heatmap as a terminal shade plot (darker glyph = more
+// density), downsampling to at most width x height cells.
+func (h *Heatmap) ASCII(w io.Writer, width, height int) error {
+	if !h.Valid() {
+		return fmt.Errorf("report: heatmap %q has inconsistent dimensions", h.ID)
+	}
+	if width <= 0 || width > len(h.Xs) {
+		width = len(h.Xs)
+	}
+	if height <= 0 || height > len(h.Ys) {
+		height = len(h.Ys)
+	}
+	shades := []byte(" .:-=+*#%@")
+	maxV := 0.0
+	for _, v := range h.Values {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	if _, err := fmt.Fprintf(w, "%s  [x: %.3g..%.3g, y: %.3g..%.3g]\n",
+		h.Title, h.Xs[0], h.Xs[len(h.Xs)-1], h.Ys[0], h.Ys[len(h.Ys)-1]); err != nil {
+		return err
+	}
+	for row := height - 1; row >= 0; row-- {
+		line := make([]byte, width)
+		iy := row * (len(h.Ys) - 1) / maxInt(height-1, 1)
+		for col := 0; col < width; col++ {
+			ix := col * (len(h.Xs) - 1) / maxInt(width-1, 1)
+			v := h.Values[iy*len(h.Xs)+ix] / maxV
+			idx := int(v * float64(len(shades)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			line[col] = shades[idx]
+		}
+		if _, err := fmt.Fprintf(w, "|%s|\n", line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

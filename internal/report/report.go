@@ -1,0 +1,218 @@
+// Package report renders the reproduction's tables and figures as text:
+// aligned tables for the paper's Tables 1-7, CDF and density series for its
+// figures, and compact ASCII sparkcharts for terminal inspection. Every
+// emitter writes to an io.Writer so the CLI, the benches and the tests share
+// one implementation.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"speedctx/internal/stats"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; values are stringified with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmtFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// fmtFloat renders floats compactly: two decimals, trimming trailing zeros.
+func fmtFloat(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// Write renders the table.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		_, err := fmt.Fprintf(w, "| %s |\n", strings.Join(parts, " | "))
+		return err
+	}
+	if err := line(t.Headers); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(sep); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		// Pad short rows so ragged input still renders.
+		for len(row) < len(t.Headers) {
+			row = append(row, "")
+		}
+		if err := line(row[:len(t.Headers)]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is one named curve of a figure.
+type Series struct {
+	Name   string
+	Points []stats.Point
+}
+
+// Figure is a set of curves with axis labels, emitted as CSV-like data
+// blocks that plot directly in any tool, plus an optional ASCII rendering.
+type Figure struct {
+	ID     string // e.g. "fig9a"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// AddCDF appends a CDF curve built from raw values, downsampled to n
+// points.
+func (f *Figure) AddCDF(name string, values []float64, n int) {
+	e := stats.NewECDF(values)
+	f.Series = append(f.Series, Series{Name: name, Points: e.Points(n)})
+}
+
+// AddSeries appends a precomputed curve.
+func (f *Figure) AddSeries(name string, pts []stats.Point) {
+	f.Series = append(f.Series, Series{Name: name, Points: pts})
+}
+
+// Write emits the figure as labelled data blocks.
+func (f *Figure) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s: %s\n# x=%s y=%s\n", f.ID, f.Title, f.XLabel, f.YLabel); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		if _, err := fmt.Fprintf(w, "## series %s (%d points)\n", s.Name, len(s.Points)); err != nil {
+			return err
+		}
+		for _, p := range s.Points {
+			if _, err := fmt.Fprintf(w, "%g,%g\n", p.X, p.Y); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ASCIIPlot renders the figure's series as a crude terminal chart of the
+// given size. Each series gets a distinct glyph. Intended for quick visual
+// checks, not publication.
+func (f *Figure) ASCIIPlot(w io.Writer, width, height int) error {
+	if width < 10 {
+		width = 60
+	}
+	if height < 4 {
+		height = 16
+	}
+	glyphs := []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+	minX, maxX, maxY := f.bounds()
+	if maxX <= minX {
+		maxX = minX + 1
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range f.Series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range s.Points {
+			col := int(float64(width-1) * (p.X - minX) / (maxX - minX))
+			row := height - 1 - int(float64(height-1)*p.Y/maxY)
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = g
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s  [x: %.3g..%.3g, y: 0..%.3g]\n", f.Title, minX, maxX, maxY); err != nil {
+		return err
+	}
+	for _, row := range grid {
+		if _, err := fmt.Fprintf(w, "|%s|\n", row); err != nil {
+			return err
+		}
+	}
+	for si, s := range f.Series {
+		if _, err := fmt.Fprintf(w, "  %c %s\n", glyphs[si%len(glyphs)], s.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *Figure) bounds() (minX, maxX, maxY float64) {
+	first := true
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if first {
+				minX, maxX, maxY = p.X, p.X, p.Y
+				first = false
+				continue
+			}
+			if p.X < minX {
+				minX = p.X
+			}
+			if p.X > maxX {
+				maxX = p.X
+			}
+			if p.Y > maxY {
+				maxY = p.Y
+			}
+		}
+	}
+	return minX, maxX, maxY
+}

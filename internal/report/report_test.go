@@ -1,0 +1,186 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"speedctx/internal/stats"
+)
+
+func TestTableWrite(t *testing.T) {
+	tb := &Table{
+		Title:   "Table X",
+		Headers: []string{"City", "ISP", "Tests"},
+	}
+	tb.AddRow("A", "ISP-A", 214000)
+	tb.AddRow("B", "ISP-B", 205000)
+	var buf bytes.Buffer
+	if err := tb.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Table X") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "| City | ISP   | Tests  |") {
+		t.Errorf("header misaligned:\n%s", out)
+	}
+	if !strings.Contains(out, "214000") || !strings.Contains(out, "ISP-B") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title + header + sep + 2 rows
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := &Table{Headers: []string{"v"}}
+	tb.AddRow(5.25)
+	tb.AddRow(40.0)
+	tb.AddRow(0.10000001)
+	var buf bytes.Buffer
+	if err := tb.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"5.25", "40", "0.1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "40.00") {
+		t.Error("trailing zeros not trimmed")
+	}
+}
+
+func TestTableRaggedRow(t *testing.T) {
+	tb := &Table{Headers: []string{"a", "b"}}
+	tb.Rows = append(tb.Rows, []string{"only"})
+	var buf bytes.Buffer
+	if err := tb.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "only") {
+		t.Error("ragged row dropped")
+	}
+}
+
+func TestFigureWrite(t *testing.T) {
+	f := &Figure{ID: "fig9a", Title: "Access Type", XLabel: "norm", YLabel: "cdf"}
+	f.AddCDF("WiFi", []float64{0.1, 0.2, 0.3, 0.4}, 4)
+	f.AddSeries("Ethernet", []stats.Point{{X: 0.7, Y: 0.5}, {X: 0.9, Y: 1}})
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# fig9a", "## series WiFi (4 points)", "## series Ethernet (2 points)", "0.7,0.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureCDFMonotone(t *testing.T) {
+	f := &Figure{ID: "x"}
+	f.AddCDF("s", []float64{5, 1, 3, 2, 4, 9, 7}, 5)
+	pts := f.Series[0].Points
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X < pts[i-1].X || pts[i].Y < pts[i-1].Y {
+			t.Fatalf("CDF not monotone: %v", pts)
+		}
+	}
+	if pts[len(pts)-1].Y != 1 {
+		t.Errorf("CDF should end at 1, got %v", pts[len(pts)-1].Y)
+	}
+}
+
+func TestASCIIPlot(t *testing.T) {
+	f := &Figure{ID: "fig", Title: "demo"}
+	f.AddCDF("a", []float64{1, 2, 3, 4, 5, 6, 7, 8}, 8)
+	var buf bytes.Buffer
+	if err := f.ASCIIPlot(&buf, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "*") {
+		t.Error("no glyphs plotted")
+	}
+	if !strings.Contains(out, "demo") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title + 10 grid rows + 1 legend
+	if len(lines) != 12 {
+		t.Errorf("line count = %d", len(lines))
+	}
+	// Tiny dimensions fall back to defaults without panicking.
+	var buf2 bytes.Buffer
+	if err := f.ASCIIPlot(&buf2, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestASCIIPlotEmptyFigure(t *testing.T) {
+	f := &Figure{ID: "empty", Title: "empty"}
+	var buf bytes.Buffer
+	if err := f.ASCIIPlot(&buf, 20, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeatmapWrite(t *testing.T) {
+	h := &Heatmap{
+		ID: "hm", Title: "demo", XLabel: "x", YLabel: "y",
+		Xs: []float64{0, 1}, Ys: []float64{0, 1, 2},
+		Values: []float64{0, 1, 2, 3, 4, 5},
+	}
+	if !h.Valid() {
+		t.Fatal("heatmap should be valid")
+	}
+	var buf bytes.Buffer
+	if err := h.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# hm: demo") || !strings.Contains(out, "1,2,5") {
+		t.Errorf("heatmap output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2+6 {
+		t.Errorf("line count = %d", len(lines))
+	}
+}
+
+func TestHeatmapASCII(t *testing.T) {
+	h := &Heatmap{
+		ID: "hm", Title: "demo",
+		Xs: []float64{0, 1, 2, 3}, Ys: []float64{0, 1, 2, 3},
+		Values: []float64{
+			0, 0, 0, 0,
+			0, 5, 5, 0,
+			0, 5, 5, 0,
+			0, 0, 0, 0,
+		},
+	}
+	var buf bytes.Buffer
+	if err := h.ASCII(&buf, 4, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "@") {
+		t.Errorf("no dense glyph in:\n%s", buf.String())
+	}
+}
+
+func TestHeatmapInvalid(t *testing.T) {
+	h := &Heatmap{Xs: []float64{0}, Ys: []float64{0}, Values: []float64{1, 2}}
+	var buf bytes.Buffer
+	if err := h.Write(&buf); err == nil {
+		t.Error("inconsistent heatmap should error")
+	}
+	if err := h.ASCII(&buf, 2, 2); err == nil {
+		t.Error("inconsistent heatmap ASCII should error")
+	}
+}

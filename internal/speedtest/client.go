@@ -1,0 +1,211 @@
+package speedtest
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"speedctx/internal/units"
+)
+
+// ClientSpec is a measurement methodology, mirroring tcpmodel.TestSpec but
+// for real sockets.
+type ClientSpec struct {
+	// Connections is the number of parallel TCP connections.
+	Connections int
+	// Duration is the transfer time per connection.
+	Duration time.Duration
+	// WarmupDiscard excludes the initial ramp from the reported average.
+	WarmupDiscard time.Duration
+}
+
+// OoklaStyle returns the multi-connection methodology (4 connections over
+// loopback are ample; real Ookla uses more over the WAN).
+func OoklaStyle() ClientSpec {
+	return ClientSpec{Connections: 4, Duration: 3 * time.Second, WarmupDiscard: 500 * time.Millisecond}
+}
+
+// NDTStyle returns the single-connection methodology whose average includes
+// the ramp.
+func NDTStyle() ClientSpec {
+	return ClientSpec{Connections: 1, Duration: 3 * time.Second}
+}
+
+// Result is a completed measurement.
+type Result struct {
+	Throughput units.Mbps
+	// Bytes is the payload volume counted toward the measurement
+	// (post-warmup).
+	Bytes int64
+	// Elapsed is the measured interval.
+	Elapsed time.Duration
+	// Connections is how many connections completed.
+	Connections int
+}
+
+// Download runs a download test against addr with the given methodology.
+func Download(ctx context.Context, addr string, spec ClientSpec) (Result, error) {
+	return run(ctx, addr, spec, runDownloadConn)
+}
+
+// Upload runs an upload test against addr.
+func Upload(ctx context.Context, addr string, spec ClientSpec) (Result, error) {
+	return run(ctx, addr, spec, runUploadConn)
+}
+
+// Ping measures a request/response round trip.
+func Ping(ctx context.Context, addr string) (time.Duration, error) {
+	d := net.Dialer{}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	start := time.Now()
+	if _, err := io.WriteString(conn, "PING\n"); err != nil {
+		return 0, err
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return 0, err
+	}
+	if strings.TrimSpace(line) != "PONG" {
+		return 0, fmt.Errorf("speedtest: unexpected ping reply %q", line)
+	}
+	return time.Since(start), nil
+}
+
+type connFunc func(ctx context.Context, addr string, spec ClientSpec, measured *int64) error
+
+// run fans out spec.Connections transfers, counts post-warmup bytes, and
+// reports the aggregate goodput over the measured window.
+func run(ctx context.Context, addr string, spec ClientSpec, f connFunc) (Result, error) {
+	if spec.Connections < 1 {
+		spec.Connections = 1
+	}
+	if spec.Duration <= 0 {
+		spec.Duration = 3 * time.Second
+	}
+	if spec.WarmupDiscard >= spec.Duration {
+		spec.WarmupDiscard = spec.Duration / 4
+	}
+	var measured int64
+	var wg sync.WaitGroup
+	errs := make([]error, spec.Connections)
+	for i := 0; i < spec.Connections; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = f(ctx, addr, spec, &measured)
+		}(i)
+	}
+	wg.Wait()
+	var firstErr error
+	completed := 0
+	for _, err := range errs {
+		if err == nil {
+			completed++
+		} else if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if completed == 0 {
+		return Result{}, fmt.Errorf("speedtest: all connections failed: %w", firstErr)
+	}
+	window := spec.Duration - spec.WarmupDiscard
+	bytes := atomic.LoadInt64(&measured)
+	return Result{
+		Throughput:  units.FromBytesPerSecond(float64(bytes) / window.Seconds()),
+		Bytes:       bytes,
+		Elapsed:     window,
+		Connections: completed,
+	}, nil
+}
+
+// runDownloadConn reads the server's stream, counting bytes after the
+// warmup instant.
+func runDownloadConn(ctx context.Context, addr string, spec ClientSpec, measured *int64) error {
+	d := net.Dialer{}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "DOWNLOAD %d\n", spec.Duration.Milliseconds()); err != nil {
+		return err
+	}
+	start := time.Now()
+	warmupEnd := start.Add(spec.WarmupDiscard)
+	end := start.Add(spec.Duration)
+	buf := make([]byte, 64*1024)
+	for {
+		conn.SetReadDeadline(end.Add(2 * time.Second))
+		n, err := conn.Read(buf)
+		now := time.Now()
+		if n > 0 && now.After(warmupEnd) {
+			atomic.AddInt64(measured, int64(n))
+		}
+		if err != nil {
+			if errors.Is(err, io.EOF) || now.After(end) {
+				return nil
+			}
+			return err
+		}
+		if now.After(end) {
+			return nil
+		}
+	}
+}
+
+// runUploadConn streams bytes to the server for the duration, counting
+// post-warmup sends (TCP backpressure from the shaped server paces us).
+func runUploadConn(ctx context.Context, addr string, spec ClientSpec, measured *int64) error {
+	d := net.Dialer{}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "UPLOAD %d\n", spec.Duration.Milliseconds()); err != nil {
+		return err
+	}
+	start := time.Now()
+	warmupEnd := start.Add(spec.WarmupDiscard)
+	end := start.Add(spec.Duration)
+	buf := make([]byte, 32*1024)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	for time.Now().Before(end) {
+		conn.SetWriteDeadline(end.Add(2 * time.Second))
+		n, err := conn.Write(buf)
+		if n > 0 && time.Now().After(warmupEnd) {
+			atomic.AddInt64(measured, int64(n))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	// Half-close to signal completion; read the server's byte-count ack.
+	type closeWriter interface{ CloseWrite() error }
+	if cw, ok := conn.(closeWriter); ok {
+		cw.CloseWrite()
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return fmt.Errorf("speedtest: missing upload ack: %w", err)
+	}
+	if !strings.HasPrefix(line, "OK ") {
+		return fmt.Errorf("speedtest: bad upload ack %q", line)
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package speedtest
+
+import (
+	"context"
+	"math"
+	"sort"
+	"time"
+
+	"speedctx/internal/units"
+)
+
+// LatencyStats summarizes a series of RTT samples.
+type LatencyStats struct {
+	Samples int
+	Min     time.Duration
+	Median  time.Duration
+	P95     time.Duration
+	// Jitter is the mean absolute difference between consecutive
+	// samples (RFC 3550-style smoothing omitted for transparency).
+	Jitter time.Duration
+}
+
+func summarizeLatency(samples []time.Duration) LatencyStats {
+	s := LatencyStats{Samples: len(samples)}
+	if len(samples) == 0 {
+		return s
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	s.Min = sorted[0]
+	s.Median = sorted[len(sorted)/2]
+	p95 := int(math.Ceil(0.95*float64(len(sorted)))) - 1
+	if p95 < 0 {
+		p95 = 0
+	}
+	s.P95 = sorted[p95]
+	var jitterSum time.Duration
+	for i := 1; i < len(samples); i++ {
+		d := samples[i] - samples[i-1]
+		if d < 0 {
+			d = -d
+		}
+		jitterSum += d
+	}
+	if len(samples) > 1 {
+		s.Jitter = jitterSum / time.Duration(len(samples)-1)
+	}
+	return s
+}
+
+// LoadedResult is a download measurement with latency measured before
+// (idle) and during (loaded) the transfer — the responsiveness metric
+// modern speed tests report and the paper's recommended metadata set
+// implies.
+type LoadedResult struct {
+	Download units.Mbps
+	Idle     LatencyStats
+	Loaded   LatencyStats
+}
+
+// DownloadWithLatency runs a download test while a parallel prober measures
+// RTT at the given interval over a separate connection per probe; it also
+// measures idle latency before starting. probeInterval <= 0 selects 100 ms.
+func DownloadWithLatency(ctx context.Context, addr string, spec ClientSpec, probeInterval time.Duration) (LoadedResult, error) {
+	if probeInterval <= 0 {
+		probeInterval = 100 * time.Millisecond
+	}
+	var out LoadedResult
+
+	// Idle baseline: a handful of pings before load starts.
+	var idle []time.Duration
+	for i := 0; i < 5; i++ {
+		rtt, err := Ping(ctx, addr)
+		if err != nil {
+			return out, err
+		}
+		idle = append(idle, rtt)
+	}
+	out.Idle = summarizeLatency(idle)
+
+	probeCtx, stopProbes := context.WithCancel(ctx)
+	defer stopProbes()
+	probed := make(chan []time.Duration, 1)
+	go func() {
+		var samples []time.Duration
+		ticker := time.NewTicker(probeInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-probeCtx.Done():
+				probed <- samples
+				return
+			case <-ticker.C:
+				// Each probe is its own connection, like a real
+				// responsiveness test; failures during teardown
+				// are expected and skipped.
+				if rtt, err := Ping(probeCtx, addr); err == nil {
+					samples = append(samples, rtt)
+				}
+			}
+		}
+	}()
+
+	res, err := Download(ctx, addr, spec)
+	stopProbes()
+	loaded := <-probed
+	if err != nil {
+		return out, err
+	}
+	out.Download = res.Throughput
+	out.Loaded = summarizeLatency(loaded)
+	return out, nil
+}

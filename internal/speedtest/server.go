@@ -1,0 +1,255 @@
+package speedtest
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ServerConfig shapes the test server.
+type ServerConfig struct {
+	// TotalRate is the aggregate byte rate across all connections
+	// (the provisioned access-link emulation). <= 0 means unlimited.
+	TotalRate float64
+	// PerConnRate caps each connection's byte rate — the per-flow
+	// ceiling that loss/fair-queueing impose on real paths. <= 0 means
+	// unlimited.
+	PerConnRate float64
+	// MaxDuration bounds any single transfer. Defaults to 60 s.
+	MaxDuration time.Duration
+	// Logf receives server diagnostics; nil silences them.
+	Logf func(format string, args ...interface{})
+}
+
+// Server is a shaped speed-test server.
+type Server struct {
+	cfg      ServerConfig
+	ln       net.Listener
+	total    *TokenBucket
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+	chunkLen int
+}
+
+// NewServer listens on addr (e.g. "127.0.0.1:0") and starts serving.
+func NewServer(addr string, cfg ServerConfig) (*Server, error) {
+	if cfg.MaxDuration <= 0 {
+		cfg.MaxDuration = 60 * time.Second
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("speedtest: listen: %w", err)
+	}
+	s := &Server{
+		cfg:      cfg,
+		ln:       ln,
+		conns:    map[net.Conn]struct{}{},
+		chunkLen: 32 * 1024,
+	}
+	if cfg.TotalRate > 0 {
+		s.total = NewTokenBucket(cfg.TotalRate, 0)
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and all in-flight transfers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if !errors.Is(err, net.ErrClosed) {
+				s.logf("accept: %v", err)
+			}
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			if err := s.serve(conn); err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("conn %v: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// serve handles one connection: a single command then the bulk phase.
+func (s *Server) serve(conn net.Conn) error {
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	br := bufio.NewReader(conn)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return err
+	}
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) == 0 {
+		return errors.New("empty command")
+	}
+	switch fields[0] {
+	case "PING":
+		_, err := io.WriteString(conn, "PONG\n")
+		return err
+	case "DOWNLOAD":
+		d, err := parseDurationMS(fields)
+		if err != nil {
+			return err
+		}
+		return s.serveDownload(conn, d)
+	case "UPLOAD":
+		d, err := parseDurationMS(fields)
+		if err != nil {
+			return err
+		}
+		return s.serveUpload(conn, br, d)
+	default:
+		return fmt.Errorf("unknown command %q", fields[0])
+	}
+}
+
+func parseDurationMS(fields []string) (time.Duration, error) {
+	if len(fields) != 2 {
+		return 0, fmt.Errorf("want: %s <ms>", fields[0])
+	}
+	ms, err := strconv.Atoi(fields[1])
+	if err != nil || ms <= 0 {
+		return 0, fmt.Errorf("bad duration %q", fields[1])
+	}
+	return time.Duration(ms) * time.Millisecond, nil
+}
+
+// serveDownload streams shaped bytes for the duration.
+func (s *Server) serveDownload(conn net.Conn, d time.Duration) error {
+	if d > s.cfg.MaxDuration {
+		d = s.cfg.MaxDuration
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	var perConn *TokenBucket
+	if s.cfg.PerConnRate > 0 {
+		perConn = NewTokenBucket(s.cfg.PerConnRate, 0)
+	}
+	buf := make([]byte, s.chunkLen)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	deadline := time.Now().Add(d)
+	conn.SetReadDeadline(time.Time{})
+	for time.Now().Before(deadline) {
+		if err := s.total.Take(ctx, len(buf)); err != nil {
+			break
+		}
+		if err := perConn.Take(ctx, len(buf)); err != nil {
+			break
+		}
+		conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+		if _, err := conn.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// serveUpload discards shaped bytes until the client half-closes, then
+// acknowledges the byte count.
+func (s *Server) serveUpload(conn net.Conn, br *bufio.Reader, d time.Duration) error {
+	if d > s.cfg.MaxDuration {
+		d = s.cfg.MaxDuration
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d+10*time.Second)
+	defer cancel()
+	var perConn *TokenBucket
+	if s.cfg.PerConnRate > 0 {
+		perConn = NewTokenBucket(s.cfg.PerConnRate, 0)
+	}
+	buf := make([]byte, s.chunkLen)
+	var total int64
+	conn.SetReadDeadline(time.Now().Add(d + 10*time.Second))
+	for {
+		// Shaping on the read side applies backpressure through TCP
+		// flow control, exactly like a shaped uplink.
+		if err := s.total.Take(ctx, len(buf)); err != nil {
+			break
+		}
+		if err := perConn.Take(ctx, len(buf)); err != nil {
+			break
+		}
+		n, err := br.Read(buf)
+		total += int64(n)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return err
+		}
+	}
+	conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	_, err := fmt.Fprintf(conn, "OK %d\n", total)
+	return err
+}
+
+// ListenAndServeUntil runs a server until ctx is done — the body of
+// cmd/speedtestd.
+func ListenAndServeUntil(ctx context.Context, addr string, cfg ServerConfig) error {
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	s, err := NewServer(addr, cfg)
+	if err != nil {
+		return err
+	}
+	cfg.Logf("speedtestd listening on %s (total %.0f B/s, per-conn %.0f B/s)",
+		s.Addr(), cfg.TotalRate, cfg.PerConnRate)
+	<-ctx.Done()
+	return s.Close()
+}

@@ -1,0 +1,90 @@
+// Package speedtest implements a real TCP speed-test protocol over the
+// loopback (or any) network: a shaped server and two client methodologies —
+// multi-connection with warm-up discard (Ookla-style) and single-connection
+// whole-test average (NDT-style). It grounds the repo's simulated vendor
+// comparison (§6.3) in actual sockets: the server's per-connection rate cap
+// emulates the per-flow ceiling that loss and fair queueing impose on real
+// paths, which parallel connections overcome and a single connection
+// cannot.
+//
+// Protocol (text header, then bulk bytes):
+//
+//	client -> server:  "DOWNLOAD <ms>\n" | "UPLOAD <ms>\n" | "PING\n"
+//	DOWNLOAD: server streams bytes for the duration, then closes.
+//	UPLOAD:   client streams bytes for the duration; server discards and
+//	          replies "OK <bytes>\n" after the client half-closes.
+//	PING:     server echoes "PONG\n".
+package speedtest
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// TokenBucket is a blocking byte-rate limiter shared by any number of
+// writers. A zero-rate bucket is unlimited.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // bytes per second; <= 0 means unlimited
+	burst  float64 // bucket capacity in bytes
+	tokens float64
+	last   time.Time
+}
+
+// NewTokenBucket creates a limiter for rate bytes/second with the given
+// burst (defaults to 1/50th of a second of rate when <= 0).
+func NewTokenBucket(bytesPerSecond float64, burst float64) *TokenBucket {
+	if burst <= 0 {
+		burst = bytesPerSecond / 50
+		if burst < 64*1024 {
+			burst = 64 * 1024
+		}
+	}
+	return &TokenBucket{rate: bytesPerSecond, burst: burst, tokens: burst, last: time.Now()}
+}
+
+// Take blocks until n tokens are available or ctx is done; it returns
+// ctx.Err() in the latter case. n larger than the burst is satisfied in
+// bursts.
+func (b *TokenBucket) Take(ctx context.Context, n int) error {
+	if b == nil || b.rate <= 0 {
+		return ctx.Err()
+	}
+	remaining := float64(n)
+	for remaining > 0 {
+		b.mu.Lock()
+		now := time.Now()
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		b.last = now
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		take := b.tokens
+		if take > remaining {
+			take = remaining
+		}
+		if take > 0 {
+			b.tokens -= take
+			remaining -= take
+		}
+		deficit := remaining
+		if deficit > b.burst {
+			deficit = b.burst
+		}
+		wait := time.Duration(deficit / b.rate * float64(time.Second))
+		b.mu.Unlock()
+		if remaining <= 0 {
+			return nil
+		}
+		if wait < time.Millisecond {
+			wait = time.Millisecond
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(wait):
+		}
+	}
+	return nil
+}

@@ -1,0 +1,240 @@
+package speedtest
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, cfg ServerConfig) *Server {
+	t.Helper()
+	s, err := NewServer("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestPing(t *testing.T) {
+	s := newTestServer(t, ServerConfig{})
+	rtt, err := Ping(context.Background(), s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt <= 0 || rtt > time.Second {
+		t.Errorf("rtt = %v", rtt)
+	}
+}
+
+func TestDownloadShapedRate(t *testing.T) {
+	// 10 MB/s total => 80 Mbps.
+	s := newTestServer(t, ServerConfig{TotalRate: 10e6})
+	spec := ClientSpec{Connections: 2, Duration: 1500 * time.Millisecond, WarmupDiscard: 300 * time.Millisecond}
+	res, err := Download(context.Background(), s.Addr(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(res.Throughput)
+	if got < 55 || got > 92 {
+		t.Errorf("shaped download = %v Mbps, want ~80", got)
+	}
+	if res.Connections != 2 {
+		t.Errorf("connections = %d", res.Connections)
+	}
+	if res.Bytes <= 0 {
+		t.Error("no bytes measured")
+	}
+}
+
+func TestPerConnCapCreatesVendorGap(t *testing.T) {
+	// Total 40 MB/s, per-connection 4 MB/s: a single connection is
+	// per-flow-limited (~32 Mbps) while four connections reach ~128.
+	s := newTestServer(t, ServerConfig{TotalRate: 40e6, PerConnRate: 4e6})
+	single, err := Download(context.Background(), s.Addr(),
+		ClientSpec{Connections: 1, Duration: 1200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := Download(context.Background(), s.Addr(),
+		ClientSpec{Connections: 4, Duration: 1200 * time.Millisecond, WarmupDiscard: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(multi.Throughput) / float64(single.Throughput)
+	if ratio < 2 {
+		t.Errorf("multi/single ratio = %v (multi=%v single=%v), want >= 2",
+			ratio, multi.Throughput, single.Throughput)
+	}
+	if float64(single.Throughput) > 40 {
+		t.Errorf("single-connection throughput %v exceeds per-conn cap ~32 Mbps", single.Throughput)
+	}
+}
+
+func TestUploadShaped(t *testing.T) {
+	s := newTestServer(t, ServerConfig{TotalRate: 5e6}) // ~40 Mbps
+	res, err := Upload(context.Background(), s.Addr(),
+		ClientSpec{Connections: 1, Duration: 1200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(res.Throughput)
+	// Sender-side counting + TCP buffering makes upload measurement
+	// looser; demand the right ballpark.
+	if got < 20 || got > 120 {
+		t.Errorf("shaped upload = %v Mbps, want ~40", got)
+	}
+}
+
+func TestUnlimitedLoopbackIsFast(t *testing.T) {
+	s := newTestServer(t, ServerConfig{})
+	res, err := Download(context.Background(), s.Addr(),
+		ClientSpec{Connections: 1, Duration: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(res.Throughput) < 500 {
+		t.Errorf("unshaped loopback = %v Mbps; expected very fast", res.Throughput)
+	}
+}
+
+func TestServerRejectsBadCommands(t *testing.T) {
+	s := newTestServer(t, ServerConfig{})
+	// Bad duration.
+	if _, err := Download(context.Background(), s.Addr(), ClientSpec{
+		Connections: 1, Duration: -1,
+	}); err != nil {
+		// Negative durations are normalized client-side; no error
+		// expected here.
+		t.Fatalf("normalized spec failed: %v", err)
+	}
+}
+
+func TestServerClose(t *testing.T) {
+	s := newTestServer(t, ServerConfig{TotalRate: 1e6})
+	ctx := context.Background()
+	done := make(chan error, 1)
+	go func() {
+		_, err := Download(ctx, s.Addr(), ClientSpec{Connections: 1, Duration: 10 * time.Second})
+		done <- err
+	}()
+	time.Sleep(200 * time.Millisecond)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+		// Either nil (EOF treated as completion) or a network error —
+		// the point is the client returns promptly.
+	case <-time.After(5 * time.Second):
+		t.Fatal("client hung after server close")
+	}
+	// Double close is fine.
+	if err := s.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+func TestListenAndServeUntil(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- ListenAndServeUntil(ctx, "127.0.0.1:0", ServerConfig{Logf: func(string, ...interface{}) {}})
+	}()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not stop")
+	}
+}
+
+func TestTokenBucketRate(t *testing.T) {
+	b := NewTokenBucket(1e6, 10000) // 1 MB/s
+	ctx := context.Background()
+	start := time.Now()
+	total := 0
+	for total < 300000 { // 0.3 MB => ~0.3 s
+		if err := b.Take(ctx, 10000); err != nil {
+			t.Fatal(err)
+		}
+		total += 10000
+	}
+	elapsed := time.Since(start).Seconds()
+	rate := float64(total) / elapsed
+	if math.Abs(rate-1e6) > 0.35e6 {
+		t.Errorf("bucket rate = %v B/s, want ~1e6", rate)
+	}
+}
+
+func TestTokenBucketUnlimited(t *testing.T) {
+	var b *TokenBucket
+	if err := b.Take(context.Background(), 1<<30); err != nil {
+		t.Errorf("nil bucket should be unlimited: %v", err)
+	}
+	b2 := NewTokenBucket(0, 0)
+	if err := b2.Take(context.Background(), 1<<30); err != nil {
+		t.Errorf("zero-rate bucket should be unlimited: %v", err)
+	}
+}
+
+func TestTokenBucketContextCancel(t *testing.T) {
+	b := NewTokenBucket(1000, 100) // 1 KB/s: a big take would block long
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := b.Take(ctx, 1<<20); err == nil {
+		t.Error("cancelled take should error")
+	}
+}
+
+func TestSummarizeLatency(t *testing.T) {
+	s := summarizeLatency(nil)
+	if s.Samples != 0 || s.Median != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+	samples := []time.Duration{
+		3 * time.Millisecond, 1 * time.Millisecond, 2 * time.Millisecond,
+		10 * time.Millisecond, 2 * time.Millisecond,
+	}
+	s = summarizeLatency(samples)
+	if s.Min != time.Millisecond {
+		t.Errorf("min = %v", s.Min)
+	}
+	if s.Median != 2*time.Millisecond {
+		t.Errorf("median = %v", s.Median)
+	}
+	if s.P95 != 10*time.Millisecond {
+		t.Errorf("p95 = %v", s.P95)
+	}
+	// Jitter: |1-3|+|2-1|+|10-2|+|2-10| = 2+1+8+8 = 19ms / 4.
+	if s.Jitter != 19*time.Millisecond/4 {
+		t.Errorf("jitter = %v", s.Jitter)
+	}
+}
+
+func TestDownloadWithLatency(t *testing.T) {
+	s := newTestServer(t, ServerConfig{TotalRate: 8e6})
+	res, err := DownloadWithLatency(context.Background(), s.Addr(),
+		ClientSpec{Connections: 2, Duration: 1200 * time.Millisecond},
+		50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Download <= 0 {
+		t.Error("no download throughput")
+	}
+	if res.Idle.Samples != 5 {
+		t.Errorf("idle samples = %d", res.Idle.Samples)
+	}
+	if res.Loaded.Samples < 5 {
+		t.Errorf("loaded samples = %d, want several", res.Loaded.Samples)
+	}
+	if res.Idle.Min <= 0 || res.Loaded.Min <= 0 {
+		t.Error("non-positive RTTs")
+	}
+}

@@ -1,0 +1,357 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Component is one Gaussian component of a 1-D mixture: a weight, a mean and
+// a variance. Components are kept sorted by mean so that component index i
+// corresponds to the i-th slowest speed tier.
+type Component struct {
+	Weight   float64
+	Mean     float64
+	Variance float64
+}
+
+// StdDev returns the component's standard deviation.
+func (c Component) StdDev() float64 { return math.Sqrt(c.Variance) }
+
+func (c Component) String() string {
+	return fmt.Sprintf("N(mu=%.2f, sigma=%.2f, w=%.3f)", c.Mean, c.StdDev(), c.Weight)
+}
+
+// GMM is a one-dimensional Gaussian mixture model fit by
+// expectation-maximization. It is the clustering engine of the BST
+// methodology (§4.2): the paper chooses GMM over k-means because it models
+// each cluster's variance and weight, not only its mean.
+type GMM struct {
+	Components []Component
+	// LogLikelihood is the total data log-likelihood at convergence.
+	LogLikelihood float64
+	// Iterations is the number of EM iterations performed.
+	Iterations int
+	// Converged reports whether the log-likelihood improvement fell
+	// below the tolerance before the iteration cap.
+	Converged bool
+	n         int // sample size used for the fit (for BIC/AIC)
+}
+
+// GMMConfig tunes the EM fit.
+type GMMConfig struct {
+	// MaxIter caps EM iterations. Default 200.
+	MaxIter int
+	// Tol is the absolute log-likelihood improvement below which the fit
+	// is considered converged. Default 1e-6.
+	Tol float64
+	// MinVariance floors component variances to keep the model from
+	// collapsing onto a single point. Default 1e-4.
+	MinVariance float64
+}
+
+func (c *GMMConfig) defaults() {
+	if c.MaxIter <= 0 {
+		c.MaxIter = 200
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-6
+	}
+	if c.MinVariance <= 0 {
+		c.MinVariance = 1e-4
+	}
+}
+
+// ErrTooFewPoints is returned when the sample is smaller than the requested
+// number of components.
+var ErrTooFewPoints = errors.New("stats: fewer points than mixture components")
+
+const invSqrt2Pi = 0.3989422804014327
+
+// normalPDF evaluates the Gaussian density with the given mean and variance.
+func normalPDF(x, mean, variance float64) float64 {
+	d := x - mean
+	return invSqrt2Pi / math.Sqrt(variance) * math.Exp(-0.5*d*d/variance)
+}
+
+// logNormalPDF evaluates the log of the Gaussian density.
+func logNormalPDF(x, mean, variance float64) float64 {
+	d := x - mean
+	return -0.5*math.Log(2*math.Pi*variance) - 0.5*d*d/variance
+}
+
+// FitGMM fits a k-component 1-D Gaussian mixture to xs with EM, initialized
+// by deterministic 1-D k-means. Components in the result are sorted by mean.
+func FitGMM(xs []float64, k int, cfg GMMConfig) (*GMM, error) {
+	cfg.defaults()
+	n := len(xs)
+	if k <= 0 {
+		return nil, errors.New("stats: non-positive component count")
+	}
+	if n < k {
+		return nil, ErrTooFewPoints
+	}
+
+	// Initialization from k-means: means are the centers, variances the
+	// within-cluster variances, weights the cluster fractions.
+	centers, assign := KMeans1D(xs, k, 50)
+	comps := make([]Component, k)
+	counts := make([]int, k)
+	for i, x := range xs {
+		c := assign[i]
+		counts[c]++
+		d := x - centers[c]
+		comps[c].Variance += d * d
+	}
+	for c := range comps {
+		comps[c].Mean = centers[c]
+		if counts[c] > 0 {
+			comps[c].Variance /= float64(counts[c])
+			comps[c].Weight = float64(counts[c]) / float64(n)
+		} else {
+			comps[c].Weight = 1e-6
+		}
+		if comps[c].Variance < cfg.MinVariance {
+			comps[c].Variance = cfg.MinVariance
+		}
+	}
+	return runEM(xs, comps, cfg)
+}
+
+// FitGMMInit fits a Gaussian mixture initialized at the given means —
+// used by the BST pipeline, which knows where clusters should sit (the
+// ISP's offered speeds and the KDE peak locations). Initial weights are
+// uniform; initial standard deviations are a quarter of the smallest
+// spacing between adjacent init means (floored by MinVariance).
+func FitGMMInit(xs []float64, initMeans []float64, cfg GMMConfig) (*GMM, error) {
+	cfg.defaults()
+	k := len(initMeans)
+	if k == 0 {
+		return nil, errors.New("stats: empty init means")
+	}
+	if len(xs) < k {
+		return nil, ErrTooFewPoints
+	}
+	means := make([]float64, k)
+	copy(means, initMeans)
+	sort.Float64s(means)
+	minGap := math.Inf(1)
+	for i := 1; i < k; i++ {
+		if g := means[i] - means[i-1]; g < minGap {
+			minGap = g
+		}
+	}
+	if math.IsInf(minGap, 1) || minGap <= 0 {
+		minGap = math.Max(StdDev(xs), 1)
+	}
+	sigma := minGap / 4
+	comps := make([]Component, k)
+	for c := range comps {
+		comps[c] = Component{
+			Weight:   1 / float64(k),
+			Mean:     means[c],
+			Variance: math.Max(sigma*sigma, cfg.MinVariance),
+		}
+	}
+	return runEM(xs, comps, cfg)
+}
+
+// runEM iterates EM from the given initial components to convergence.
+func runEM(xs []float64, comps []Component, cfg GMMConfig) (*GMM, error) {
+	cfg.defaults()
+	n := len(xs)
+	k := len(comps)
+	m := &GMM{Components: comps, n: n}
+	resp := make([]float64, n*k) // responsibilities, row-major [i*k+c]
+	prevLL := math.Inf(-1)
+
+	for iter := 1; iter <= cfg.MaxIter; iter++ {
+		// E-step: responsibilities and log-likelihood via log-sum-exp.
+		ll := 0.0
+		for i, x := range xs {
+			maxLog := math.Inf(-1)
+			row := resp[i*k : i*k+k]
+			for c, comp := range m.Components {
+				lp := math.Log(comp.Weight) + logNormalPDF(x, comp.Mean, comp.Variance)
+				row[c] = lp
+				if lp > maxLog {
+					maxLog = lp
+				}
+			}
+			sum := 0.0
+			for c := range row {
+				row[c] = math.Exp(row[c] - maxLog)
+				sum += row[c]
+			}
+			for c := range row {
+				row[c] /= sum
+			}
+			ll += maxLog + math.Log(sum)
+		}
+		m.LogLikelihood = ll
+		m.Iterations = iter
+
+		if ll-prevLL < cfg.Tol && iter > 1 {
+			m.Converged = true
+			break
+		}
+		prevLL = ll
+
+		// M-step.
+		for c := range m.Components {
+			nk, mu := 0.0, 0.0
+			for i, x := range xs {
+				r := resp[i*k+c]
+				nk += r
+				mu += r * x
+			}
+			if nk < 1e-12 {
+				// Dead component: keep parameters, zero weight.
+				m.Components[c].Weight = 1e-12
+				continue
+			}
+			mu /= nk
+			va := 0.0
+			for i, x := range xs {
+				d := x - mu
+				va += resp[i*k+c] * d * d
+			}
+			va /= nk
+			if va < cfg.MinVariance {
+				va = cfg.MinVariance
+			}
+			m.Components[c] = Component{Weight: nk / float64(n), Mean: mu, Variance: va}
+		}
+	}
+
+	m.sortByMean()
+	return m, nil
+}
+
+// sortByMean keeps components in ascending-mean order so that component
+// index equals tier order.
+func (m *GMM) sortByMean() {
+	sort.Slice(m.Components, func(a, b int) bool {
+		return m.Components[a].Mean < m.Components[b].Mean
+	})
+}
+
+// K returns the number of components.
+func (m *GMM) K() int { return len(m.Components) }
+
+// Means returns the component means in ascending order.
+func (m *GMM) Means() []float64 {
+	out := make([]float64, len(m.Components))
+	for i, c := range m.Components {
+		out[i] = c.Mean
+	}
+	return out
+}
+
+// PDF evaluates the mixture density at x.
+func (m *GMM) PDF(x float64) float64 {
+	s := 0.0
+	for _, c := range m.Components {
+		s += c.Weight * normalPDF(x, c.Mean, c.Variance)
+	}
+	return s
+}
+
+// Responsibilities returns the posterior probability of each component for
+// observation x. The slice sums to 1 (unless the density underflows
+// everywhere, in which case the nearest-mean component gets probability 1).
+func (m *GMM) Responsibilities(x float64) []float64 {
+	k := len(m.Components)
+	out := make([]float64, k)
+	maxLog := math.Inf(-1)
+	for c, comp := range m.Components {
+		lp := math.Log(comp.Weight) + logNormalPDF(x, comp.Mean, comp.Variance)
+		out[c] = lp
+		if lp > maxLog {
+			maxLog = lp
+		}
+	}
+	if math.IsInf(maxLog, -1) {
+		best, bestD := 0, math.Inf(1)
+		for c, comp := range m.Components {
+			d := math.Abs(x - comp.Mean)
+			if d < bestD {
+				best, bestD = c, d
+			}
+		}
+		for c := range out {
+			out[c] = 0
+		}
+		out[best] = 1
+		return out
+	}
+	sum := 0.0
+	for c := range out {
+		out[c] = math.Exp(out[c] - maxLog)
+		sum += out[c]
+	}
+	for c := range out {
+		out[c] /= sum
+	}
+	return out
+}
+
+// Predict returns the index of the most probable component for x along with
+// its posterior probability.
+func (m *GMM) Predict(x float64) (component int, prob float64) {
+	resp := m.Responsibilities(x)
+	best, bestP := 0, -1.0
+	for c, p := range resp {
+		if p > bestP {
+			best, bestP = c, p
+		}
+	}
+	return best, bestP
+}
+
+// numParams is the free-parameter count of a k-component 1-D GMM:
+// k means + k variances + (k-1) independent weights.
+func (m *GMM) numParams() int { return 3*len(m.Components) - 1 }
+
+// BIC returns the Bayesian information criterion of the fit (lower is
+// better). Used by the model-selection fallback when KDE peak counting is
+// ambiguous.
+func (m *GMM) BIC() float64 {
+	return float64(m.numParams())*math.Log(float64(m.n)) - 2*m.LogLikelihood
+}
+
+// AIC returns the Akaike information criterion of the fit (lower is better).
+func (m *GMM) AIC() float64 {
+	return 2*float64(m.numParams()) - 2*m.LogLikelihood
+}
+
+// SelectGMM fits mixtures for every k in [kMin, kMax] and returns the one
+// with the lowest BIC. It is the fallback the BST pipeline uses when the KDE
+// peak count is implausible (e.g. sparse data producing a single smeared
+// bump).
+func SelectGMM(xs []float64, kMin, kMax int, cfg GMMConfig) (*GMM, error) {
+	if kMin < 1 {
+		kMin = 1
+	}
+	if kMax < kMin {
+		kMax = kMin
+	}
+	var best *GMM
+	for k := kMin; k <= kMax; k++ {
+		m, err := FitGMM(xs, k, cfg)
+		if err != nil {
+			if errors.Is(err, ErrTooFewPoints) {
+				break
+			}
+			return nil, err
+		}
+		if best == nil || m.BIC() < best.BIC() {
+			best = m
+		}
+	}
+	if best == nil {
+		return nil, ErrTooFewPoints
+	}
+	return best, nil
+}

@@ -1,0 +1,195 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Component2D is one diagonal-covariance bivariate Gaussian component.
+type Component2D struct {
+	Weight               float64
+	MeanX, MeanY         float64
+	VarianceX, VarianceY float64
+}
+
+// GMM2D is a diagonal-covariance bivariate Gaussian mixture fit with EM —
+// the joint <upload, download> clustering used by the one-stage ablation
+// that the BST two-stage design is compared against.
+type GMM2D struct {
+	Components    []Component2D
+	LogLikelihood float64
+	Iterations    int
+	Converged     bool
+	n             int
+}
+
+// logPDF2D evaluates the log density of a diagonal Gaussian.
+func logPDF2D(x, y float64, c Component2D) float64 {
+	dx := x - c.MeanX
+	dy := y - c.MeanY
+	return -math.Log(2*math.Pi) - 0.5*math.Log(c.VarianceX*c.VarianceY) -
+		0.5*(dx*dx/c.VarianceX+dy*dy/c.VarianceY)
+}
+
+// FitGMM2D fits a mixture to pts, initialized at initMeans (one per
+// component). Components are sorted by MeanX then MeanY.
+func FitGMM2D(pts []Point2, initMeans []Point2, cfg GMMConfig) (*GMM2D, error) {
+	cfg.defaults()
+	k := len(initMeans)
+	n := len(pts)
+	if k == 0 {
+		return nil, errors.New("stats: empty 2-D init means")
+	}
+	if n < k {
+		return nil, ErrTooFewPoints
+	}
+
+	// Initial spreads: a quarter of the smallest init-mean spacing per
+	// axis, floored at MinVariance.
+	minGapX, minGapY := math.Inf(1), math.Inf(1)
+	for i := range initMeans {
+		for j := i + 1; j < len(initMeans); j++ {
+			if g := math.Abs(initMeans[i].X - initMeans[j].X); g > 0 && g < minGapX {
+				minGapX = g
+			}
+			if g := math.Abs(initMeans[i].Y - initMeans[j].Y); g > 0 && g < minGapY {
+				minGapY = g
+			}
+		}
+	}
+	spread := func(gap, fallback float64) float64 {
+		if math.IsInf(gap, 1) {
+			gap = fallback
+		}
+		v := (gap / 4) * (gap / 4)
+		return math.Max(v, cfg.MinVariance)
+	}
+	var xsAll, ysAll []float64
+	for _, p := range pts {
+		xsAll = append(xsAll, p.X)
+		ysAll = append(ysAll, p.Y)
+	}
+	vx := spread(minGapX, math.Max(StdDev(xsAll), 1))
+	vy := spread(minGapY, math.Max(StdDev(ysAll), 1))
+
+	comps := make([]Component2D, k)
+	for c := range comps {
+		comps[c] = Component2D{
+			Weight: 1 / float64(k),
+			MeanX:  initMeans[c].X, MeanY: initMeans[c].Y,
+			VarianceX: vx, VarianceY: vy,
+		}
+	}
+
+	m := &GMM2D{Components: comps, n: n}
+	resp := make([]float64, n*k)
+	prevLL := math.Inf(-1)
+	for iter := 1; iter <= cfg.MaxIter; iter++ {
+		ll := 0.0
+		for i, p := range pts {
+			row := resp[i*k : i*k+k]
+			maxLog := math.Inf(-1)
+			for c, comp := range m.Components {
+				lp := math.Log(comp.Weight) + logPDF2D(p.X, p.Y, comp)
+				row[c] = lp
+				if lp > maxLog {
+					maxLog = lp
+				}
+			}
+			sum := 0.0
+			for c := range row {
+				row[c] = math.Exp(row[c] - maxLog)
+				sum += row[c]
+			}
+			for c := range row {
+				row[c] /= sum
+			}
+			ll += maxLog + math.Log(sum)
+		}
+		m.LogLikelihood = ll
+		m.Iterations = iter
+		if ll-prevLL < cfg.Tol && iter > 1 {
+			m.Converged = true
+			break
+		}
+		prevLL = ll
+
+		for c := range m.Components {
+			var nk, mx, my float64
+			for i, p := range pts {
+				r := resp[i*k+c]
+				nk += r
+				mx += r * p.X
+				my += r * p.Y
+			}
+			if nk < 1e-12 {
+				m.Components[c].Weight = 1e-12
+				continue
+			}
+			mx /= nk
+			my /= nk
+			var vx, vy float64
+			for i, p := range pts {
+				r := resp[i*k+c]
+				vx += r * (p.X - mx) * (p.X - mx)
+				vy += r * (p.Y - my) * (p.Y - my)
+			}
+			vx = math.Max(vx/nk, cfg.MinVariance)
+			vy = math.Max(vy/nk, cfg.MinVariance)
+			m.Components[c] = Component2D{
+				Weight: nk / float64(n), MeanX: mx, MeanY: my,
+				VarianceX: vx, VarianceY: vy,
+			}
+		}
+	}
+	sort.Slice(m.Components, func(a, b int) bool {
+		if m.Components[a].MeanX != m.Components[b].MeanX {
+			return m.Components[a].MeanX < m.Components[b].MeanX
+		}
+		return m.Components[a].MeanY < m.Components[b].MeanY
+	})
+	return m, nil
+}
+
+// Predict returns the most probable component for (x, y) and its posterior.
+func (m *GMM2D) Predict(x, y float64) (component int, prob float64) {
+	k := len(m.Components)
+	logs := make([]float64, k)
+	maxLog := math.Inf(-1)
+	for c, comp := range m.Components {
+		logs[c] = math.Log(comp.Weight) + logPDF2D(x, y, comp)
+		if logs[c] > maxLog {
+			maxLog = logs[c]
+		}
+	}
+	if math.IsInf(maxLog, -1) {
+		best, bestD := 0, math.Inf(1)
+		for c, comp := range m.Components {
+			d := (x-comp.MeanX)*(x-comp.MeanX) + (y-comp.MeanY)*(y-comp.MeanY)
+			if d < bestD {
+				best, bestD = c, d
+			}
+		}
+		return best, 1
+	}
+	sum := 0.0
+	for c := range logs {
+		logs[c] = math.Exp(logs[c] - maxLog)
+		sum += logs[c]
+	}
+	best, bestP := 0, -1.0
+	for c, p := range logs {
+		if p > bestP {
+			best, bestP = c, p
+		}
+	}
+	return best, bestP / sum
+}
+
+// BIC returns the Bayesian information criterion (5k-1 free parameters for
+// a diagonal bivariate mixture).
+func (m *GMM2D) BIC() float64 {
+	params := float64(5*len(m.Components) - 1)
+	return params*math.Log(float64(m.n)) - 2*m.LogLikelihood
+}

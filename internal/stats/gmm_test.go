@@ -1,0 +1,307 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitGMMRecovers(t *testing.T) {
+	spec := MixtureSpec{
+		{Weight: 0.5, Mean: 5, Variance: 0.5},
+		{Weight: 0.3, Mean: 20, Variance: 2},
+		{Weight: 0.2, Mean: 40, Variance: 4},
+	}
+	xs := spec.Sample(NewRNG(10), 6000)
+	m, err := FitGMM(xs, 3, GMMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []Component{
+		{Weight: 0.5, Mean: 5}, {Weight: 0.3, Mean: 20}, {Weight: 0.2, Mean: 40},
+	}
+	for i, w := range wants {
+		got := m.Components[i]
+		if math.Abs(got.Mean-w.Mean) > 1.0 {
+			t.Errorf("component %d mean = %v, want ~%v", i, got.Mean, w.Mean)
+		}
+		if math.Abs(got.Weight-w.Weight) > 0.05 {
+			t.Errorf("component %d weight = %v, want ~%v", i, got.Weight, w.Weight)
+		}
+	}
+	if !m.Converged {
+		t.Error("EM did not converge")
+	}
+}
+
+func TestFitGMMSortedByMean(t *testing.T) {
+	xs := MixtureSpec{
+		{Weight: 0.5, Mean: 30, Variance: 1},
+		{Weight: 0.5, Mean: 5, Variance: 1},
+	}.Sample(NewRNG(11), 1000)
+	m, err := FitGMM(xs, 2, GMMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Components[0].Mean >= m.Components[1].Mean {
+		t.Errorf("components not sorted: %v", m.Components)
+	}
+}
+
+func TestFitGMMErrors(t *testing.T) {
+	if _, err := FitGMM([]float64{1}, 2, GMMConfig{}); !errors.Is(err, ErrTooFewPoints) {
+		t.Errorf("want ErrTooFewPoints, got %v", err)
+	}
+	if _, err := FitGMM([]float64{1, 2}, 0, GMMConfig{}); err == nil {
+		t.Error("want error for k=0")
+	}
+}
+
+func TestResponsibilitiesSumToOne(t *testing.T) {
+	xs := MixtureSpec{
+		{Weight: 0.5, Mean: 5, Variance: 1},
+		{Weight: 0.5, Mean: 15, Variance: 1},
+	}.Sample(NewRNG(12), 500)
+	m, err := FitGMM(xs, 2, GMMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		x = math.Mod(x, 1e4)
+		r := m.Responsibilities(x)
+		sum := 0.0
+		for _, p := range r {
+			if p < 0 || p > 1+1e-12 {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResponsibilitiesFarPoint(t *testing.T) {
+	// A point astronomically far from all components must still produce a
+	// valid distribution (underflow path). With equal variances the
+	// nearest-mean (here: higher-mean) component must win.
+	m := &GMM{Components: []Component{
+		{Weight: 0.5, Mean: 0, Variance: 1},
+		{Weight: 0.5, Mean: 10, Variance: 1},
+	}}
+	r := m.Responsibilities(1e9)
+	sum := 0.0
+	for _, p := range r {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("far-point responsibilities sum = %v", sum)
+	}
+	c, p := m.Predict(1e9)
+	if c != 1 {
+		t.Errorf("far point should belong to the higher component, got %d (p=%v)", c, p)
+	}
+}
+
+func TestPredictSeparated(t *testing.T) {
+	xs := MixtureSpec{
+		{Weight: 0.5, Mean: 5, Variance: 0.5},
+		{Weight: 0.5, Mean: 40, Variance: 2},
+	}.Sample(NewRNG(14), 1000)
+	m, err := FitGMM(xs, 2, GMMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, p := m.Predict(5); c != 0 || p < 0.99 {
+		t.Errorf("Predict(5) = %d, %v", c, p)
+	}
+	if c, p := m.Predict(40); c != 1 || p < 0.99 {
+		t.Errorf("Predict(40) = %d, %v", c, p)
+	}
+}
+
+func TestEMLogLikelihoodImproves(t *testing.T) {
+	// Fitting with more iterations can only improve (or match) the
+	// log-likelihood: EM is monotone.
+	xs := MixtureSpec{
+		{Weight: 0.6, Mean: 3, Variance: 1},
+		{Weight: 0.4, Mean: 12, Variance: 2},
+	}.Sample(NewRNG(15), 800)
+	short, err := FitGMM(xs, 2, GMMConfig{MaxIter: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := FitGMM(xs, 2, GMMConfig{MaxIter: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.LogLikelihood < short.LogLikelihood-1e-9 {
+		t.Errorf("LL decreased: %v -> %v", short.LogLikelihood, long.LogLikelihood)
+	}
+}
+
+func TestGMMPDFIntegratesToOne(t *testing.T) {
+	xs := MixtureSpec{
+		{Weight: 0.5, Mean: 0, Variance: 1},
+		{Weight: 0.5, Mean: 8, Variance: 2},
+	}.Sample(NewRNG(16), 600)
+	m, err := FitGMM(xs, 2, GMMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	integral := 0.0
+	lo, hi, n := -20.0, 30.0, 5000
+	step := (hi - lo) / float64(n)
+	prev := m.PDF(lo)
+	for i := 1; i <= n; i++ {
+		cur := m.PDF(lo + float64(i)*step)
+		integral += 0.5 * (prev + cur) * step
+		prev = cur
+	}
+	if math.Abs(integral-1) > 0.01 {
+		t.Errorf("mixture PDF integral = %v", integral)
+	}
+}
+
+func TestBICPrefersTrueK(t *testing.T) {
+	xs := MixtureSpec{
+		{Weight: 0.4, Mean: 5, Variance: 0.5},
+		{Weight: 0.3, Mean: 17, Variance: 1},
+		{Weight: 0.3, Mean: 39, Variance: 1.5},
+	}.Sample(NewRNG(17), 3000)
+	best, err := SelectGMM(xs, 1, 6, GMMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.K() != 3 {
+		t.Errorf("BIC selected k=%d, want 3", best.K())
+	}
+}
+
+func TestSelectGMMSmallSample(t *testing.T) {
+	// kMax beyond the sample size must not error out; it should stop early.
+	xs := []float64{1, 2, 3}
+	m, err := SelectGMM(xs, 1, 10, GMMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K() < 1 || m.K() > 3 {
+		t.Errorf("k = %d", m.K())
+	}
+	if _, err := SelectGMM(nil, 1, 3, GMMConfig{}); err == nil {
+		t.Error("empty sample should error")
+	}
+}
+
+func TestAICBICParamCount(t *testing.T) {
+	xs := MixtureSpec{
+		{Weight: 1, Mean: 0, Variance: 1},
+	}.Sample(NewRNG(18), 200)
+	m, err := FitGMM(xs, 1, GMMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k=1: 2 params. BIC = 2*ln(200) - 2LL, AIC = 4 - 2LL.
+	wantBIC := 2*math.Log(200) - 2*m.LogLikelihood
+	if math.Abs(m.BIC()-wantBIC) > 1e-9 {
+		t.Errorf("BIC = %v, want %v", m.BIC(), wantBIC)
+	}
+	wantAIC := 4 - 2*m.LogLikelihood
+	if math.Abs(m.AIC()-wantAIC) > 1e-9 {
+		t.Errorf("AIC = %v, want %v", m.AIC(), wantAIC)
+	}
+}
+
+func TestGMMMeansAccessor(t *testing.T) {
+	m := &GMM{Components: []Component{{Mean: 1}, {Mean: 5}}}
+	got := m.Means()
+	if len(got) != 2 || got[0] != 1 || got[1] != 5 {
+		t.Errorf("Means = %v", got)
+	}
+}
+
+func TestComponentString(t *testing.T) {
+	c := Component{Weight: 0.5, Mean: 10, Variance: 4}
+	if got := c.String(); got != "N(mu=10.00, sigma=2.00, w=0.500)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestKMeans1D(t *testing.T) {
+	xs := []float64{1, 1.1, 0.9, 10, 10.2, 9.8, 30, 29.5, 30.5}
+	centers, assign := KMeans1D(xs, 3, 100)
+	if len(centers) != 3 {
+		t.Fatalf("centers = %v", centers)
+	}
+	wants := []float64{1, 10, 30}
+	for i, w := range wants {
+		if math.Abs(centers[i]-w) > 0.5 {
+			t.Errorf("center %d = %v, want ~%v", i, centers[i], w)
+		}
+	}
+	// First three points belong to cluster 0, etc.
+	for i := 0; i < 3; i++ {
+		if assign[i] != 0 {
+			t.Errorf("assign[%d] = %d, want 0", i, assign[i])
+		}
+	}
+	for i := 6; i < 9; i++ {
+		if assign[i] != 2 {
+			t.Errorf("assign[%d] = %d, want 2", i, assign[i])
+		}
+	}
+}
+
+func TestKMeansEdgeCases(t *testing.T) {
+	if c, a := KMeans1D(nil, 3, 10); c != nil || a != nil {
+		t.Error("empty input should be nil")
+	}
+	// k > n clamps to n.
+	c, a := KMeans1D([]float64{1, 2}, 5, 10)
+	if len(c) != 2 || len(a) != 2 {
+		t.Errorf("clamped k: centers=%v assign=%v", c, a)
+	}
+}
+
+func TestWithinClusterSS(t *testing.T) {
+	xs := []float64{0, 2, 10, 12}
+	centers := []float64{1, 11}
+	assign := []int{0, 0, 1, 1}
+	if got := WithinClusterSS(xs, centers, assign); got != 4 {
+		t.Errorf("WithinClusterSS = %v, want 4", got)
+	}
+}
+
+func TestKMeansAssignmentsValidProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := sanitize(raw)
+		if len(xs) == 0 {
+			return true
+		}
+		k := 3
+		centers, assign := KMeans1D(xs, k, 20)
+		if len(assign) != len(xs) {
+			return false
+		}
+		for _, a := range assign {
+			if a < 0 || a >= len(centers) {
+				return false
+			}
+		}
+		for i := 1; i < len(centers); i++ {
+			if centers[i] < centers[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

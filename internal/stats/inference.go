@@ -1,0 +1,218 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Statistical inference used by the analyses: two-sample tests to back the
+// paper's distributional claims (e.g. "M-Lab reads lower than Ookla for the
+// same tier") with significance, and bootstrap confidence intervals for the
+// median differences the figures report.
+
+// KSResult is the outcome of a two-sample Kolmogorov-Smirnov test.
+type KSResult struct {
+	// Statistic is the maximum distance between the two empirical CDFs.
+	Statistic float64
+	// PValue is the asymptotic two-sided p-value (Kolmogorov
+	// distribution approximation; adequate for n >= ~25 per side).
+	PValue float64
+}
+
+// KolmogorovSmirnov runs the two-sample KS test on xs and ys.
+func KolmogorovSmirnov(xs, ys []float64) KSResult {
+	if len(xs) == 0 || len(ys) == 0 {
+		return KSResult{Statistic: 0, PValue: 1}
+	}
+	a := append([]float64(nil), xs...)
+	b := append([]float64(nil), ys...)
+	sort.Float64s(a)
+	sort.Float64s(b)
+	var d float64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		// Step both CDFs past the smaller value (and past ties on both
+		// sides together, so tied observations do not create phantom
+		// distance).
+		v := math.Min(a[i], b[j])
+		for i < len(a) && a[i] == v {
+			i++
+		}
+		for j < len(b) && b[j] == v {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(len(a)) - float64(j)/float64(len(b)))
+		if diff > d {
+			d = diff
+		}
+	}
+	ne := float64(len(a)) * float64(len(b)) / float64(len(a)+len(b))
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d
+	return KSResult{Statistic: d, PValue: ksPValue(lambda)}
+}
+
+// ksPValue evaluates the Kolmogorov distribution tail Q(lambda) =
+// 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2).
+func ksPValue(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	sum := 0.0
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*float64(k)*float64(k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	return Clamp01(p)
+}
+
+// Clamp01 clamps v to [0, 1].
+func Clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// MannWhitneyResult is the outcome of the Mann-Whitney U (Wilcoxon
+// rank-sum) test.
+type MannWhitneyResult struct {
+	// U is the U statistic of the first sample.
+	U float64
+	// Z is the normal-approximation z-score (tie-corrected).
+	Z float64
+	// PValue is the two-sided p-value via the normal approximation
+	// (adequate for n >= ~20 per side).
+	PValue float64
+	// CommonLanguageEffect is P(X > Y) + 0.5 P(X == Y): the probability
+	// a random draw from the first sample exceeds one from the second.
+	CommonLanguageEffect float64
+}
+
+// MannWhitney runs the two-sided Mann-Whitney U test on xs vs ys.
+func MannWhitney(xs, ys []float64) MannWhitneyResult {
+	n1, n2 := len(xs), len(ys)
+	if n1 == 0 || n2 == 0 {
+		return MannWhitneyResult{PValue: 1, CommonLanguageEffect: 0.5}
+	}
+	type obs struct {
+		v     float64
+		first bool
+	}
+	all := make([]obs, 0, n1+n2)
+	for _, v := range xs {
+		all = append(all, obs{v, true})
+	}
+	for _, v := range ys {
+		all = append(all, obs{v, false})
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].v < all[b].v })
+
+	// Assign mid-ranks, accumulating the tie correction.
+	ranks := make([]float64, len(all))
+	tieCorrection := 0.0
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = mid
+		}
+		t := float64(j - i)
+		tieCorrection += t*t*t - t
+		i = j
+	}
+	r1 := 0.0
+	for i, o := range all {
+		if o.first {
+			r1 += ranks[i]
+		}
+	}
+	u1 := r1 - float64(n1)*float64(n1+1)/2
+	mean := float64(n1) * float64(n2) / 2
+	n := float64(n1 + n2)
+	variance := float64(n1) * float64(n2) / 12 * (n + 1 - tieCorrection/(n*(n-1)))
+	res := MannWhitneyResult{
+		U:                    u1,
+		CommonLanguageEffect: u1 / (float64(n1) * float64(n2)),
+	}
+	if variance <= 0 {
+		res.PValue = 1
+		return res
+	}
+	// Continuity correction.
+	z := (u1 - mean)
+	switch {
+	case z > 0.5:
+		z -= 0.5
+	case z < -0.5:
+		z += 0.5
+	default:
+		z = 0
+	}
+	z /= math.Sqrt(variance)
+	res.Z = z
+	res.PValue = Clamp01(2 * normalTail(math.Abs(z)))
+	return res
+}
+
+// normalTail returns P(Z > z) for the standard normal.
+func normalTail(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// BootstrapMedianCI returns a percentile bootstrap confidence interval for
+// the median of xs at the given confidence level (e.g. 0.95), using nboot
+// resamples drawn from rng. For empty input it returns zeros.
+func BootstrapMedianCI(xs []float64, confidence float64, nboot int, rng *RNG) (lo, hi float64) {
+	if len(xs) == 0 || nboot <= 0 {
+		return 0, 0
+	}
+	if confidence <= 0 || confidence >= 1 {
+		confidence = 0.95
+	}
+	meds := make([]float64, nboot)
+	resample := make([]float64, len(xs))
+	for b := 0; b < nboot; b++ {
+		for i := range resample {
+			resample[i] = xs[rng.Intn(len(xs))]
+		}
+		meds[b] = Median(resample)
+	}
+	alpha := (1 - confidence) / 2
+	return Quantile(meds, alpha), Quantile(meds, 1-alpha)
+}
+
+// MedianDifferenceCI bootstraps a CI for median(xs) - median(ys).
+func MedianDifferenceCI(xs, ys []float64, confidence float64, nboot int, rng *RNG) (lo, hi float64) {
+	if len(xs) == 0 || len(ys) == 0 || nboot <= 0 {
+		return 0, 0
+	}
+	if confidence <= 0 || confidence >= 1 {
+		confidence = 0.95
+	}
+	diffs := make([]float64, nboot)
+	rx := make([]float64, len(xs))
+	ry := make([]float64, len(ys))
+	for b := 0; b < nboot; b++ {
+		for i := range rx {
+			rx[i] = xs[rng.Intn(len(xs))]
+		}
+		for i := range ry {
+			ry[i] = ys[rng.Intn(len(ys))]
+		}
+		diffs[b] = Median(rx) - Median(ry)
+	}
+	alpha := (1 - confidence) / 2
+	return Quantile(diffs, alpha), Quantile(diffs, 1-alpha)
+}

@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKSIdenticalSamples(t *testing.T) {
+	g := NewRNG(1)
+	xs := make([]float64, 400)
+	for i := range xs {
+		xs[i] = g.Normal(0, 1)
+	}
+	res := KolmogorovSmirnov(xs, xs)
+	if res.Statistic != 0 {
+		t.Errorf("identical samples D = %v", res.Statistic)
+	}
+	if res.PValue < 0.99 {
+		t.Errorf("identical samples p = %v", res.PValue)
+	}
+}
+
+func TestKSSameDistribution(t *testing.T) {
+	g := NewRNG(2)
+	xs := make([]float64, 500)
+	ys := make([]float64, 500)
+	for i := range xs {
+		xs[i] = g.Normal(5, 2)
+		ys[i] = g.Normal(5, 2)
+	}
+	res := KolmogorovSmirnov(xs, ys)
+	if res.PValue < 0.01 {
+		t.Errorf("same-distribution KS rejected: D=%v p=%v", res.Statistic, res.PValue)
+	}
+}
+
+func TestKSDifferentDistributions(t *testing.T) {
+	g := NewRNG(3)
+	xs := make([]float64, 300)
+	ys := make([]float64, 300)
+	for i := range xs {
+		xs[i] = g.Normal(0, 1)
+		ys[i] = g.Normal(1, 1)
+	}
+	res := KolmogorovSmirnov(xs, ys)
+	if res.PValue > 1e-6 {
+		t.Errorf("shifted distributions not detected: D=%v p=%v", res.Statistic, res.PValue)
+	}
+	if res.Statistic < 0.2 {
+		t.Errorf("D = %v too small for a 1-sigma shift", res.Statistic)
+	}
+}
+
+func TestKSEmpty(t *testing.T) {
+	res := KolmogorovSmirnov(nil, []float64{1})
+	if res.PValue != 1 || res.Statistic != 0 {
+		t.Errorf("empty KS = %+v", res)
+	}
+}
+
+func TestMannWhitneyNoDifference(t *testing.T) {
+	g := NewRNG(4)
+	xs := make([]float64, 300)
+	ys := make([]float64, 300)
+	for i := range xs {
+		xs[i] = g.Normal(10, 3)
+		ys[i] = g.Normal(10, 3)
+	}
+	res := MannWhitney(xs, ys)
+	if res.PValue < 0.01 {
+		t.Errorf("no-difference MW rejected: %+v", res)
+	}
+	if math.Abs(res.CommonLanguageEffect-0.5) > 0.05 {
+		t.Errorf("CLE = %v, want ~0.5", res.CommonLanguageEffect)
+	}
+}
+
+func TestMannWhitneyShift(t *testing.T) {
+	g := NewRNG(5)
+	xs := make([]float64, 200)
+	ys := make([]float64, 200)
+	for i := range xs {
+		xs[i] = g.Normal(1, 1)
+		ys[i] = g.Normal(0, 1)
+	}
+	res := MannWhitney(xs, ys)
+	if res.PValue > 1e-6 {
+		t.Errorf("shift not detected: %+v", res)
+	}
+	if res.CommonLanguageEffect < 0.6 {
+		t.Errorf("CLE = %v, want > 0.6 for a positive shift", res.CommonLanguageEffect)
+	}
+	if res.Z <= 0 {
+		t.Errorf("Z = %v, want positive for larger first sample", res.Z)
+	}
+}
+
+func TestMannWhitneyTies(t *testing.T) {
+	// Heavily tied data must not panic and must stay symmetric.
+	xs := []float64{1, 1, 1, 2, 2, 3}
+	ys := []float64{1, 2, 2, 2, 3, 3}
+	res := MannWhitney(xs, ys)
+	rev := MannWhitney(ys, xs)
+	if math.Abs(res.PValue-rev.PValue) > 1e-9 {
+		t.Errorf("tie handling asymmetric: %v vs %v", res.PValue, rev.PValue)
+	}
+	if math.Abs(res.CommonLanguageEffect+rev.CommonLanguageEffect-1) > 1e-9 {
+		t.Errorf("CLE not complementary: %v + %v", res.CommonLanguageEffect, rev.CommonLanguageEffect)
+	}
+}
+
+func TestMannWhitneyDegenerate(t *testing.T) {
+	if res := MannWhitney(nil, []float64{1}); res.PValue != 1 {
+		t.Errorf("empty MW p = %v", res.PValue)
+	}
+	// All values identical: zero variance path.
+	res := MannWhitney([]float64{5, 5}, []float64{5, 5})
+	if res.PValue != 1 {
+		t.Errorf("constant MW p = %v", res.PValue)
+	}
+}
+
+func TestBootstrapMedianCI(t *testing.T) {
+	g := NewRNG(6)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = g.Normal(50, 10)
+	}
+	lo, hi := BootstrapMedianCI(xs, 0.95, 500, NewRNG(7))
+	if !(lo < 50 && 50 < hi) {
+		t.Errorf("CI [%v, %v] misses the true median 50", lo, hi)
+	}
+	if hi-lo > 5 {
+		t.Errorf("CI width %v too wide for n=500", hi-lo)
+	}
+	if l, h := BootstrapMedianCI(nil, 0.95, 100, NewRNG(8)); l != 0 || h != 0 {
+		t.Error("empty input should return zeros")
+	}
+}
+
+func TestMedianDifferenceCI(t *testing.T) {
+	g := NewRNG(9)
+	xs := make([]float64, 400)
+	ys := make([]float64, 400)
+	for i := range xs {
+		xs[i] = g.Normal(10, 2)
+		ys[i] = g.Normal(7, 2)
+	}
+	lo, hi := MedianDifferenceCI(xs, ys, 0.95, 400, NewRNG(10))
+	if !(lo < 3 && 3 < hi) {
+		t.Errorf("difference CI [%v, %v] misses 3", lo, hi)
+	}
+	if lo <= 0 {
+		t.Errorf("CI lower bound %v should exclude 0 for a 1.5-sigma shift", lo)
+	}
+}
+
+func TestKSPValueMonotone(t *testing.T) {
+	prev := 1.0
+	for lambda := 0.1; lambda < 3; lambda += 0.1 {
+		p := ksPValue(lambda)
+		if p > prev+1e-12 {
+			t.Fatalf("ksPValue not monotone at %v", lambda)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("ksPValue out of range: %v", p)
+		}
+		prev = p
+	}
+}

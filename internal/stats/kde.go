@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// BandwidthRule selects how a KDE chooses its smoothing bandwidth.
+type BandwidthRule int
+
+const (
+	// Silverman is Silverman's rule of thumb,
+	// h = 0.9 * min(sigma, IQR/1.34) * n^(-1/5). It is the default and
+	// matches the behaviour of scipy/statsmodels defaults closely enough
+	// for the cluster-counting use in the paper.
+	Silverman BandwidthRule = iota
+	// Scott is Scott's rule, h = 1.06 * sigma * n^(-1/5).
+	Scott
+)
+
+// KDE is a one-dimensional Gaussian kernel density estimate. The paper uses
+// KDE (§4.2) to confirm how many clusters are present in the upload- and
+// download-speed distributions before fitting a GMM with that many
+// components.
+type KDE struct {
+	xs        []float64 // sorted copy of the sample
+	bandwidth float64
+}
+
+// NewKDE builds a Gaussian KDE over xs using the given bandwidth rule.
+// The sample is copied and sorted. An explicit bandwidth can be forced with
+// NewKDEBandwidth.
+func NewKDE(xs []float64, rule BandwidthRule) *KDE {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return &KDE{xs: s, bandwidth: bandwidthFor(s, rule)}
+}
+
+// NewKDEBandwidth builds a KDE with an explicit bandwidth h > 0.
+func NewKDEBandwidth(xs []float64, h float64) *KDE {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if h <= 0 {
+		h = bandwidthFor(s, Silverman)
+	}
+	return &KDE{xs: s, bandwidth: h}
+}
+
+// bandwidthFor computes the bandwidth for a sorted sample.
+func bandwidthFor(sorted []float64, rule BandwidthRule) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 1
+	}
+	sigma := StdDev(sorted)
+	if sigma == 0 {
+		sigma = 1e-6
+	}
+	nf := math.Pow(float64(n), -0.2)
+	switch rule {
+	case Scott:
+		return 1.06 * sigma * nf
+	default: // Silverman
+		iqr := quantileSorted(sorted, 0.75) - quantileSorted(sorted, 0.25)
+		spread := sigma
+		if iqr > 0 && iqr/1.34 < spread {
+			spread = iqr / 1.34
+		}
+		return 0.9 * spread * nf
+	}
+}
+
+// Bandwidth reports the bandwidth in use.
+func (k *KDE) Bandwidth() float64 { return k.bandwidth }
+
+// Len reports the number of observations.
+func (k *KDE) Len() int { return len(k.xs) }
+
+// At evaluates the density estimate at x. Points further than 6 bandwidths
+// from x contribute negligibly and are skipped via a binary search window,
+// keeping evaluation O(window) per point on the sorted sample.
+func (k *KDE) At(x float64) float64 {
+	n := len(k.xs)
+	if n == 0 {
+		return 0
+	}
+	h := k.bandwidth
+	lo := sort.SearchFloat64s(k.xs, x-6*h)
+	hi := sort.SearchFloat64s(k.xs, x+6*h)
+	sum := 0.0
+	for _, xi := range k.xs[lo:hi] {
+		u := (x - xi) / h
+		sum += math.Exp(-0.5 * u * u)
+	}
+	const invSqrt2Pi = 0.3989422804014327
+	return sum * invSqrt2Pi / (float64(n) * h)
+}
+
+// Grid evaluates the density on n evenly spaced points covering the sample
+// range padded by 3 bandwidths on each side. It returns plot-ready points,
+// as used by the paper's density figures (Figs 4-7, 14-18).
+func (k *KDE) Grid(n int) []Point {
+	if len(k.xs) == 0 || n <= 1 {
+		return nil
+	}
+	lo := k.xs[0] - 3*k.bandwidth
+	hi := k.xs[len(k.xs)-1] + 3*k.bandwidth
+	pts := make([]Point, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range pts {
+		x := lo + float64(i)*step
+		pts[i] = Point{X: x, Y: k.At(x)}
+	}
+	return pts
+}
+
+// GridRange evaluates the density on n points over [lo, hi].
+func (k *KDE) GridRange(lo, hi float64, n int) []Point {
+	if n <= 1 || hi <= lo {
+		return nil
+	}
+	pts := make([]Point, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range pts {
+		x := lo + float64(i)*step
+		pts[i] = Point{X: x, Y: k.At(x)}
+	}
+	return pts
+}
+
+// Peak is a local maximum of a density curve.
+type Peak struct {
+	X       float64 // location of the maximum
+	Density float64 // density at the maximum
+}
+
+// Peaks finds local maxima of the KDE evaluated on a grid of gridN points.
+// A point is a peak when its density strictly exceeds both neighbours and is
+// at least minRel times the global maximum density. This implements the
+// "confirm the presence of clusters" step of the BST methodology: the number
+// of peaks is the number of GMM components to fit.
+func (k *KDE) Peaks(gridN int, minRel float64) []Peak {
+	grid := k.Grid(gridN)
+	return PeaksOf(grid, minRel)
+}
+
+// PeaksOf finds local maxima in an arbitrary curve. minRel filters peaks
+// whose density is below minRel * max density; it suppresses the tiny
+// wiggles a KDE produces in sparse tails.
+func PeaksOf(grid []Point, minRel float64) []Peak {
+	if len(grid) < 3 {
+		return nil
+	}
+	maxD := 0.0
+	for _, p := range grid {
+		if p.Y > maxD {
+			maxD = p.Y
+		}
+	}
+	thresh := minRel * maxD
+	var peaks []Peak
+	for i := 1; i < len(grid)-1; i++ {
+		if grid[i].Y > grid[i-1].Y && grid[i].Y >= grid[i+1].Y && grid[i].Y >= thresh {
+			// Skip plateau duplicates: advance past equal values.
+			j := i
+			for j+1 < len(grid)-1 && grid[j+1].Y == grid[i].Y {
+				j++
+			}
+			if grid[j+1].Y < grid[i].Y {
+				peaks = append(peaks, Peak{X: (grid[i].X + grid[j].X) / 2, Density: grid[i].Y})
+			}
+			i = j
+		}
+	}
+	return peaks
+}

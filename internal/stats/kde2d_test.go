@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func sample2D(g *RNG, n int, comps []Component2D) []Point2 {
+	weights := make([]float64, len(comps))
+	for i, c := range comps {
+		weights[i] = c.Weight
+	}
+	pts := make([]Point2, n)
+	for i := range pts {
+		c := comps[g.Categorical(weights)]
+		pts[i] = Point2{
+			X: g.Normal(c.MeanX, math.Sqrt(c.VarianceX)),
+			Y: g.Normal(c.MeanY, math.Sqrt(c.VarianceY)),
+		}
+	}
+	return pts
+}
+
+func TestKDE2DIntegratesToOne(t *testing.T) {
+	g := NewRNG(20)
+	pts := sample2D(g, 800, []Component2D{
+		{Weight: 1, MeanX: 0, MeanY: 0, VarianceX: 1, VarianceY: 2},
+	})
+	k := NewKDE2D(pts)
+	xs, ys, d := k.Grid(60, 60)
+	if len(d) != 3600 {
+		t.Fatalf("grid size = %d", len(d))
+	}
+	dx := xs[1] - xs[0]
+	dy := ys[1] - ys[0]
+	integral := 0.0
+	for _, v := range d {
+		integral += v * dx * dy
+	}
+	if math.Abs(integral-1) > 0.05 {
+		t.Errorf("2-D KDE integral = %v", integral)
+	}
+}
+
+func TestKDE2DPeaksAtModes(t *testing.T) {
+	g := NewRNG(21)
+	pts := sample2D(g, 2000, []Component2D{
+		{Weight: 0.5, MeanX: 5, MeanY: 25, VarianceX: 0.25, VarianceY: 4},
+		{Weight: 0.5, MeanX: 35, MeanY: 900, VarianceX: 1, VarianceY: 400},
+	})
+	k := NewKDE2D(pts)
+	if k.At(5, 25) <= k.At(20, 400) {
+		t.Error("density at a mode should exceed the saddle")
+	}
+	if k.At(35, 900) <= k.At(20, 400) {
+		t.Error("density at the second mode should exceed the saddle")
+	}
+}
+
+func TestKDE2DEmpty(t *testing.T) {
+	k := NewKDE2D(nil)
+	if k.At(0, 0) != 0 {
+		t.Error("empty density should be 0")
+	}
+	if xs, _, _ := k.Grid(10, 10); xs != nil {
+		t.Error("empty grid should be nil")
+	}
+	hx, hy := k.Bandwidths()
+	if hx <= 0 || hy <= 0 {
+		t.Error("fallback bandwidths should be positive")
+	}
+}
+
+func TestFitGMM2DRecovers(t *testing.T) {
+	truth := []Component2D{
+		{Weight: 0.6, MeanX: 5, MeanY: 100, VarianceX: 0.25, VarianceY: 100},
+		{Weight: 0.4, MeanX: 35, MeanY: 900, VarianceX: 1, VarianceY: 2500},
+	}
+	pts := sample2D(NewRNG(22), 3000, truth)
+	m, err := FitGMM2D(pts, []Point2{{X: 5, Y: 100}, {X: 35, Y: 900}}, GMMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Converged {
+		t.Error("EM did not converge")
+	}
+	for i, want := range truth {
+		got := m.Components[i]
+		if math.Abs(got.MeanX-want.MeanX) > 0.5 {
+			t.Errorf("component %d MeanX = %v, want ~%v", i, got.MeanX, want.MeanX)
+		}
+		if math.Abs(got.MeanY-want.MeanY) > 30 {
+			t.Errorf("component %d MeanY = %v, want ~%v", i, got.MeanY, want.MeanY)
+		}
+		if math.Abs(got.Weight-want.Weight) > 0.05 {
+			t.Errorf("component %d weight = %v, want ~%v", i, got.Weight, want.Weight)
+		}
+	}
+}
+
+func TestGMM2DPredict(t *testing.T) {
+	pts := sample2D(NewRNG(23), 1000, []Component2D{
+		{Weight: 0.5, MeanX: 0, MeanY: 0, VarianceX: 1, VarianceY: 1},
+		{Weight: 0.5, MeanX: 10, MeanY: 10, VarianceX: 1, VarianceY: 1},
+	})
+	m, err := FitGMM2D(pts, []Point2{{0, 0}, {10, 10}}, GMMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, p := m.Predict(0, 0); c != 0 || p < 0.95 {
+		t.Errorf("Predict(0,0) = %d, %v", c, p)
+	}
+	if c, p := m.Predict(10, 10); c != 1 || p < 0.95 {
+		t.Errorf("Predict(10,10) = %d, %v", c, p)
+	}
+	// Far point: underflow path must return a valid component.
+	if c, _ := m.Predict(1e9, 1e9); c != 1 {
+		t.Errorf("far Predict = %d", c)
+	}
+}
+
+func TestFitGMM2DErrors(t *testing.T) {
+	if _, err := FitGMM2D([]Point2{{1, 1}}, nil, GMMConfig{}); err == nil {
+		t.Error("empty init should error")
+	}
+	if _, err := FitGMM2D([]Point2{{1, 1}}, []Point2{{0, 0}, {1, 1}}, GMMConfig{}); err == nil {
+		t.Error("too few points should error")
+	}
+}
+
+func TestGMM2DBIC(t *testing.T) {
+	pts := sample2D(NewRNG(24), 500, []Component2D{
+		{Weight: 1, MeanX: 0, MeanY: 0, VarianceX: 1, VarianceY: 1},
+	})
+	m1, err := FitGMM2D(pts, []Point2{{0, 0}}, GMMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3, err := FitGMM2D(pts, []Point2{{-1, -1}, {0, 0}, {1, 1}}, GMMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.BIC() >= m3.BIC()+25 {
+		t.Errorf("BIC should not strongly prefer overfit: k=1 %v vs k=3 %v", m1.BIC(), m3.BIC())
+	}
+}

@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKDEIntegratesToOne(t *testing.T) {
+	g := NewRNG(1)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = g.Normal(10, 2)
+	}
+	k := NewKDE(xs, Silverman)
+	// Trapezoidal integration over a wide grid.
+	grid := k.Grid(2000)
+	integral := 0.0
+	for i := 1; i < len(grid); i++ {
+		dx := grid[i].X - grid[i-1].X
+		integral += 0.5 * (grid[i].Y + grid[i-1].Y) * dx
+	}
+	if math.Abs(integral-1) > 0.01 {
+		t.Errorf("KDE integral = %v, want ~1", integral)
+	}
+}
+
+func TestKDEPeakNearMode(t *testing.T) {
+	g := NewRNG(2)
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = g.Normal(5, 1)
+	}
+	k := NewKDE(xs, Silverman)
+	peaks := k.Peaks(512, 0.1)
+	if len(peaks) != 1 {
+		t.Fatalf("unimodal sample produced %d peaks", len(peaks))
+	}
+	if math.Abs(peaks[0].X-5) > 0.5 {
+		t.Errorf("peak at %v, want ~5", peaks[0].X)
+	}
+}
+
+func TestKDEFindsMixturePeaks(t *testing.T) {
+	// Mimics the upload-speed mixture of ISP-A: well-separated tiers.
+	spec := MixtureSpec{
+		{Weight: 0.4, Mean: 5, Variance: 0.25},
+		{Weight: 0.2, Mean: 11, Variance: 0.25},
+		{Weight: 0.2, Mean: 17, Variance: 0.36},
+		{Weight: 0.2, Mean: 39, Variance: 1.0},
+	}
+	xs := spec.Sample(NewRNG(3), 4000)
+	k := NewKDE(xs, Silverman)
+	peaks := k.Peaks(1024, 0.02)
+	if len(peaks) != 4 {
+		t.Fatalf("expected 4 peaks, got %d: %+v", len(peaks), peaks)
+	}
+	wants := []float64{5, 11, 17, 39}
+	for i, w := range wants {
+		if math.Abs(peaks[i].X-w) > 1.5 {
+			t.Errorf("peak %d at %v, want ~%v", i, peaks[i].X, w)
+		}
+	}
+}
+
+func TestKDEBandwidthRules(t *testing.T) {
+	g := NewRNG(4)
+	xs := make([]float64, 300)
+	for i := range xs {
+		xs[i] = g.Normal(0, 1)
+	}
+	ks := NewKDE(xs, Silverman)
+	kc := NewKDE(xs, Scott)
+	if ks.Bandwidth() <= 0 || kc.Bandwidth() <= 0 {
+		t.Fatal("non-positive bandwidth")
+	}
+	// Scott's constant (1.06*sigma) exceeds Silverman's (0.9*min(sigma, iqr/1.34)).
+	if ks.Bandwidth() >= kc.Bandwidth() {
+		t.Errorf("silverman %v should be < scott %v here", ks.Bandwidth(), kc.Bandwidth())
+	}
+}
+
+func TestKDEExplicitBandwidth(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	k := NewKDEBandwidth(xs, 0.5)
+	if k.Bandwidth() != 0.5 {
+		t.Errorf("Bandwidth = %v", k.Bandwidth())
+	}
+	// Non-positive bandwidth falls back to Silverman.
+	k2 := NewKDEBandwidth(xs, -1)
+	if k2.Bandwidth() <= 0 {
+		t.Error("fallback bandwidth should be positive")
+	}
+}
+
+func TestKDEEmptyAndDegenerate(t *testing.T) {
+	var empty *KDE = NewKDE(nil, Silverman)
+	if empty.At(3) != 0 {
+		t.Error("empty KDE density should be 0")
+	}
+	if empty.Grid(10) != nil {
+		t.Error("empty KDE grid should be nil")
+	}
+	// Constant sample: density concentrates near the value.
+	k := NewKDE([]float64{7, 7, 7}, Silverman)
+	if k.At(7) <= k.At(8) {
+		t.Error("density at the atom should dominate")
+	}
+}
+
+func TestKDEDensityNonNegativeProperty(t *testing.T) {
+	f := func(raw []float64, at float64) bool {
+		xs := sanitize(raw)
+		if len(xs) == 0 || math.IsNaN(at) || math.IsInf(at, 0) {
+			return true
+		}
+		k := NewKDE(xs, Silverman)
+		return k.At(math.Mod(at, 1e6)) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGridRange(t *testing.T) {
+	k := NewKDE([]float64{1, 2, 3, 4, 5}, Silverman)
+	pts := k.GridRange(0, 10, 11)
+	if len(pts) != 11 {
+		t.Fatalf("GridRange len = %d", len(pts))
+	}
+	if pts[0].X != 0 || pts[10].X != 10 {
+		t.Errorf("GridRange endpoints = %v, %v", pts[0].X, pts[10].X)
+	}
+	if k.GridRange(5, 5, 10) != nil {
+		t.Error("degenerate range should be nil")
+	}
+	if k.GridRange(0, 10, 1) != nil {
+		t.Error("n=1 should be nil")
+	}
+}
+
+func TestPeaksOfPlateau(t *testing.T) {
+	grid := []Point{{0, 0}, {1, 1}, {2, 1}, {3, 1}, {4, 0}}
+	peaks := PeaksOf(grid, 0)
+	if len(peaks) != 1 {
+		t.Fatalf("plateau should yield 1 peak, got %d", len(peaks))
+	}
+	if math.Abs(peaks[0].X-1.5) > 1.0 {
+		t.Errorf("plateau peak at %v", peaks[0].X)
+	}
+}
+
+func TestPeaksOfShortGrid(t *testing.T) {
+	if PeaksOf([]Point{{0, 1}, {1, 2}}, 0) != nil {
+		t.Error("short grid should yield no peaks")
+	}
+}

@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KMeans1D clusters a one-dimensional sample into k clusters with Lloyd's
+// algorithm. It is used to initialize GMM-EM (and as the baseline the paper
+// contrasts GMM against: k-means considers only cluster means, GMM also
+// models per-cluster variance and weight).
+//
+// Centers are initialized at evenly spaced sample quantiles, which is
+// deterministic and robust for the well-separated speed-tier distributions
+// this repo works with. The returned centers are sorted ascending and
+// assign[i] is the index of the center owning xs[i].
+func KMeans1D(xs []float64, k int, maxIter int) (centers []float64, assign []int) {
+	n := len(xs)
+	if n == 0 || k <= 0 {
+		return nil, nil
+	}
+	if k > n {
+		k = n
+	}
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+
+	centers = make([]float64, k)
+	for i := range centers {
+		q := (float64(i) + 0.5) / float64(k)
+		centers[i] = quantileSorted(sorted, q)
+	}
+
+	assign = make([]int, n)
+	sums := make([]float64, k)
+	counts := make([]int, k)
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, x := range xs {
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centers {
+				d := math.Abs(x - ctr)
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		for c := range sums {
+			sums[c], counts[c] = 0, 0
+		}
+		for i, x := range xs {
+			sums[assign[i]] += x
+			counts[assign[i]]++
+		}
+		for c := range centers {
+			if counts[c] > 0 {
+				centers[c] = sums[c] / float64(counts[c])
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+
+	// Sort centers ascending and remap assignments.
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return centers[order[a]] < centers[order[b]] })
+	remap := make([]int, k)
+	newCenters := make([]float64, k)
+	for newIdx, oldIdx := range order {
+		remap[oldIdx] = newIdx
+		newCenters[newIdx] = centers[oldIdx]
+	}
+	for i := range assign {
+		assign[i] = remap[assign[i]]
+	}
+	return newCenters, assign
+}
+
+// WithinClusterSS returns the total within-cluster sum of squares for a
+// 1-D clustering, a quality measure used by the ablation benches.
+func WithinClusterSS(xs []float64, centers []float64, assign []int) float64 {
+	ss := 0.0
+	for i, x := range xs {
+		d := x - centers[assign[i]]
+		ss += d * d
+	}
+	return ss
+}

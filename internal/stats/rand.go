@@ -1,0 +1,177 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG wraps math/rand with the sampling distributions the synthetic dataset
+// generators need. All speedctx randomness flows through explicitly seeded
+// RNGs so every table and figure regenerates deterministically.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic RNG for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Fork derives an independent child RNG. Deriving children instead of
+// sharing one stream keeps generation order-independent: adding a new
+// consumer does not perturb existing streams.
+func (g *RNG) Fork(label int64) *RNG {
+	// SplitMix-style derivation of a child seed.
+	z := uint64(g.r.Int63()) + uint64(label)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return NewRNG(int64(z ^ (z >> 31)))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform int in [0, n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a uniform non-negative int64.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Uniform returns a uniform value in [lo, hi).
+func (g *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*g.r.Float64()
+}
+
+// Normal samples N(mean, stddev^2).
+func (g *RNG) Normal(mean, stddev float64) float64 {
+	return mean + stddev*g.r.NormFloat64()
+}
+
+// TruncNormal samples N(mean, stddev^2) truncated to [lo, hi] by rejection,
+// falling back to clamping after 64 rejections (only reachable with
+// pathological bounds).
+func (g *RNG) TruncNormal(mean, stddev, lo, hi float64) float64 {
+	for i := 0; i < 64; i++ {
+		x := g.Normal(mean, stddev)
+		if x >= lo && x <= hi {
+			return x
+		}
+	}
+	return math.Min(hi, math.Max(lo, mean))
+}
+
+// LogNormal samples a log-normal with the given parameters of the underlying
+// normal (mu, sigma are in log space).
+func (g *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(g.Normal(mu, sigma))
+}
+
+// Exponential samples an exponential distribution with the given mean.
+func (g *RNG) Exponential(mean float64) float64 {
+	return g.r.ExpFloat64() * mean
+}
+
+// Pareto samples a bounded Pareto-like heavy tail with minimum xm and shape
+// alpha.
+func (g *RNG) Pareto(xm, alpha float64) float64 {
+	u := g.r.Float64()
+	if u == 0 {
+		u = 1e-12
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Bool returns true with probability p.
+func (g *RNG) Bool(p float64) bool { return g.r.Float64() < p }
+
+// Categorical samples an index proportionally to weights. Zero or negative
+// weights contribute nothing; if all weights are non-positive the last index
+// is returned.
+func (g *RNG) Categorical(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return len(weights) - 1
+	}
+	u := g.r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle permutes a slice in place via the provided swap function.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+
+// Beta samples a Beta(a, b) variate using Johnk's/gamma methods. It backs
+// the utilization and efficiency factors in the network simulator, which
+// need bounded [0,1] distributions with controllable skew.
+func (g *RNG) Beta(a, b float64) float64 {
+	x := g.Gamma(a)
+	y := g.Gamma(b)
+	if x+y == 0 {
+		return 0.5
+	}
+	return x / (x + y)
+}
+
+// Gamma samples a Gamma(shape, 1) variate using the Marsaglia-Tsang method.
+func (g *RNG) Gamma(shape float64) float64 {
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+		u := g.r.Float64()
+		if u == 0 {
+			u = 1e-12
+		}
+		return g.Gamma(shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		x := g.r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := g.r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// MixtureSpec is a weighted set of Gaussian components for direct sampling,
+// used by tests that need data with known mixture structure.
+type MixtureSpec []Component
+
+// Sample draws n observations from the mixture.
+func (s MixtureSpec) Sample(g *RNG, n int) []float64 {
+	weights := make([]float64, len(s))
+	for i, c := range s {
+		weights[i] = c.Weight
+	}
+	out := make([]float64, n)
+	for i := range out {
+		c := s[g.Categorical(weights)]
+		out[i] = g.Normal(c.Mean, c.StdDev())
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	g := NewRNG(42)
+	c1 := g.Fork(1)
+	c2 := g.Fork(2)
+	same := 0
+	for i := 0; i < 50; i++ {
+		if c1.Float64() == c2.Float64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("forked RNGs look identical (%d/50 equal draws)", same)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	g := NewRNG(7)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = g.Normal(10, 3)
+	}
+	if m := Mean(xs); math.Abs(m-10) > 0.1 {
+		t.Errorf("mean = %v", m)
+	}
+	if s := StdDev(xs); math.Abs(s-3) > 0.1 {
+		t.Errorf("stddev = %v", s)
+	}
+}
+
+func TestTruncNormalBounds(t *testing.T) {
+	g := NewRNG(8)
+	for i := 0; i < 2000; i++ {
+		x := g.TruncNormal(0, 5, -1, 1)
+		if x < -1 || x > 1 {
+			t.Fatalf("TruncNormal out of bounds: %v", x)
+		}
+	}
+	// Impossible bounds fall back to clamping the mean.
+	if x := g.TruncNormal(0, 0.0001, 10, 11); x != 10 {
+		t.Errorf("fallback clamp = %v, want 10", x)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	g := NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		if g.LogNormal(0, 1) <= 0 {
+			t.Fatal("LogNormal produced non-positive value")
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	g := NewRNG(10)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = g.Exponential(4)
+	}
+	if m := Mean(xs); math.Abs(m-4) > 0.2 {
+		t.Errorf("exponential mean = %v, want ~4", m)
+	}
+}
+
+func TestParetoMinimum(t *testing.T) {
+	g := NewRNG(11)
+	for i := 0; i < 1000; i++ {
+		if g.Pareto(2, 1.5) < 2 {
+			t.Fatal("Pareto below xm")
+		}
+	}
+}
+
+func TestCategoricalWeights(t *testing.T) {
+	g := NewRNG(12)
+	counts := make([]int, 3)
+	w := []float64{1, 2, 7}
+	n := 50000
+	for i := 0; i < n; i++ {
+		counts[g.Categorical(w)]++
+	}
+	fr := NormalizeCounts(counts)
+	wants := []float64{0.1, 0.2, 0.7}
+	for i, want := range wants {
+		if math.Abs(fr[i]-want) > 0.02 {
+			t.Errorf("category %d fraction = %v, want ~%v", i, fr[i], want)
+		}
+	}
+}
+
+func TestCategoricalDegenerate(t *testing.T) {
+	g := NewRNG(13)
+	// All non-positive weights: last index.
+	if got := g.Categorical([]float64{0, -1, 0}); got != 2 {
+		t.Errorf("degenerate Categorical = %d", got)
+	}
+	// Negative weights skipped.
+	counts := make([]int, 3)
+	for i := 0; i < 1000; i++ {
+		counts[g.Categorical([]float64{-5, 1, 0})]++
+	}
+	if counts[0] != 0 || counts[2] != 0 || counts[1] != 1000 {
+		t.Errorf("negative-weight handling: %v", counts)
+	}
+}
+
+func TestBool(t *testing.T) {
+	g := NewRNG(14)
+	trues := 0
+	for i := 0; i < 10000; i++ {
+		if g.Bool(0.3) {
+			trues++
+		}
+	}
+	if math.Abs(float64(trues)/10000-0.3) > 0.02 {
+		t.Errorf("Bool(0.3) rate = %v", float64(trues)/10000)
+	}
+}
+
+func TestBetaBoundsAndMean(t *testing.T) {
+	g := NewRNG(15)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		x := g.Beta(2, 5)
+		if x < 0 || x > 1 {
+			t.Fatalf("Beta out of [0,1]: %v", x)
+		}
+		xs[i] = x
+	}
+	// Beta(2,5) mean = 2/7.
+	if m := Mean(xs); math.Abs(m-2.0/7.0) > 0.01 {
+		t.Errorf("Beta mean = %v, want ~%v", m, 2.0/7.0)
+	}
+}
+
+func TestGammaMean(t *testing.T) {
+	g := NewRNG(16)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = g.Gamma(3)
+	}
+	if m := Mean(xs); math.Abs(m-3) > 0.1 {
+		t.Errorf("Gamma(3) mean = %v", m)
+	}
+	// Shape < 1 boost path.
+	ys := make([]float64, 20000)
+	for i := range ys {
+		ys[i] = g.Gamma(0.5)
+	}
+	if m := Mean(ys); math.Abs(m-0.5) > 0.05 {
+		t.Errorf("Gamma(0.5) mean = %v", m)
+	}
+}
+
+func TestMixtureSample(t *testing.T) {
+	spec := MixtureSpec{
+		{Weight: 0.5, Mean: 0, Variance: 1},
+		{Weight: 0.5, Mean: 100, Variance: 1},
+	}
+	xs := spec.Sample(NewRNG(17), 5000)
+	if len(xs) != 5000 {
+		t.Fatalf("len = %d", len(xs))
+	}
+	low, high := 0, 0
+	for _, x := range xs {
+		if x < 50 {
+			low++
+		} else {
+			high++
+		}
+	}
+	if math.Abs(float64(low)/5000-0.5) > 0.05 {
+		t.Errorf("mixture balance off: %d low / %d high", low, high)
+	}
+}
+
+func TestPermAndShuffle(t *testing.T) {
+	g := NewRNG(18)
+	p := g.Perm(10)
+	seen := make(map[int]bool)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("invalid perm %v", p)
+		}
+		seen[v] = true
+	}
+	xs := []int{1, 2, 3, 4, 5}
+	sum := 0
+	g.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 15 {
+		t.Errorf("shuffle lost elements: %v", xs)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	g := NewRNG(19)
+	for i := 0; i < 1000; i++ {
+		x := g.Uniform(5, 10)
+		if x < 5 || x >= 10 {
+			t.Fatalf("Uniform out of range: %v", x)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Package units provides throughput and data-size types shared across the
+// speedctx packages. Speed test platforms report throughput in Mbps
+// (megabits per second, decimal); this package standardizes on that unit and
+// provides conversions to the byte-oriented quantities used by the TCP
+// models.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mbps is a throughput in megabits per second (10^6 bits/s).
+type Mbps float64
+
+// BitsPerSecond returns the throughput in bits per second.
+func (m Mbps) BitsPerSecond() float64 { return float64(m) * 1e6 }
+
+// BytesPerSecond returns the throughput in bytes per second.
+func (m Mbps) BytesPerSecond() float64 { return float64(m) * 1e6 / 8 }
+
+// FromBitsPerSecond converts a bits-per-second rate to Mbps.
+func FromBitsPerSecond(bps float64) Mbps { return Mbps(bps / 1e6) }
+
+// FromBytesPerSecond converts a bytes-per-second rate to Mbps.
+func FromBytesPerSecond(bps float64) Mbps { return Mbps(bps * 8 / 1e6) }
+
+// String renders the throughput the way the paper reports it: whole Mbps for
+// large values, two decimals otherwise.
+func (m Mbps) String() string {
+	if m >= 100 {
+		return fmt.Sprintf("%.0f Mbps", float64(m))
+	}
+	return fmt.Sprintf("%.2f Mbps", float64(m))
+}
+
+// Gbps expresses the throughput in Gbps.
+func (m Mbps) Gbps() float64 { return float64(m) / 1000 }
+
+// Bytes is a data size in bytes.
+type Bytes int64
+
+// Common sizes.
+const (
+	KB Bytes = 1000
+	MB Bytes = 1000 * KB
+	GB Bytes = 1000 * MB
+
+	KiB Bytes = 1024
+	MiB Bytes = 1024 * KiB
+	GiB Bytes = 1024 * MiB
+)
+
+// String renders a human-readable decimal size.
+func (b Bytes) String() string {
+	switch {
+	case b >= GB:
+		return fmt.Sprintf("%.2f GB", float64(b)/float64(GB))
+	case b >= MB:
+		return fmt.Sprintf("%.2f MB", float64(b)/float64(MB))
+	case b >= KB:
+		return fmt.Sprintf("%.2f KB", float64(b)/float64(KB))
+	}
+	return fmt.Sprintf("%d B", int64(b))
+}
+
+// Clamp limits v to the closed interval [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	return math.Min(hi, math.Max(lo, v))
+}
+
+// ClampMbps limits a throughput to [lo, hi].
+func ClampMbps(v, lo, hi Mbps) Mbps {
+	return Mbps(Clamp(float64(v), float64(lo), float64(hi)))
+}

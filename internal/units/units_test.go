@@ -1,0 +1,127 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMbpsConversions(t *testing.T) {
+	cases := []struct {
+		mbps Mbps
+		bps  float64
+		Bps  float64
+	}{
+		{1, 1e6, 125000},
+		{100, 1e8, 12.5e6},
+		{0, 0, 0},
+		{1200, 1.2e9, 150e6},
+	}
+	for _, c := range cases {
+		if got := c.mbps.BitsPerSecond(); got != c.bps {
+			t.Errorf("%v.BitsPerSecond() = %v, want %v", c.mbps, got, c.bps)
+		}
+		if got := c.mbps.BytesPerSecond(); got != c.Bps {
+			t.Errorf("%v.BytesPerSecond() = %v, want %v", c.mbps, got, c.Bps)
+		}
+	}
+}
+
+func TestMbpsRoundTrip(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		v = math.Abs(math.Mod(v, 1e6))
+		m := Mbps(v)
+		back := FromBitsPerSecond(m.BitsPerSecond())
+		return math.Abs(float64(back-m)) < 1e-9*math.Max(1, v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		v = math.Abs(math.Mod(v, 1e6))
+		m := Mbps(v)
+		back := FromBytesPerSecond(m.BytesPerSecond())
+		return math.Abs(float64(back-m)) < 1e-9*math.Max(1, v)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMbpsString(t *testing.T) {
+	if s := Mbps(1200).String(); s != "1200 Mbps" {
+		t.Errorf("String() = %q", s)
+	}
+	if s := Mbps(5.25).String(); s != "5.25 Mbps" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestMbpsGbps(t *testing.T) {
+	if g := Mbps(1200).Gbps(); g != 1.2 {
+		t.Errorf("Gbps() = %v, want 1.2", g)
+	}
+}
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		b    Bytes
+		want string
+	}{
+		{500, "500 B"},
+		{1500, "1.50 KB"},
+		{2 * MB, "2.00 MB"},
+		{3 * GB, "3.00 GB"},
+	}
+	for _, c := range cases {
+		if got := c.b.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.b), got, c.want)
+		}
+	}
+}
+
+func TestBinaryUnits(t *testing.T) {
+	if GiB != 1073741824 {
+		t.Errorf("GiB = %d", int64(GiB))
+	}
+	if MiB != 1048576 {
+		t.Errorf("MiB = %d", int64(MiB))
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ v, lo, hi, want float64 }{
+		{5, 0, 10, 5},
+		{-1, 0, 10, 0},
+		{11, 0, 10, 10},
+		{0, 0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.v, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%v,%v,%v) = %v, want %v", c.v, c.lo, c.hi, got, c.want)
+		}
+	}
+	if got := ClampMbps(50, 0, 25); got != 25 {
+		t.Errorf("ClampMbps = %v", got)
+	}
+}
+
+func TestClampProperty(t *testing.T) {
+	f := func(v, a, b float64) bool {
+		if math.IsNaN(v) || math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		got := Clamp(v, lo, hi)
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

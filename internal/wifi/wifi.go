@@ -1,0 +1,245 @@
+// Package wifi models the home wireless hop that sits between most
+// crowdsourced speed-test clients and their broadband access link. The paper
+// (§6.1) finds this hop — spectrum band, received signal strength, and
+// channel contention — dominates the gap between measured and subscribed
+// speed. The model here follows standard 802.11 engineering:
+//
+//	RSSI -> SNR (fixed noise floor) -> highest decodable MCS -> PHY rate
+//	(scaled by channel width and spatial streams) -> effective throughput
+//	(MAC efficiency x contention x retry penalty)
+//
+// Per-stream 20 MHz MCS rates come from the 802.11n/ac tables; client
+// capability diversity (single-stream phones, 40 MHz associations) is what
+// makes field WiFi so much slower than the spec-sheet maximum.
+package wifi
+
+import (
+	"fmt"
+
+	"speedctx/internal/stats"
+	"speedctx/internal/units"
+)
+
+// Band is the WiFi spectrum band in use.
+type Band int
+
+const (
+	// Band24GHz is the 2.4 GHz ISM band: longer range, 20 MHz channels,
+	// heavy contention from neighbours and non-WiFi interferers.
+	Band24GHz Band = iota
+	// Band5GHz is the 5 GHz band: wider channels and higher rates, but
+	// more susceptible to attenuation.
+	Band5GHz
+)
+
+func (b Band) String() string {
+	if b == Band24GHz {
+		return "2.4 GHz"
+	}
+	return "5 GHz"
+}
+
+// NoiseFloorDBm is the assumed receiver noise floor.
+const NoiseFloorDBm = -95.0
+
+// mcs is one entry of the per-stream 20 MHz rate table.
+type mcs struct {
+	minSNR float64 // dB required to decode
+	base20 float64 // Mbps per spatial stream at 20 MHz (800 ns GI)
+}
+
+// mcsTable is the 802.11n/ac per-stream base rate ladder (MCS0-9).
+var mcsTable = []mcs{
+	{5, 6.5}, {8, 13}, {11, 19.5}, {14, 26}, {18, 39},
+	{22, 52}, {26, 58.5}, {30, 65}, {34, 78}, {37, 86.7},
+}
+
+// widthScale maps channel width to the standard rate multiplier over 20 MHz.
+func widthScale(widthMHz int) float64 {
+	switch widthMHz {
+	case 80:
+		return 4.5
+	case 40:
+		return 2.1
+	default:
+		return 1
+	}
+}
+
+// MACEfficiency is the fraction of PHY rate a saturating TCP flow set
+// realizes once MAC/ACK/backoff overhead is paid, on a clean channel at
+// high SNR.
+const MACEfficiency = 0.65
+
+// Link is a client-to-AP WiFi link at measurement time.
+type Link struct {
+	Band Band
+	// RSSI is the received signal strength indicator in dBm
+	// (typically -90..-30).
+	RSSI float64
+	// Contention in [0,1) is the fraction of airtime lost to other
+	// networks and stations; 0 means a quiet channel.
+	Contention float64
+	// Streams is the client's spatial stream count (1 or 2); 0 means 2.
+	Streams int
+	// WidthMHz is the association channel width (20, 40 or 80); 0 means
+	// the band default (20 on 2.4 GHz, 80 on 5 GHz).
+	WidthMHz int
+}
+
+// SNR returns the link's signal-to-noise ratio in dB.
+func (l Link) SNR() float64 { return l.RSSI - NoiseFloorDBm }
+
+func (l Link) streams() float64 {
+	if l.Streams == 1 {
+		return 1
+	}
+	return 2
+}
+
+func (l Link) width() int {
+	if l.WidthMHz != 0 {
+		return l.WidthMHz
+	}
+	if l.Band == Band24GHz {
+		return 20
+	}
+	return 80
+}
+
+// PHYRate returns the negotiated PHY rate for the link's band, SNR, width
+// and stream count. When the SNR cannot sustain MCS0 the client falls back
+// to the legacy basic rate (802.11b 5.5 Mbps on 2.4 GHz, OFDM 6 Mbps on
+// 5 GHz) — barely-connected clients still complete tests, just miserably.
+func (l Link) PHYRate() units.Mbps {
+	snr := l.SNR()
+	maxMCS := len(mcsTable)
+	width := l.width()
+	if l.Band == Band24GHz {
+		maxMCS = 8 // HT caps at MCS7
+		if width > 40 {
+			width = 20
+		}
+	}
+	best := -1
+	for i := 0; i < maxMCS; i++ {
+		if snr >= mcsTable[i].minSNR {
+			best = i
+		} else {
+			break
+		}
+	}
+	if best < 0 {
+		if l.Band == Band24GHz {
+			return 5.5
+		}
+		return 6
+	}
+	return units.Mbps(mcsTable[best].base20 * widthScale(width) * l.streams())
+}
+
+// retryPenalty models rate-adaptation retries and aggregation loss at low
+// SNR: links hovering near their MCS threshold burn airtime on
+// retransmissions.
+func (l Link) retryPenalty() float64 {
+	return 0.65 + 0.35*units.Clamp((l.SNR()-10)/25, 0, 1)
+}
+
+// Throughput returns the effective TCP-visible capacity of the link after
+// MAC overhead, contention and retries.
+func (l Link) Throughput() units.Mbps {
+	c := units.Clamp(l.Contention, 0, 0.99)
+	return units.Mbps(float64(l.PHYRate()) * MACEfficiency * (1 - c) * l.retryPenalty())
+}
+
+// RSSIBin is the paper's Figure 9c binning of 5 GHz signal strength.
+type RSSIBin int
+
+const (
+	RSSIBelow70 RSSIBin = iota // < -70 dBm
+	RSSI70to50                 // -70 .. -50 dBm
+	RSSI50to30                 // -50 .. -30 dBm
+	RSSIAbove30                // >= -30 dBm
+)
+
+func (b RSSIBin) String() string {
+	switch b {
+	case RSSIBelow70:
+		return "< -70 dBm"
+	case RSSI70to50:
+		return "-70 dBm - -50 dBm"
+	case RSSI50to30:
+		return "-50 dBm - -30 dBm"
+	default:
+		return ">= -30 dBm"
+	}
+}
+
+// BinRSSI places an RSSI value into the paper's four bins.
+func BinRSSI(rssi float64) RSSIBin {
+	switch {
+	case rssi < -70:
+		return RSSIBelow70
+	case rssi < -50:
+		return RSSI70to50
+	case rssi < -30:
+		return RSSI50to30
+	default:
+		return RSSIAbove30
+	}
+}
+
+// Bins lists the RSSI bins in ascending signal order.
+func Bins() []RSSIBin {
+	return []RSSIBin{RSSIBelow70, RSSI70to50, RSSI50to30, RSSIAbove30}
+}
+
+// LinkModel generates realistic links for the synthetic population. Shares
+// are calibrated to the paper's observations: ~23% of Android tests on
+// 2.4 GHz; 5 GHz RSSI bin shares of roughly 9/49/37/5% (§6.1); and client
+// capability diversity (half of phones are single-stream; many associate at
+// 40 MHz or narrower).
+type LinkModel struct {
+	// P24GHz is the probability a client associates on 2.4 GHz.
+	P24GHz float64
+}
+
+// DefaultLinkModel returns the calibration used throughout the benches.
+func DefaultLinkModel() LinkModel { return LinkModel{P24GHz: 0.23} }
+
+// Sample draws a random link.
+func (m LinkModel) Sample(rng *stats.RNG) Link {
+	var l Link
+	if rng.Bool(0.5) {
+		l.Streams = 1
+	} else {
+		l.Streams = 2
+	}
+	if rng.Bool(m.P24GHz) {
+		l.Band = Band24GHz
+		l.WidthMHz = 20
+		// 2.4 GHz propagates further: slightly better RSSI, much
+		// more contention (crowded band + non-WiFi interference).
+		l.RSSI = rng.TruncNormal(-58, 11, -92, -25)
+		l.Contention = 0.3 + 0.6*rng.Beta(2.5, 2.5)
+	} else {
+		l.Band = Band5GHz
+		// Calibrated so RSSI bin shares land near 9/49/37/5%.
+		l.RSSI = rng.TruncNormal(-52.5, 13, -92, -20)
+		switch rng.Categorical([]float64{0.65, 0.27, 0.08}) {
+		case 0:
+			l.WidthMHz = 80
+		case 1:
+			l.WidthMHz = 40
+		default:
+			l.WidthMHz = 20
+		}
+		l.Contention = 0.1 + 0.5*rng.Beta(2, 3.5)
+	}
+	return l
+}
+
+func (l Link) String() string {
+	return fmt.Sprintf("%s RSSI=%.0f dBm %dx%dMHz contention=%.2f phy=%s",
+		l.Band, l.RSSI, int(l.streams()), l.width(), l.Contention, l.PHYRate())
+}

@@ -1,0 +1,181 @@
+package wifi
+
+import (
+	"math"
+	"testing"
+
+	"speedctx/internal/stats"
+)
+
+func TestPHYRateMonotoneInRSSI(t *testing.T) {
+	for _, band := range []Band{Band24GHz, Band5GHz} {
+		prev := -1.0
+		for rssi := -95.0; rssi <= -20; rssi += 1 {
+			r := float64(Link{Band: band, RSSI: rssi}.PHYRate())
+			if r < prev {
+				t.Fatalf("%v: PHY rate decreased at RSSI %v", band, rssi)
+			}
+			prev = r
+		}
+	}
+}
+
+func TestPHYRateKnownPoints(t *testing.T) {
+	// Below MCS0 (SNR < 5): legacy basic-rate fallback.
+	if r := (Link{Band: Band5GHz, RSSI: -91}).PHYRate(); r != 6 {
+		t.Errorf("out-of-range 5 GHz rate = %v, want 6 (legacy)", r)
+	}
+	if r := (Link{Band: Band24GHz, RSSI: -93}).PHYRate(); r != 5.5 {
+		t.Errorf("out-of-range 2.4 GHz rate = %v, want 5.5 (legacy)", r)
+	}
+	// Strong 5 GHz signal reaches top VHT MCS: 86.7 x 4.5 x 2 streams.
+	if r := (Link{Band: Band5GHz, RSSI: -40}).PHYRate(); math.Abs(float64(r)-86.7*4.5*2) > 1e-9 {
+		t.Errorf("strong 5 GHz rate = %v, want 780.3", r)
+	}
+	// Strong 2.4 GHz signal caps at HT MCS7 x 2 streams = 130 Mbps.
+	if r := (Link{Band: Band24GHz, RSSI: -40}).PHYRate(); r != 130 {
+		t.Errorf("strong 2.4 GHz rate = %v, want 130", r)
+	}
+	// Single-stream, 40 MHz client: 86.7 x 2.1 x 1.
+	if r := (Link{Band: Band5GHz, RSSI: -40, Streams: 1, WidthMHz: 40}).PHYRate(); math.Abs(float64(r)-86.7*2.1) > 1e-9 {
+		t.Errorf("1x40MHz rate = %v, want 182.07", r)
+	}
+	// Weak 5 GHz: RSSI -84 -> SNR 11 -> MCS2 = 19.5 x 4.5 x 2.
+	if r := (Link{Band: Band5GHz, RSSI: -84}).PHYRate(); math.Abs(float64(r)-19.5*4.5*2) > 1e-9 {
+		t.Errorf("weak 5 GHz rate = %v, want 175.5", r)
+	}
+	// 2.4 GHz ignores an 80 MHz width request.
+	if r := (Link{Band: Band24GHz, RSSI: -40, WidthMHz: 80}).PHYRate(); r != 130 {
+		t.Errorf("2.4 GHz 80MHz rate = %v, want 130", r)
+	}
+}
+
+func TestFiveGHzOutpaces24GHz(t *testing.T) {
+	// At equal strong signal, 5 GHz must offer several times the rate —
+	// the mechanism behind Figure 9b.
+	r24 := Link{Band: Band24GHz, RSSI: -45}.PHYRate()
+	r5 := Link{Band: Band5GHz, RSSI: -45}.PHYRate()
+	if float64(r5) < 3*float64(r24) {
+		t.Errorf("5 GHz %v not >= 3x 2.4 GHz %v", r5, r24)
+	}
+}
+
+func TestThroughputContention(t *testing.T) {
+	quiet := Link{Band: Band5GHz, RSSI: -45, Contention: 0}
+	busy := Link{Band: Band5GHz, RSSI: -45, Contention: 0.5}
+	if busy.Throughput() >= quiet.Throughput() {
+		t.Error("contention should reduce throughput")
+	}
+	// RSSI -45 -> SNR 50 -> no retry penalty.
+	if got, want := float64(quiet.Throughput()), 86.7*4.5*2*MACEfficiency; math.Abs(got-want) > 1e-9 {
+		t.Errorf("quiet throughput = %v, want %v", got, want)
+	}
+	// Low SNR pays the retry penalty on top of the MCS downshift.
+	weak := Link{Band: Band5GHz, RSSI: -84}
+	if got, want := float64(weak.Throughput()), 19.5*4.5*2*MACEfficiency*(0.65+0.35*(11.0-10)/25); math.Abs(got-want) > 1e-9 {
+		t.Errorf("weak throughput = %v, want %v", got, want)
+	}
+	// Contention is clamped.
+	absurd := Link{Band: Band5GHz, RSSI: -45, Contention: 5}
+	if absurd.Throughput() <= 0 {
+		t.Error("clamped contention should leave positive throughput")
+	}
+}
+
+func TestSNR(t *testing.T) {
+	if got := (Link{RSSI: -65}).SNR(); got != 30 {
+		t.Errorf("SNR = %v, want 30", got)
+	}
+}
+
+func TestBinRSSI(t *testing.T) {
+	cases := []struct {
+		rssi float64
+		want RSSIBin
+	}{
+		{-80, RSSIBelow70}, {-70, RSSI70to50}, {-60, RSSI70to50},
+		{-50, RSSI50to30}, {-35, RSSI50to30}, {-30, RSSIAbove30}, {-10, RSSIAbove30},
+	}
+	for _, c := range cases {
+		if got := BinRSSI(c.rssi); got != c.want {
+			t.Errorf("BinRSSI(%v) = %v, want %v", c.rssi, got, c.want)
+		}
+	}
+	if len(Bins()) != 4 {
+		t.Error("Bins() should list 4 bins")
+	}
+}
+
+func TestBinStrings(t *testing.T) {
+	wants := []string{"< -70 dBm", "-70 dBm - -50 dBm", "-50 dBm - -30 dBm", ">= -30 dBm"}
+	for i, b := range Bins() {
+		if b.String() != wants[i] {
+			t.Errorf("bin %d = %q", i, b.String())
+		}
+	}
+	if Band24GHz.String() != "2.4 GHz" || Band5GHz.String() != "5 GHz" {
+		t.Error("band strings")
+	}
+}
+
+func TestLinkModelShares(t *testing.T) {
+	m := DefaultLinkModel()
+	rng := stats.NewRNG(42)
+	n := 40000
+	n24 := 0
+	binCounts := map[RSSIBin]int{}
+	n5 := 0
+	for i := 0; i < n; i++ {
+		l := m.Sample(rng)
+		if l.Band == Band24GHz {
+			n24++
+			continue
+		}
+		n5++
+		binCounts[BinRSSI(l.RSSI)]++
+	}
+	frac24 := float64(n24) / float64(n)
+	if frac24 < 0.20 || frac24 > 0.26 {
+		t.Errorf("2.4 GHz share = %v, want ~0.23", frac24)
+	}
+	// Paper's 5 GHz RSSI bin shares: 9%, 49%, 37%, 5%.
+	wants := map[RSSIBin]float64{
+		RSSIBelow70: 0.09, RSSI70to50: 0.49, RSSI50to30: 0.37, RSSIAbove30: 0.05,
+	}
+	for bin, want := range wants {
+		got := float64(binCounts[bin]) / float64(n5)
+		if got < want-0.06 || got > want+0.06 {
+			t.Errorf("5 GHz bin %v share = %.3f, want ~%.2f", bin, got, want)
+		}
+	}
+}
+
+func TestLinkModelContentionRanges(t *testing.T) {
+	m := DefaultLinkModel()
+	rng := stats.NewRNG(43)
+	var sum24, sum5 float64
+	var c24, c5 int
+	for i := 0; i < 20000; i++ {
+		l := m.Sample(rng)
+		if l.Contention < 0 || l.Contention >= 1 {
+			t.Fatalf("contention out of range: %v", l.Contention)
+		}
+		if l.Band == Band24GHz {
+			sum24 += l.Contention
+			c24++
+		} else {
+			sum5 += l.Contention
+			c5++
+		}
+	}
+	if sum24/float64(c24) <= sum5/float64(c5) {
+		t.Error("2.4 GHz should average more contention than 5 GHz")
+	}
+}
+
+func TestLinkString(t *testing.T) {
+	s := Link{Band: Band5GHz, RSSI: -50, Contention: 0.1}.String()
+	if s == "" {
+		t.Error("empty String()")
+	}
+}

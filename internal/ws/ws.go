@@ -1,0 +1,330 @@
+// Package ws is a minimal RFC 6455 WebSocket implementation (stdlib only):
+// the HTTP upgrade handshake, frame encoding/decoding with client-side
+// masking, fragmentation-free text/binary messages, and the close
+// handshake. It exists so the repo's NDT7-style speed test (internal/ndt7)
+// can speak the same framing the real M-Lab NDT7 protocol uses, without a
+// third-party dependency.
+//
+// Scope: no extensions (permessage-deflate etc.), no continuation frames on
+// write (reads coalesce them), text payloads are not UTF-8 validated.
+// Control frames (ping/close) are handled inline during reads.
+package ws
+
+import (
+	"bufio"
+	"crypto/rand"
+	"crypto/sha1"
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Opcode is a WebSocket frame opcode.
+type Opcode byte
+
+// Frame opcodes (RFC 6455 §5.2).
+const (
+	OpContinuation Opcode = 0x0
+	OpText         Opcode = 0x1
+	OpBinary       Opcode = 0x2
+	OpClose        Opcode = 0x8
+	OpPing         Opcode = 0x9
+	OpPong         Opcode = 0xA
+)
+
+// magicGUID is the handshake accept-key constant from RFC 6455 §1.3.
+const magicGUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// ErrClosed is returned after the close handshake completes.
+var ErrClosed = errors.New("ws: connection closed")
+
+// MaxMessageSize bounds a single message (including coalesced
+// continuations); larger messages abort the connection.
+const MaxMessageSize = 1 << 24 // 16 MiB
+
+// Conn is a WebSocket connection over a net.Conn.
+type Conn struct {
+	nc     net.Conn
+	br     *bufio.Reader
+	client bool // client side masks its frames
+	closed bool
+}
+
+// AcceptKey computes the Sec-WebSocket-Accept value for a client key.
+func AcceptKey(key string) string {
+	h := sha1.Sum([]byte(key + magicGUID))
+	return base64.StdEncoding.EncodeToString(h[:])
+}
+
+// Upgrade performs the server side of the handshake on an http request and
+// returns the WebSocket connection. The ResponseWriter must support
+// hijacking.
+func Upgrade(w http.ResponseWriter, r *http.Request) (*Conn, error) {
+	if !strings.EqualFold(r.Header.Get("Upgrade"), "websocket") ||
+		!headerContainsToken(r.Header.Get("Connection"), "upgrade") {
+		http.Error(w, "not a websocket handshake", http.StatusBadRequest)
+		return nil, errors.New("ws: not a websocket handshake")
+	}
+	if r.Header.Get("Sec-WebSocket-Version") != "13" {
+		http.Error(w, "unsupported websocket version", http.StatusBadRequest)
+		return nil, errors.New("ws: unsupported version")
+	}
+	key := r.Header.Get("Sec-WebSocket-Key")
+	if key == "" {
+		http.Error(w, "missing Sec-WebSocket-Key", http.StatusBadRequest)
+		return nil, errors.New("ws: missing key")
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		http.Error(w, "hijacking unsupported", http.StatusInternalServerError)
+		return nil, errors.New("ws: response writer cannot hijack")
+	}
+	nc, brw, err := hj.Hijack()
+	if err != nil {
+		return nil, fmt.Errorf("ws: hijack: %w", err)
+	}
+	resp := "HTTP/1.1 101 Switching Protocols\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Accept: " + AcceptKey(key) + "\r\n\r\n"
+	if _, err := brw.WriteString(resp); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if err := brw.Flush(); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return &Conn{nc: nc, br: brw.Reader, client: false}, nil
+}
+
+func headerContainsToken(header, token string) bool {
+	for _, part := range strings.Split(header, ",") {
+		if strings.EqualFold(strings.TrimSpace(part), token) {
+			return true
+		}
+	}
+	return false
+}
+
+// Dial connects to a ws:// URL path on addr ("host:port") and performs the
+// client handshake.
+func Dial(addr, path string, timeout time.Duration) (*Conn, error) {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	d := net.Dialer{Timeout: timeout}
+	nc, err := d.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	keyBytes := make([]byte, 16)
+	if _, err := rand.Read(keyBytes); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	key := base64.StdEncoding.EncodeToString(keyBytes)
+	req := fmt.Sprintf("GET %s HTTP/1.1\r\n"+
+		"Host: %s\r\n"+
+		"Upgrade: websocket\r\n"+
+		"Connection: Upgrade\r\n"+
+		"Sec-WebSocket-Key: %s\r\n"+
+		"Sec-WebSocket-Version: 13\r\n\r\n", path, addr, key)
+	nc.SetDeadline(time.Now().Add(timeout))
+	if _, err := io.WriteString(nc, req); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	br := bufio.NewReader(nc)
+	status, err := br.ReadString('\n')
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if !strings.Contains(status, "101") {
+		nc.Close()
+		return nil, fmt.Errorf("ws: handshake rejected: %s", strings.TrimSpace(status))
+	}
+	var accept string
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			nc.Close()
+			return nil, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "" {
+			break
+		}
+		if k, v, ok := strings.Cut(line, ":"); ok &&
+			strings.EqualFold(strings.TrimSpace(k), "Sec-WebSocket-Accept") {
+			accept = strings.TrimSpace(v)
+		}
+	}
+	if accept != AcceptKey(key) {
+		nc.Close()
+		return nil, errors.New("ws: bad Sec-WebSocket-Accept")
+	}
+	nc.SetDeadline(time.Time{})
+	return &Conn{nc: nc, br: br, client: true}, nil
+}
+
+// SetDeadline sets the underlying connection deadline.
+func (c *Conn) SetDeadline(t time.Time) error { return c.nc.SetDeadline(t) }
+
+// WriteMessage sends a single unfragmented message.
+func (c *Conn) WriteMessage(op Opcode, payload []byte) error {
+	if c.closed {
+		return ErrClosed
+	}
+	return c.writeFrame(op, payload)
+}
+
+func (c *Conn) writeFrame(op Opcode, payload []byte) error {
+	header := make([]byte, 0, 14)
+	header = append(header, 0x80|byte(op)) // FIN set
+	maskBit := byte(0)
+	if c.client {
+		maskBit = 0x80
+	}
+	n := len(payload)
+	switch {
+	case n < 126:
+		header = append(header, maskBit|byte(n))
+	case n <= 0xFFFF:
+		header = append(header, maskBit|126, byte(n>>8), byte(n))
+	default:
+		var ext [8]byte
+		binary.BigEndian.PutUint64(ext[:], uint64(n))
+		header = append(header, maskBit|127)
+		header = append(header, ext[:]...)
+	}
+	if c.client {
+		var mask [4]byte
+		if _, err := rand.Read(mask[:]); err != nil {
+			return err
+		}
+		header = append(header, mask[:]...)
+		masked := make([]byte, n)
+		for i, b := range payload {
+			masked[i] = b ^ mask[i&3]
+		}
+		payload = masked
+	}
+	if _, err := c.nc.Write(header); err != nil {
+		return err
+	}
+	_, err := c.nc.Write(payload)
+	return err
+}
+
+// ReadMessage reads the next data message, transparently answering pings
+// and completing the close handshake. Continuation frames are coalesced.
+func (c *Conn) ReadMessage() (Opcode, []byte, error) {
+	if c.closed {
+		return 0, nil, ErrClosed
+	}
+	var msgOp Opcode
+	var msg []byte
+	for {
+		fin, op, payload, err := c.readFrame()
+		if err != nil {
+			return 0, nil, err
+		}
+		switch op {
+		case OpPing:
+			if err := c.writeFrame(OpPong, payload); err != nil {
+				return 0, nil, err
+			}
+			continue
+		case OpPong:
+			continue
+		case OpClose:
+			c.writeFrame(OpClose, payload)
+			c.closed = true
+			c.nc.Close()
+			return 0, nil, ErrClosed
+		case OpContinuation:
+			if msg == nil {
+				return 0, nil, errors.New("ws: unexpected continuation")
+			}
+		case OpText, OpBinary:
+			if msg != nil {
+				return 0, nil, errors.New("ws: interleaved data frames")
+			}
+			msgOp = op
+		default:
+			return 0, nil, fmt.Errorf("ws: unknown opcode %#x", byte(op))
+		}
+		msg = append(msg, payload...)
+		if len(msg) > MaxMessageSize {
+			return 0, nil, errors.New("ws: message too large")
+		}
+		if fin {
+			return msgOp, msg, nil
+		}
+	}
+}
+
+func (c *Conn) readFrame() (fin bool, op Opcode, payload []byte, err error) {
+	var h [2]byte
+	if _, err = io.ReadFull(c.br, h[:]); err != nil {
+		return false, 0, nil, err
+	}
+	fin = h[0]&0x80 != 0
+	if h[0]&0x70 != 0 {
+		return false, 0, nil, errors.New("ws: reserved bits set (no extensions negotiated)")
+	}
+	op = Opcode(h[0] & 0x0F)
+	masked := h[1]&0x80 != 0
+	length := uint64(h[1] & 0x7F)
+	switch length {
+	case 126:
+		var ext [2]byte
+		if _, err = io.ReadFull(c.br, ext[:]); err != nil {
+			return false, 0, nil, err
+		}
+		length = uint64(binary.BigEndian.Uint16(ext[:]))
+	case 127:
+		var ext [8]byte
+		if _, err = io.ReadFull(c.br, ext[:]); err != nil {
+			return false, 0, nil, err
+		}
+		length = binary.BigEndian.Uint64(ext[:])
+	}
+	if length > MaxMessageSize {
+		return false, 0, nil, errors.New("ws: frame too large")
+	}
+	var mask [4]byte
+	if masked {
+		if _, err = io.ReadFull(c.br, mask[:]); err != nil {
+			return false, 0, nil, err
+		}
+	}
+	payload = make([]byte, length)
+	if _, err = io.ReadFull(c.br, payload); err != nil {
+		return false, 0, nil, err
+	}
+	if masked {
+		for i := range payload {
+			payload[i] ^= mask[i&3]
+		}
+	}
+	return fin, op, payload, nil
+}
+
+// Close initiates (or completes) the close handshake and closes the socket.
+func (c *Conn) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.writeFrame(OpClose, []byte{0x03, 0xE8}) // 1000 normal closure
+	return c.nc.Close()
+}

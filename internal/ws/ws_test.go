@@ -1,0 +1,246 @@
+package ws
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// echoServer starts an HTTP server upgrading every request and echoing data
+// messages back.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conn, err := Upgrade(w, r)
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		for {
+			op, msg, err := conn.ReadMessage()
+			if err != nil {
+				return
+			}
+			if err := conn.WriteMessage(op, msg); err != nil {
+				return
+			}
+		}
+	}))
+	t.Cleanup(srv.Close)
+	return strings.TrimPrefix(srv.URL, "http://")
+}
+
+func TestAcceptKeyRFCExample(t *testing.T) {
+	// RFC 6455 §1.3 worked example.
+	got := AcceptKey("dGhlIHNhbXBsZSBub25jZQ==")
+	want := "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+	if got != want {
+		t.Errorf("AcceptKey = %q, want %q", got, want)
+	}
+}
+
+func TestEchoTextAndBinary(t *testing.T) {
+	addr := echoServer(t)
+	conn, err := Dial(addr, "/echo", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	if err := conn.WriteMessage(OpText, []byte("hello websocket")); err != nil {
+		t.Fatal(err)
+	}
+	op, msg, err := conn.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != OpText || string(msg) != "hello websocket" {
+		t.Errorf("echo = %v %q", op, msg)
+	}
+
+	payload := bytes.Repeat([]byte{0xAB}, 70000) // forces 64-bit length
+	if err := conn.WriteMessage(OpBinary, payload); err != nil {
+		t.Fatal(err)
+	}
+	op, msg, err = conn.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != OpBinary || !bytes.Equal(msg, payload) {
+		t.Errorf("binary echo mismatch: op=%v len=%d", op, len(msg))
+	}
+}
+
+func TestEchoPropertyAllSizes(t *testing.T) {
+	addr := echoServer(t)
+	conn, err := Dial(addr, "/echo", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var mu sync.Mutex
+	f := func(data []byte) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(data) == 0 {
+			data = []byte{0}
+		}
+		if err := conn.WriteMessage(OpBinary, data); err != nil {
+			return false
+		}
+		op, msg, err := conn.ReadMessage()
+		return err == nil && op == OpBinary && bytes.Equal(msg, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMediumFrame(t *testing.T) {
+	// 126..65535-byte payloads use the 16-bit length form.
+	addr := echoServer(t)
+	conn, err := Dial(addr, "/echo", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	payload := bytes.Repeat([]byte("x"), 300)
+	if err := conn.WriteMessage(OpBinary, payload); err != nil {
+		t.Fatal(err)
+	}
+	_, msg, err := conn.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(msg, payload) {
+		t.Error("16-bit length frame corrupted")
+	}
+}
+
+func TestCloseHandshake(t *testing.T) {
+	addr := echoServer(t)
+	conn, err := Dial(addr, "/echo", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := conn.ReadMessage(); !errors.Is(err, ErrClosed) {
+		t.Errorf("read after close = %v, want ErrClosed", err)
+	}
+	if err := conn.WriteMessage(OpText, []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("write after close = %v, want ErrClosed", err)
+	}
+	// Idempotent close.
+	if err := conn.Close(); err != nil {
+		t.Errorf("second close = %v", err)
+	}
+}
+
+func TestServerInitiatedClose(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conn, err := Upgrade(w, r)
+		if err != nil {
+			return
+		}
+		conn.Close()
+	}))
+	defer srv.Close()
+	conn, err := Dial(strings.TrimPrefix(srv.URL, "http://"), "/", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, _, err := conn.ReadMessage(); !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestPingHandledInline(t *testing.T) {
+	// Server sends a ping then a text message; the client should answer
+	// the ping invisibly and deliver the text.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conn, err := Upgrade(w, r)
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		conn.writeFrame(OpPing, []byte("beat"))
+		conn.WriteMessage(OpText, []byte("after-ping"))
+		// Wait for the pong.
+		conn.nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+		fin, op, payload, err := conn.readFrame()
+		if err != nil || !fin || op != OpPong || string(payload) != "beat" {
+			t.Errorf("pong not received: fin=%v op=%v payload=%q err=%v", fin, op, payload, err)
+		}
+	}))
+	defer srv.Close()
+	conn, err := Dial(strings.TrimPrefix(srv.URL, "http://"), "/", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	op, msg, err := conn.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != OpText || string(msg) != "after-ping" {
+		t.Errorf("got %v %q", op, msg)
+	}
+}
+
+func TestUpgradeRejectsPlainHTTP(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, err := Upgrade(w, r); err == nil {
+			t.Error("plain request should not upgrade")
+		}
+	}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestDialRejectsNonWebSocketServer(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusOK)
+	}))
+	defer srv.Close()
+	if _, err := Dial(strings.TrimPrefix(srv.URL, "http://"), "/", 2*time.Second); err == nil {
+		t.Error("dial to non-websocket server should fail")
+	}
+}
+
+func TestDialConnectionRefused(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	if _, err := Dial(addr, "/", time.Second); err == nil {
+		t.Error("dial to closed port should fail")
+	}
+}
+
+func TestHeaderContainsToken(t *testing.T) {
+	if !headerContainsToken("keep-alive, Upgrade", "upgrade") {
+		t.Error("comma-separated Connection header not matched")
+	}
+	if headerContainsToken("keep-alive", "upgrade") {
+		t.Error("false positive")
+	}
+}
