@@ -1,0 +1,38 @@
+# Developer entry points. `make check` is the PR gate: it must stay green
+# on every change (vet + build + race-clean tests + a benchmark smoke that
+# proves the perf harness still runs).
+
+GO ?= go
+
+.PHONY: check vet build test race bench bench-smoke bench-baseline
+
+check: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench-smoke runs one iteration of the parallel stats benchmarks — enough
+# to catch a broken benchmark without paying for a full measurement run.
+bench-smoke:
+	$(GO) test -run NONE -bench 'KDEGrid|FitGMM' -benchtime 1x ./internal/stats/
+
+# bench runs the full parallel stats benchmark suite with memory stats.
+bench:
+	$(GO) test -run NONE -bench 'KDEGrid|KDEPeaks|FitGMM' -benchmem ./internal/stats/
+
+# bench-baseline records the perf trajectory file for this PR series:
+# benchmark name -> ns/op. Compare future PRs against the committed
+# BENCH_pr*.json files.
+bench-baseline:
+	$(GO) test -run NONE -bench 'KDEGrid|KDEPeaks|FitGMM' -benchtime 2x ./internal/stats/ \
+		| scripts/bench2json.sh > BENCH_pr1.json
+	@cat BENCH_pr1.json

@@ -461,6 +461,6 @@ func BenchmarkJointDensity(b *testing.B) {
 
 func BenchmarkRobustnessSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		mustTable(b, experiments.RobustnessSweep(2021), nil)
+		mustTable(b, experiments.RobustnessSweep(2021, 0), nil)
 	}
 }

@@ -10,10 +10,13 @@
 //	speedctx all [flags]
 //
 // Common flags: -scale (fraction of the paper's dataset sizes, default
-// 0.02), -seed, -ascii (render figures as terminal charts).
+// 0.02), -seed, -ascii (render figures as terminal charts), -par (worker
+// parallelism for the BST fits and the `all` fan-out; 0 = all CPUs, 1 =
+// serial — output is identical at every setting).
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -26,6 +29,7 @@ import (
 	"speedctx/internal/experiments"
 	"speedctx/internal/geo"
 	"speedctx/internal/opendata"
+	"speedctx/internal/parallel"
 	"speedctx/internal/plans"
 	"speedctx/internal/report"
 )
@@ -45,6 +49,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	scale := fs.Float64("scale", 0.02, "fraction of the paper's dataset sizes")
 	seed := fs.Int64("seed", 2021, "generation seed")
+	par := fs.Int("par", 0, "worker parallelism: 0 = all CPUs, 1 = serial (output is identical at every setting)")
 	ascii := fs.Bool("ascii", false, "render figures as terminal charts")
 	city := fs.String("city", "A", "city identifier (A-D)")
 	outDir := fs.String("out", "speedctx-data", "output directory for generate")
@@ -59,6 +64,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	s := experiments.NewSuite(*scale, *seed)
+	s.Parallelism = *par
 
 	switch cmd {
 	case "table":
@@ -118,7 +124,7 @@ func challengeFile(s *experiments.Suite, city, input string, out io.Writer) erro
 	for i, r := range recs {
 		samples[i] = core.Sample{Download: r.DownloadMbps, Upload: r.UploadMbps}
 	}
-	res, err := core.Fit(samples, cat, core.Config{})
+	res, err := core.Fit(samples, cat, core.Config{Parallelism: s.Parallelism})
 	if err != nil {
 		return err
 	}
@@ -170,7 +176,7 @@ func emitTable(s *experiments.Suite, id string, out io.Writer) error {
 	case "census":
 		t, err = s.BottleneckCensus("A", 0)
 	case "sweep":
-		t = experiments.RobustnessSweep(2021)
+		t = experiments.RobustnessSweep(2021, s.Parallelism)
 	case "assoc":
 		t, err = s.MLabAssociationStats("A")
 	default:
@@ -306,7 +312,7 @@ func bstSummary(s *experiments.Suite, city string, out io.Writer) error {
 	for i, r := range b.Ookla {
 		samples[i] = core.Sample{Download: r.DownloadMbps, Upload: r.UploadMbps}
 	}
-	res, err := core.Fit(samples, b.Catalog, core.Config{})
+	res, err := core.Fit(samples, b.Catalog, core.Config{Parallelism: s.Parallelism})
 	if err != nil {
 		return err
 	}
@@ -334,18 +340,50 @@ func bstSummary(s *experiments.Suite, city string, out io.Writer) error {
 	return t2.Write(out)
 }
 
+// allTableIDs and allFigureIDs are the paper-order job lists of the `all`
+// command.
+var allTableIDs = []string{"1", "2", "3", "4", "5", "6", "7", "assoc",
+	"ablate-gmm", "ablate-upload", "ablate-bw", "tcp", "vendorgap",
+	"bbr", "challenge", "significance", "tiles", "census", "sweep"}
+
+var allFigureIDs = []string{"1", "2", "4", "5", "6", "7", "8",
+	"9a", "9b", "9c", "9d", "10", "11", "12", "13", "14", "15", "16", "joint"}
+
+// emitAll regenerates every table and figure. The jobs fan out across the
+// suite's worker pool — each renders into its own buffer, the suite's
+// sync.Once memoization dedupes the shared BST fits — and the buffers are
+// flushed in fixed paper order, so the output is byte-identical to a serial
+// run at every -par setting.
 func emitAll(s *experiments.Suite, ascii bool, out io.Writer) error {
-	for _, id := range []string{"1", "2", "3", "4", "5", "6", "7", "assoc",
-		"ablate-gmm", "ablate-upload", "ablate-bw", "tcp", "vendorgap",
-		"bbr", "challenge", "significance", "tiles", "census", "sweep"} {
-		if err := emitTable(s, id, out); err != nil {
-			return err
-		}
-		fmt.Fprintln(out)
+	type job struct {
+		id    string
+		table bool
 	}
-	for _, id := range []string{"1", "2", "4", "5", "6", "7", "8",
-		"9a", "9b", "9c", "9d", "10", "11", "12", "13", "14", "15", "16", "joint"} {
-		if err := emitFigure(s, id, ascii, out); err != nil {
+	var jobs []job
+	for _, id := range allTableIDs {
+		jobs = append(jobs, job{id: id, table: true})
+	}
+	for _, id := range allFigureIDs {
+		jobs = append(jobs, job{id: id})
+	}
+	type rendered struct {
+		buf bytes.Buffer
+		err error
+	}
+	results := parallel.Map(s.Parallelism, len(jobs), func(i int) *rendered {
+		r := &rendered{}
+		if jobs[i].table {
+			r.err = emitTable(s, jobs[i].id, &r.buf)
+		} else {
+			r.err = emitFigure(s, jobs[i].id, ascii, &r.buf)
+		}
+		return r
+	})
+	for i, r := range results {
+		if r.err != nil {
+			return fmt.Errorf("%s: %w", jobs[i].id, r.err)
+		}
+		if _, err := out.Write(r.buf.Bytes()); err != nil {
 			return err
 		}
 		fmt.Fprintln(out)

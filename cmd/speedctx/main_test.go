@@ -129,3 +129,21 @@ func TestSweepCommand(t *testing.T) {
 		t.Errorf("sweep output:\n%s", out)
 	}
 }
+
+// TestAllOutputDeterministicAcrossParallelism is the end-to-end determinism
+// gate for the parallel stats engine: the complete `all` run — every table
+// and figure, fanned out across the pool and over parallel BST fits — must
+// be byte-identical between a serial and a parallel invocation.
+func TestAllOutputDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite run; skipped in -short mode")
+	}
+	serial := runCLI(t, "all", "-scale", "0.005", "-par", "1")
+	par := runCLI(t, "all", "-scale", "0.005", "-par", "8")
+	if serial != par {
+		t.Error("`all` output differs between -par 1 and -par 8")
+	}
+	if !strings.Contains(serial, "BST robustness") || !strings.Contains(serial, "# fig4") {
+		t.Error("`all` output is missing expected sections")
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"math"
 	"sort"
 
+	"speedctx/internal/parallel"
 	"speedctx/internal/plans"
 	"speedctx/internal/stats"
 )
@@ -58,6 +59,13 @@ type Config struct {
 	// cluster belongs to the slowest plan whose advertised download
 	// times this headroom covers the cluster mean. Default 1.35.
 	DownloadHeadroom float64
+	// Parallelism bounds the worker count used across the pipeline —
+	// KDE grid evaluation, the GMM EM sweeps, the per-sample assignment
+	// pass, and the stage-2 per-tier fan-out. 0 (the default) selects
+	// GOMAXPROCS; 1 forces the serial path. Every stage reduces its
+	// partial results in fixed chunk order, so the Result is identical
+	// at every setting (see internal/parallel).
+	Parallelism int
 }
 
 func (c *Config) defaults() {
@@ -135,6 +143,11 @@ var ErrTooFewSamples = errors.New("core: too few samples for BST")
 // plan catalog.
 func Fit(samples []Sample, cat *plans.Catalog, cfg Config) (*Result, error) {
 	cfg.defaults()
+	if cfg.GMM.Parallelism == 0 {
+		// A single knob drives the whole pipeline unless the caller
+		// tuned the EM worker count separately.
+		cfg.GMM.Parallelism = cfg.Parallelism
+	}
 	tiers := cat.UploadTiers()
 	if len(samples) < 2*len(tiers) {
 		return nil, fmt.Errorf("%w: %d samples for %d upload tiers", ErrTooFewSamples, len(samples), len(tiers))
@@ -148,6 +161,7 @@ func Fit(samples []Sample, cat *plans.Catalog, cfg Config) (*Result, error) {
 		uploads[i] = s.Upload
 	}
 	kde := stats.NewKDE(uploads, cfg.Bandwidth)
+	kde.Parallelism = cfg.Parallelism
 	res.Upload.Peaks = kde.Peaks(cfg.KDEGridPoints, cfg.MinRelPeak)
 
 	// Components are seeded at the offered upload rates (the methodology
@@ -186,28 +200,52 @@ func Fit(samples []Sample, cat *plans.Catalog, cfg Config) (*Result, error) {
 	res.Upload.Model = um
 	res.Upload.ClusterTier = matchUploadClusters(um, tiers, cfg.UploadMatchTol)
 
-	// Assign each sample to an upload tier.
+	// Assign each sample to an upload tier. The pass is fanned out over
+	// fixed sample chunks: each chunk classifies its samples with a
+	// chunk-local scratch buffer and collects chunk-local tier buckets,
+	// which are then concatenated in chunk order — yielding exactly the
+	// bucket ordering the serial loop would produce.
 	type tierBucket struct {
 		idxs  []int
 		downs []float64
 	}
+	chunkBuckets := parallel.MapChunks(cfg.Parallelism, len(samples), assignChunk,
+		func(_, lo, hi int) []tierBucket {
+			bs := make([]tierBucket, len(tiers))
+			scratch := make([]float64, um.K())
+			for i := lo; i < hi; i++ {
+				s := samples[i]
+				comp, p := um.PredictScratch(s.Upload, scratch)
+				ti := res.Upload.ClusterTier[comp]
+				res.Assignments[i] = Assignment{UploadTier: ti, Confidence: p}
+				if ti >= 0 {
+					bs[ti].idxs = append(bs[ti].idxs, i)
+					bs[ti].downs = append(bs[ti].downs, s.Download)
+				}
+			}
+			return bs
+		})
 	buckets := make([]tierBucket, len(tiers))
-	for i, s := range samples {
-		comp, p := um.Predict(s.Upload)
-		ti := res.Upload.ClusterTier[comp]
-		res.Assignments[i] = Assignment{UploadTier: ti, Confidence: p}
-		if ti >= 0 {
-			buckets[ti].idxs = append(buckets[ti].idxs, i)
-			buckets[ti].downs = append(buckets[ti].downs, s.Download)
+	for _, bs := range chunkBuckets {
+		for ti := range bs {
+			buckets[ti].idxs = append(buckets[ti].idxs, bs[ti].idxs...)
+			buckets[ti].downs = append(buckets[ti].downs, bs[ti].downs...)
 		}
 	}
 
 	// ---- Stage 2: download clustering within each upload tier ----
-	for ti, tier := range tiers {
+	// Tiers are independent by construction (each sample sits in exactly
+	// one bucket), so the per-tier fits fan out across the pool; each
+	// tier writes only its own Downloads slot and its own samples'
+	// Assignments.
+	res.Downloads = make([]DownloadStage, len(tiers))
+	parallel.For(cfg.Parallelism, len(tiers), func(ti int) {
+		tier := tiers[ti]
 		ds := DownloadStage{TierIndex: ti, SampleCount: len(buckets[ti].idxs)}
 		b := &buckets[ti]
 		if len(b.downs) >= 2*len(tier.Plans) && len(b.downs) >= 4 {
 			dkde := stats.NewKDE(b.downs, cfg.Bandwidth)
+			dkde.Parallelism = cfg.Parallelism
 			ds.Peaks = dkde.Peaks(cfg.KDEGridPoints, cfg.MinRelPeak)
 			initDown := downloadInitMeans(ds.Peaks, tier, cfg)
 			if len(initDown) > len(b.downs) {
@@ -220,6 +258,10 @@ func Fit(samples []Sample, cat *plans.Catalog, cfg Config) (*Result, error) {
 			}
 		}
 		// Final per-sample plan assignment.
+		var scratch []float64
+		if ds.Model != nil {
+			scratch = make([]float64, ds.Model.K())
+		}
 		for bi, i := range b.idxs {
 			a := &res.Assignments[i]
 			if ds.Model == nil {
@@ -228,14 +270,19 @@ func Fit(samples []Sample, cat *plans.Catalog, cfg Config) (*Result, error) {
 				a.Tier = planByCeiling(b.downs[bi], tier, cfg.DownloadHeadroom)
 				continue
 			}
-			comp, p := ds.Model.Predict(b.downs[bi])
+			comp, p := ds.Model.PredictScratch(b.downs[bi], scratch)
 			a.Tier = ds.ComponentPlan[comp]
 			a.Confidence *= p
 		}
-		res.Downloads = append(res.Downloads, ds)
-	}
+		res.Downloads[ti] = ds
+	})
 	return res, nil
 }
+
+// assignChunk is the fixed per-chunk sample count of the stage-1 assignment
+// pass. Like the EM chunk size, it is a constant so the bucket
+// concatenation order never depends on the worker count.
+const assignChunk = 8192
 
 // downloadInitMeans builds the stage-2 initial component means: the KDE
 // peak locations (the clusters the paper counts in Figs 5 and 7), ensuring

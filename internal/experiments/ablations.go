@@ -97,7 +97,7 @@ func (s *Suite) AblationUploadFirst() (*report.Table, error) {
 			truth[i] = r.Tier
 		}
 		jointAcc := 0.0
-		if jres, err := core.FitJoint(samples, b.Catalog, core.Config{}); err == nil {
+		if jres, err := core.FitJoint(samples, b.Catalog, b.coreCfg()); err == nil {
 			if jev, err := core.Evaluate(jres, truth); err == nil {
 				jointAcc = jev.TierAccuracy()
 			}

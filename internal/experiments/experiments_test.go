@@ -400,7 +400,7 @@ func TestJointDensity(t *testing.T) {
 }
 
 func TestRobustnessSweep(t *testing.T) {
-	tb := RobustnessSweep(7)
+	tb := RobustnessSweep(7, 0)
 	if len(tb.Rows) != 5 {
 		t.Fatalf("rows = %d", len(tb.Rows))
 	}

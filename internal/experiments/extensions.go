@@ -66,7 +66,7 @@ func (s *Suite) AggregationLoss() (*report.Table, error) {
 		samples[i] = core.Sample{Download: r.DownloadMbps, Upload: r.UploadMbps}
 		truth[i] = r.TruthTier
 	}
-	res, err := core.Fit(samples, b.Catalog, core.Config{})
+	res, err := core.Fit(samples, b.Catalog, b.coreCfg())
 	if err != nil {
 		return nil, err
 	}
@@ -82,7 +82,7 @@ func (s *Suite) AggregationLoss() (*report.Table, error) {
 	for i, ts := range opendata.TileSamples(tiles) {
 		tileSamples[i] = core.Sample{Download: ts.Download, Upload: ts.Upload}
 	}
-	tileRes, err := core.Fit(tileSamples, b.Catalog, core.Config{})
+	tileRes, err := core.Fit(tileSamples, b.Catalog, b.coreCfg())
 	if err != nil {
 		return nil, err
 	}

@@ -201,7 +201,7 @@ func (s *Suite) Figure7() (*report.Figure, error) {
 			samples = append(samples, core.Sample{Download: r.DownloadMbps, Upload: r.UploadMbps})
 		}
 	}
-	res, err := core.Fit(samples, b.Catalog, core.Config{})
+	res, err := core.Fit(samples, b.Catalog, b.coreCfg())
 	if err != nil {
 		return nil, err
 	}

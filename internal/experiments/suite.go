@@ -37,6 +37,13 @@ type Suite struct {
 	Scale float64
 	// Seed roots all generation randomness.
 	Seed int64
+	// Parallelism bounds the worker count of every BST fit the suite
+	// runs (0 = GOMAXPROCS, 1 = serial) and of callers fanning the
+	// suite's figures/tables out concurrently (cmd/speedctx `all`). Set
+	// it before the first City call. Results are identical at every
+	// setting — the pipeline reduces in fixed chunk order — so this
+	// knob trades wall-clock only.
+	Parallelism int
 
 	mu     sync.Mutex
 	cities map[string]*CityBundle
@@ -74,6 +81,14 @@ type CityBundle struct {
 	androidErr  error
 	androidSeed int64
 	androidN    int
+
+	par int // Suite.Parallelism at bundle creation
+}
+
+// coreCfg is the BST configuration every suite-driven fit uses: defaults
+// plus the suite's parallelism knob.
+func (b *CityBundle) coreCfg() core.Config {
+	return core.Config{Parallelism: b.par}
 }
 
 func scaled(n int, scale float64) int {
@@ -100,7 +115,7 @@ func (s *Suite) City(id string) (*CityBundle, error) {
 		return nil, fmt.Errorf("experiments: no paper counts for city %q", id)
 	}
 	seed := s.Seed + int64(id[0])*1000
-	b := &CityBundle{Catalog: cat}
+	b := &CityBundle{Catalog: cat, par: s.Parallelism}
 	b.Ookla = dataset.GenerateOokla(cat, scaled(counts.Ookla, s.Scale), seed)
 	b.MLabRows = dataset.GenerateMLab(cat, scaled(counts.MLab, s.Scale), seed+1, dataset.DefaultMLabOptions())
 	b.MLabTests = dataset.Associate(b.MLabRows)
@@ -124,7 +139,7 @@ func (b *CityBundle) AndroidAnalysis() (*analysis.Ookla, error) {
 	b.androidOnce.Do(func() {
 		model := population.OoklaModel(b.Catalog).WithOnlyPlatform(device.Android)
 		recs := dataset.GenerateOoklaModel(b.Catalog, model, b.androidN, b.androidSeed)
-		b.androidA, b.androidErr = analysis.AnalyzeOokla(b.Catalog, recs, core.Config{})
+		b.androidA, b.androidErr = analysis.AnalyzeOokla(b.Catalog, recs, b.coreCfg())
 	})
 	return b.androidA, b.androidErr
 }
@@ -133,7 +148,7 @@ func (b *CityBundle) AndroidAnalysis() (*analysis.Ookla, error) {
 // Ookla dataset.
 func (b *CityBundle) OoklaAnalysis() (*analysis.Ookla, error) {
 	b.ooklaOnce.Do(func() {
-		b.ooklaA, b.ooklaErr = analysis.AnalyzeOokla(b.Catalog, b.Ookla, core.Config{})
+		b.ooklaA, b.ooklaErr = analysis.AnalyzeOokla(b.Catalog, b.Ookla, b.coreCfg())
 	})
 	return b.ooklaA, b.ooklaErr
 }
@@ -142,7 +157,7 @@ func (b *CityBundle) OoklaAnalysis() (*analysis.Ookla, error) {
 // associated NDT tests.
 func (b *CityBundle) MLabAnalysis() (*analysis.MLab, error) {
 	b.mlabOnce.Do(func() {
-		b.mlabA, b.mlabErr = analysis.AnalyzeMLab(b.Catalog, b.MLabTests, core.Config{})
+		b.mlabA, b.mlabErr = analysis.AnalyzeMLab(b.Catalog, b.MLabTests, b.coreCfg())
 	})
 	return b.mlabA, b.mlabErr
 }
@@ -156,7 +171,7 @@ func (b *CityBundle) MBAFit() (*core.Result, *core.Evaluation, error) {
 		samples[i] = core.Sample{Download: r.DownloadMbps, Upload: r.UploadMbps}
 		truth[i] = r.Tier
 	}
-	res, err := core.Fit(samples, b.Catalog, core.Config{})
+	res, err := core.Fit(samples, b.Catalog, b.coreCfg())
 	if err != nil {
 		return nil, nil, err
 	}

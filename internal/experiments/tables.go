@@ -103,7 +103,7 @@ func (s *Suite) UploadClusterTable(cityID string) (*report.Table, error) {
 	}
 	for _, ps := range b.platformSlices() {
 		row := []interface{}{ps.Vendor, ps.Platform}
-		res, err := core.Fit(ps.Samples, b.Catalog, core.Config{})
+		res, err := core.Fit(ps.Samples, b.Catalog, b.coreCfg())
 		if err != nil {
 			for range tiers {
 				row = append(row, 0, "-")
@@ -139,7 +139,7 @@ func (s *Suite) Table4() (*report.Table, error) {
 	}
 	for _, ps := range b.platformSlices() {
 		row := []interface{}{ps.Vendor, ps.Platform}
-		res, err := core.Fit(ps.Samples, b.Catalog, core.Config{})
+		res, err := core.Fit(ps.Samples, b.Catalog, b.coreCfg())
 		if err != nil {
 			for range b.Catalog.Plans {
 				row = append(row, "-")

@@ -1,0 +1,130 @@
+// Package parallel is the repo's deterministic parallel-execution layer: a
+// GOMAXPROCS-aware bounded worker pool with fixed-chunk work splitting.
+//
+// The central contract is determinism: every helper splits its index space
+// into chunks whose boundaries are a pure function of the problem size and
+// the chunk size — never of the worker count or of goroutine scheduling.
+// Callers that accumulate per-chunk partial results and merge them in chunk
+// order therefore produce bit-identical output whether they run with 1
+// worker or 64, run-to-run. This is what lets the stats and core packages
+// expose a Parallelism knob whose every setting yields exactly the same
+// floating-point results (see DESIGN.md, "Concurrency & determinism").
+//
+// All helpers run inline (no goroutines) when only one worker or one chunk
+// is in play, so serial callers pay nothing for the abstraction. A panic in
+// a worker goroutine is not recovered and crashes the process, exactly like
+// a panic in the equivalent serial loop would propagate.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a parallelism knob to a concrete worker count:
+// p <= 0 selects GOMAXPROCS (all available CPUs), anything else is taken
+// literally. This is the single interpretation of the Parallelism fields on
+// core.Config, stats.GMMConfig, stats.KDE and experiments.Suite.
+func Workers(p int) int {
+	if p <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// ChunkCount reports how many fixed-size chunks cover n items with the
+// given chunk size. Boundaries depend only on n and chunkSize, so callers
+// sizing per-chunk accumulator arrays get the same layout at every worker
+// count. A non-positive chunkSize is treated as 1.
+func ChunkCount(n, chunkSize int) int {
+	if n <= 0 {
+		return 0
+	}
+	if chunkSize <= 0 {
+		chunkSize = 1
+	}
+	return (n + chunkSize - 1) / chunkSize
+}
+
+// chunkBounds returns the half-open index range [lo, hi) of chunk c.
+func chunkBounds(c, n, chunkSize int) (lo, hi int) {
+	lo = c * chunkSize
+	hi = lo + chunkSize
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// ForChunks splits [0, n) into ChunkCount(n, chunkSize) fixed chunks and
+// calls fn(chunk, lo, hi) once per chunk, spread over up to Workers(p)
+// goroutines. Chunks are handed out dynamically (fast workers take more),
+// but because the boundaries are fixed, fn observes the same (chunk, lo,
+// hi) triples at every parallelism level. fn must confine its writes to
+// chunk-local state — e.g. a disjoint output slice segment or a per-chunk
+// accumulator slot — and must not assume any cross-chunk ordering.
+func ForChunks(p, n, chunkSize int, fn func(chunk, lo, hi int)) {
+	chunks := ChunkCount(n, chunkSize)
+	if chunks == 0 {
+		return
+	}
+	if chunkSize <= 0 {
+		chunkSize = 1
+	}
+	w := Workers(p)
+	if w > chunks {
+		w = chunks
+	}
+	if w <= 1 {
+		for c := 0; c < chunks; c++ {
+			lo, hi := chunkBounds(c, n, chunkSize)
+			fn(c, lo, hi)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				lo, hi := chunkBounds(c, n, chunkSize)
+				fn(c, lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// For calls fn(i) once for every i in [0, n) across up to Workers(p)
+// goroutines — the coarse-grained fan-out for independent tasks such as the
+// BST stage-2 per-tier fits. fn must confine its writes to task-local
+// state (e.g. out[i]).
+func For(p, n int, fn func(i int)) {
+	ForChunks(p, n, 1, func(c, _, _ int) { fn(c) })
+}
+
+// MapChunks runs fn over every fixed chunk of [0, n) and returns the
+// per-chunk results ordered by chunk index, regardless of which worker
+// computed which chunk. Reducing the returned slice left-to-right is
+// therefore scheduling-independent; it is the deterministic map/reduce the
+// EM sufficient-statistic merge and the BST assignment pass are built on.
+func MapChunks[T any](p, n, chunkSize int, fn func(chunk, lo, hi int) T) []T {
+	out := make([]T, ChunkCount(n, chunkSize))
+	ForChunks(p, n, chunkSize, func(c, lo, hi int) {
+		out[c] = fn(c, lo, hi)
+	})
+	return out
+}
+
+// Map runs fn(i) for every i in [0, n) and returns the results in index
+// order — MapChunks with single-item chunks.
+func Map[T any](p, n int, fn func(i int) T) []T {
+	return MapChunks(p, n, 1, func(c, _, _ int) T { return fn(c) })
+}

@@ -1,0 +1,160 @@
+package parallel
+
+import (
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	for _, p := range []int{1, 2, 7, 64} {
+		if got := Workers(p); got != p {
+			t.Errorf("Workers(%d) = %d", p, got)
+		}
+	}
+}
+
+func TestChunkCount(t *testing.T) {
+	cases := []struct{ n, size, want int }{
+		{0, 4, 0},
+		{-1, 4, 0},
+		{1, 4, 1},
+		{4, 4, 1},
+		{5, 4, 2},
+		{8, 4, 2},
+		{9, 4, 3},
+		{10, 0, 10},  // non-positive size treated as 1
+		{10, -2, 10}, // non-positive size treated as 1
+	}
+	for _, c := range cases {
+		if got := ChunkCount(c.n, c.size); got != c.want {
+			t.Errorf("ChunkCount(%d, %d) = %d, want %d", c.n, c.size, got, c.want)
+		}
+	}
+}
+
+// TestForChunksCoversExactly asserts every index in [0, n) is visited exactly
+// once, for a spread of sizes and parallelism levels.
+func TestForChunksCoversExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 16, 17, 1000} {
+		for _, p := range []int{1, 2, 8, 100} {
+			visits := make([]int32, n)
+			ForChunks(p, n, 7, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&visits[i], 1)
+				}
+			})
+			for i, v := range visits {
+				if v != 1 {
+					t.Fatalf("n=%d p=%d: index %d visited %d times", n, p, i, v)
+				}
+			}
+		}
+	}
+}
+
+// TestForChunksFixedBoundaries asserts chunk boundaries are a pure function
+// of (n, chunkSize) — the property the deterministic reductions rely on.
+func TestForChunksFixedBoundaries(t *testing.T) {
+	const n, size = 103, 10
+	type span struct{ lo, hi int }
+	collect := func(p int) []span {
+		out := make([]span, ChunkCount(n, size))
+		ForChunks(p, n, size, func(c, lo, hi int) { out[c] = span{lo, hi} })
+		return out
+	}
+	serial := collect(1)
+	for _, p := range []int{2, 4, 16} {
+		if got := collect(p); !reflect.DeepEqual(got, serial) {
+			t.Errorf("p=%d boundaries %v != serial %v", p, got, serial)
+		}
+	}
+	if serial[0].lo != 0 || serial[len(serial)-1].hi != n {
+		t.Errorf("boundaries do not cover [0,%d): %v", n, serial)
+	}
+}
+
+func TestMapChunksOrderIsChunkOrder(t *testing.T) {
+	const n, size = 95, 8
+	want := make([]int, ChunkCount(n, size))
+	for c := range want {
+		want[c] = c
+	}
+	for _, p := range []int{1, 3, 12} {
+		got := MapChunks(p, n, size, func(c, _, _ int) int { return c })
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("p=%d: MapChunks order %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestForRunsEachTaskOnce(t *testing.T) {
+	const n = 37
+	var total atomic.Int64
+	hits := make([]int32, n)
+	For(5, n, func(i int) {
+		atomic.AddInt32(&hits[i], 1)
+		total.Add(int64(i))
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("task %d ran %d times", i, h)
+		}
+	}
+	if want := int64(n * (n - 1) / 2); total.Load() != want {
+		t.Errorf("task index sum = %d, want %d", total.Load(), want)
+	}
+}
+
+func TestMapIndexOrder(t *testing.T) {
+	got := Map(4, 10, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("Map[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// TestParallelReductionDeterminism exercises the full pattern the stats
+// package uses: per-chunk float partial sums merged in chunk order must be
+// bit-identical at every parallelism level.
+func TestParallelReductionDeterminism(t *testing.T) {
+	const n = 10000
+	xs := make([]float64, n)
+	v := 0.5
+	for i := range xs {
+		// A deterministic, poorly-conditioned sequence: summation order
+		// visibly changes the rounded result if chunking ever drifts.
+		v = 3.9 * v * (1 - v)
+		xs[i] = v * float64(1+i%17)
+	}
+	reduce := func(p int) float64 {
+		parts := MapChunks(p, n, 64, func(_, lo, hi int) float64 {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += xs[i]
+			}
+			return s
+		})
+		s := 0.0
+		for _, ps := range parts {
+			s += ps
+		}
+		return s
+	}
+	serial := reduce(1)
+	for _, p := range []int{2, 4, 8, 32} {
+		for rep := 0; rep < 3; rep++ {
+			if got := reduce(p); got != serial {
+				t.Fatalf("p=%d rep=%d: sum %v != serial %v", p, rep, got, serial)
+			}
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// Benchmarks for the parallel stats engine. Each hot path is measured at
+// Parallelism=1 (serial) and Parallelism=NumCPU so the speedup is read
+// directly off one `go test -bench` run:
+//
+//	go test -bench 'KDEGrid|FitGMM' -benchmem ./internal/stats/
+//
+// Determinism tests in parallel_determinism_test.go assert the two rows of
+// each pair produce bit-identical output, so the comparison is pure speed.
+
+func benchSample(n int) []float64 {
+	return MixtureSpec{
+		{Weight: 0.55, Mean: 11, Variance: 4},
+		{Weight: 0.30, Mean: 42, Variance: 9},
+		{Weight: 0.15, Mean: 95, Variance: 25},
+	}.Sample(NewRNG(42), n)
+}
+
+func parallelismLevels() []int {
+	levels := []int{1}
+	if ncpu := runtime.NumCPU(); ncpu > 1 {
+		levels = append(levels, ncpu)
+	}
+	return levels
+}
+
+func BenchmarkKDEGrid(b *testing.B) {
+	for _, n := range []int{100_000, 1_000_000} {
+		xs := benchSample(n)
+		for _, p := range parallelismLevels() {
+			b.Run(fmt.Sprintf("n=%d/p=%d", n, p), func(b *testing.B) {
+				kde := NewKDE(xs, Silverman)
+				kde.Parallelism = p
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if pts := kde.Grid(512); len(pts) != 512 {
+						b.Fatal("bad grid")
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkKDEPeaks(b *testing.B) {
+	xs := benchSample(100_000)
+	for _, p := range parallelismLevels() {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			kde := NewKDE(xs, Silverman)
+			kde.Parallelism = p
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if pk := kde.Peaks(512, 0.02); len(pk) == 0 {
+					b.Fatal("no peaks")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFitGMM(b *testing.B) {
+	for _, n := range []int{100_000, 1_000_000} {
+		xs := benchSample(n)
+		for _, p := range parallelismLevels() {
+			b.Run(fmt.Sprintf("n=%d/p=%d", n, p), func(b *testing.B) {
+				cfg := GMMConfig{MaxIter: 25, Parallelism: p}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m, err := FitGMM(xs, 3, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if m.K() != 3 {
+						b.Fatal("bad fit")
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkFitGMMInit(b *testing.B) {
+	xs := benchSample(100_000)
+	for _, p := range parallelismLevels() {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			cfg := GMMConfig{MaxIter: 25, Parallelism: p}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := FitGMMInit(xs, []float64{10, 40, 90}, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"speedctx/internal/parallel"
 )
 
 // Component is one Gaussian component of a 1-D mixture: a weight, a mean and
@@ -49,6 +51,12 @@ type GMMConfig struct {
 	// MinVariance floors component variances to keep the model from
 	// collapsing onto a single point. Default 1e-4.
 	MinVariance float64
+	// Parallelism bounds the worker count for the EM sweeps: 0 (the
+	// default) selects GOMAXPROCS, 1 forces the serial path. The E-step
+	// accumulates per-chunk sufficient statistics over fixed sample
+	// chunks and merges them in chunk order, so the fit is bit-identical
+	// at every setting (see internal/parallel).
+	Parallelism int
 }
 
 func (c *GMMConfig) defaults() {
@@ -157,37 +165,98 @@ func FitGMMInit(xs []float64, initMeans []float64, cfg GMMConfig) (*GMM, error) 
 	return runEM(xs, comps, cfg)
 }
 
+// emChunk is the fixed number of samples per EM work chunk. It is a
+// constant (never derived from the worker count) so that the per-chunk
+// partial-sum layout — and therefore the floating-point reduction order —
+// is identical at every Parallelism setting.
+const emChunk = 4096
+
 // runEM iterates EM from the given initial components to convergence.
+//
+// Both EM sweeps are fanned out over fixed chunks of the sample. Each chunk
+// writes its responsibilities into a disjoint segment of one shared buffer
+// and accumulates its sufficient statistics (partial log-likelihood, per
+// component Σr and Σr·x, then Σr·(x−μ)²) into a per-chunk slot; the slots
+// are merged in chunk order afterwards. All buffers are allocated once up
+// front and reused across iterations, so a converged fit performs no
+// per-iteration allocation.
 func runEM(xs []float64, comps []Component, cfg GMMConfig) (*GMM, error) {
 	cfg.defaults()
 	n := len(xs)
 	k := len(comps)
 	m := &GMM{Components: comps, n: n}
-	resp := make([]float64, n*k) // responsibilities, row-major [i*k+c]
-	prevLL := math.Inf(-1)
 
+	resp := make([]float64, n*k) // responsibilities, row-major [i*k+c]
+	chunks := parallel.ChunkCount(n, emChunk)
+	partLL := make([]float64, chunks)   // per-chunk log-likelihood
+	partNk := make([]float64, chunks*k) // per-chunk Σ resp, chunk-major
+	partSx := make([]float64, chunks*k) // per-chunk Σ resp·x
+	partSv := make([]float64, chunks*k) // per-chunk Σ resp·(x-mu)²
+	logW := make([]float64, k)          // log component weight
+	logNorm := make([]float64, k)       // -0.5·log(2π·var)
+	halfInvVar := make([]float64, k)    // 0.5/var
+	nk := make([]float64, k)            // merged Σ resp
+	mu := make([]float64, k)            // merged Σ resp·x, then means
+
+	prevLL := math.Inf(-1)
 	for iter := 1; iter <= cfg.MaxIter; iter++ {
-		// E-step: responsibilities and log-likelihood via log-sum-exp.
-		ll := 0.0
-		for i, x := range xs {
-			maxLog := math.Inf(-1)
-			row := resp[i*k : i*k+k]
-			for c, comp := range m.Components {
-				lp := math.Log(comp.Weight) + logNormalPDF(x, comp.Mean, comp.Variance)
-				row[c] = lp
-				if lp > maxLog {
-					maxLog = lp
+		// Per-component constants of this iteration's densities, hoisted
+		// out of the per-sample loop.
+		for c, comp := range m.Components {
+			logW[c] = math.Log(comp.Weight)
+			logNorm[c] = -0.5 * math.Log(2*math.Pi*comp.Variance)
+			halfInvVar[c] = 0.5 / comp.Variance
+		}
+
+		// E-step: responsibilities via log-sum-exp, plus the zeroth and
+		// first sufficient statistics, per fixed chunk.
+		parallel.ForChunks(cfg.Parallelism, n, emChunk, func(ch, lo, hi int) {
+			ll := 0.0
+			pnk := partNk[ch*k : ch*k+k]
+			psx := partSx[ch*k : ch*k+k]
+			for c := range pnk {
+				pnk[c], psx[c] = 0, 0
+			}
+			for i := lo; i < hi; i++ {
+				x := xs[i]
+				row := resp[i*k : i*k+k]
+				maxLog := math.Inf(-1)
+				for c := range row {
+					d := x - m.Components[c].Mean
+					lp := logW[c] + logNorm[c] - d*d*halfInvVar[c]
+					row[c] = lp
+					if lp > maxLog {
+						maxLog = lp
+					}
 				}
+				sum := 0.0
+				for c := range row {
+					row[c] = math.Exp(row[c] - maxLog)
+					sum += row[c]
+				}
+				for c := range row {
+					r := row[c] / sum
+					row[c] = r
+					pnk[c] += r
+					psx[c] += r * x
+				}
+				ll += maxLog + math.Log(sum)
 			}
-			sum := 0.0
-			for c := range row {
-				row[c] = math.Exp(row[c] - maxLog)
-				sum += row[c]
+			partLL[ch] = ll
+		})
+
+		// Merge in chunk order — the order is fixed, so the totals are
+		// independent of which worker ran which chunk.
+		ll := 0.0
+		for c := range nk {
+			nk[c], mu[c] = 0, 0
+		}
+		for ch := 0; ch < chunks; ch++ {
+			ll += partLL[ch]
+			for c := 0; c < k; c++ {
+				nk[c] += partNk[ch*k+c]
+				mu[c] += partSx[ch*k+c]
 			}
-			for c := range row {
-				row[c] /= sum
-			}
-			ll += maxLog + math.Log(sum)
 		}
 		m.LogLikelihood = ll
 		m.Iterations = iter
@@ -198,30 +267,47 @@ func runEM(xs []float64, comps []Component, cfg GMMConfig) (*GMM, error) {
 		}
 		prevLL = ll
 
-		// M-step.
-		for c := range m.Components {
-			nk, mu := 0.0, 0.0
-			for i, x := range xs {
-				r := resp[i*k+c]
-				nk += r
-				mu += r * x
+		// M-step means; dead components keep their parameters.
+		for c := range mu {
+			if nk[c] >= 1e-12 {
+				mu[c] /= nk[c]
+			} else {
+				mu[c] = m.Components[c].Mean
 			}
-			if nk < 1e-12 {
+		}
+
+		// Second sweep: variances around the new means. Kept as a
+		// separate pass (rather than folding Σr·x² into the first) to
+		// preserve the numerically stable centered form.
+		parallel.ForChunks(cfg.Parallelism, n, emChunk, func(ch, lo, hi int) {
+			psv := partSv[ch*k : ch*k+k]
+			for c := range psv {
+				psv[c] = 0
+			}
+			for i := lo; i < hi; i++ {
+				x := xs[i]
+				row := resp[i*k : i*k+k]
+				for c := range row {
+					d := x - mu[c]
+					psv[c] += row[c] * d * d
+				}
+			}
+		})
+		for c := range m.Components {
+			if nk[c] < 1e-12 {
 				// Dead component: keep parameters, zero weight.
 				m.Components[c].Weight = 1e-12
 				continue
 			}
-			mu /= nk
-			va := 0.0
-			for i, x := range xs {
-				d := x - mu
-				va += resp[i*k+c] * d * d
+			sv := 0.0
+			for ch := 0; ch < chunks; ch++ {
+				sv += partSv[ch*k+c]
 			}
-			va /= nk
+			va := sv / nk[c]
 			if va < cfg.MinVariance {
 				va = cfg.MinVariance
 			}
-			m.Components[c] = Component{Weight: nk / float64(n), Mean: mu, Variance: va}
+			m.Components[c] = Component{Weight: nk[c] / float64(n), Mean: mu[c], Variance: va}
 		}
 	}
 
@@ -262,8 +348,15 @@ func (m *GMM) PDF(x float64) float64 {
 // observation x. The slice sums to 1 (unless the density underflows
 // everywhere, in which case the nearest-mean component gets probability 1).
 func (m *GMM) Responsibilities(x float64) []float64 {
-	k := len(m.Components)
-	out := make([]float64, k)
+	out := make([]float64, len(m.Components))
+	m.RespInto(x, out)
+	return out
+}
+
+// RespInto writes the posterior responsibilities of x into out, which must
+// have length K(). It is Responsibilities without the allocation, for bulk
+// classification loops (the BST assignment pass calls it once per sample).
+func (m *GMM) RespInto(x float64, out []float64) {
 	maxLog := math.Inf(-1)
 	for c, comp := range m.Components {
 		lp := math.Log(comp.Weight) + logNormalPDF(x, comp.Mean, comp.Variance)
@@ -284,7 +377,7 @@ func (m *GMM) Responsibilities(x float64) []float64 {
 			out[c] = 0
 		}
 		out[best] = 1
-		return out
+		return
 	}
 	sum := 0.0
 	for c := range out {
@@ -294,15 +387,21 @@ func (m *GMM) Responsibilities(x float64) []float64 {
 	for c := range out {
 		out[c] /= sum
 	}
-	return out
 }
 
 // Predict returns the index of the most probable component for x along with
 // its posterior probability.
 func (m *GMM) Predict(x float64) (component int, prob float64) {
-	resp := m.Responsibilities(x)
+	return m.PredictScratch(x, make([]float64, len(m.Components)))
+}
+
+// PredictScratch is Predict with a caller-provided scratch slice of length
+// K(), so bulk classification loops can classify millions of samples
+// without a per-call allocation.
+func (m *GMM) PredictScratch(x float64, scratch []float64) (component int, prob float64) {
+	m.RespInto(x, scratch)
 	best, bestP := 0, -1.0
-	for c, p := range resp {
+	for c, p := range scratch {
 		if p > bestP {
 			best, bestP = c, p
 		}

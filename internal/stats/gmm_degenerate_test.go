@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestFitGMMEmptyKMeansCluster drives the initialization branch where
+// k-means leaves a cluster empty (counts[c] == 0 → Weight = 1e-6). Two
+// tight atoms with k=3 strand the middle quantile-initialized center with
+// no points; the fit must survive and keep that component effectively dead
+// while recovering the two real clusters.
+func TestFitGMMEmptyKMeansCluster(t *testing.T) {
+	xs := []float64{1, 1, 1, 1, 10, 10, 10, 10}
+	// Confirm the precondition: k-means really produces an empty cluster
+	// on this input (otherwise the test silently stops covering the
+	// branch).
+	_, assign := KMeans1D(xs, 3, 50)
+	seen := map[int]bool{}
+	for _, a := range assign {
+		seen[a] = true
+	}
+	if len(seen) >= 3 {
+		t.Fatal("precondition failed: k-means assigned points to all 3 clusters")
+	}
+
+	m, err := FitGMM(xs, 3, GMMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := 0
+	for _, c := range m.Components {
+		if c.Weight <= 1e-6 {
+			dead++
+		}
+	}
+	if dead != 1 {
+		t.Errorf("want exactly 1 dead component, got %d in %v", dead, m.Components)
+	}
+	live := make([]Component, 0, 2)
+	for _, c := range m.Components {
+		if c.Weight > 1e-6 {
+			live = append(live, c)
+		}
+	}
+	if len(live) != 2 {
+		t.Fatalf("want 2 live components, got %v", m.Components)
+	}
+	if d := live[0].Mean - 1; d > 0.1 || d < -0.1 {
+		t.Errorf("slow cluster mean = %v, want ~1", live[0].Mean)
+	}
+	if d := live[1].Mean - 10; d > 0.1 || d < -0.1 {
+		t.Errorf("fast cluster mean = %v, want ~10", live[1].Mean)
+	}
+}
+
+// TestFitGMMVarianceFloor drives the MinVariance flooring branch: a cluster
+// of identical points has zero empirical variance and must come out floored
+// at exactly MinVariance, not collapsed to a point mass.
+func TestFitGMMVarianceFloor(t *testing.T) {
+	xs := []float64{5, 5, 5, 5, 5, 5}
+	cfg := GMMConfig{MinVariance: 1e-3}
+	m, err := FitGMM(xs, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Components[0].Variance; got != cfg.MinVariance {
+		t.Errorf("variance = %v, want floored at %v", got, cfg.MinVariance)
+	}
+	if got := m.Components[0].Mean; got != 5 {
+		t.Errorf("mean = %v, want 5", got)
+	}
+
+	// Same floor on the FitGMMInit path, with the default floor.
+	m2, err := FitGMMInit(xs, []float64{5}, GMMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.Components[0].Variance; got != 1e-4 {
+		t.Errorf("init-path variance = %v, want default floor 1e-4", got)
+	}
+}
+
+// TestGMMTooFewPoints pins ErrTooFewPoints across all three fit entry
+// points.
+func TestGMMTooFewPoints(t *testing.T) {
+	if _, err := FitGMM([]float64{1, 2}, 3, GMMConfig{}); !errors.Is(err, ErrTooFewPoints) {
+		t.Errorf("FitGMM: want ErrTooFewPoints, got %v", err)
+	}
+	if _, err := FitGMMInit([]float64{1}, []float64{0, 5}, GMMConfig{}); !errors.Is(err, ErrTooFewPoints) {
+		t.Errorf("FitGMMInit: want ErrTooFewPoints, got %v", err)
+	}
+	if _, err := SelectGMM(nil, 1, 3, GMMConfig{}); !errors.Is(err, ErrTooFewPoints) {
+		t.Errorf("SelectGMM: want ErrTooFewPoints, got %v", err)
+	}
+}

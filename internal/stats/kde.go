@@ -3,6 +3,8 @@ package stats
 import (
 	"math"
 	"sort"
+
+	"speedctx/internal/parallel"
 )
 
 // BandwidthRule selects how a KDE chooses its smoothing bandwidth.
@@ -25,6 +27,12 @@ const (
 type KDE struct {
 	xs        []float64 // sorted copy of the sample
 	bandwidth float64
+
+	// Parallelism bounds the worker count used by Grid, GridRange and
+	// Peaks: 0 (the default) selects GOMAXPROCS, 1 forces the serial
+	// path. Every grid point is computed independently and written to its
+	// own slot, so the output is bit-identical at every setting.
+	Parallelism int
 }
 
 // NewKDE builds a Gaussian KDE over xs using the given bandwidth rule.
@@ -37,7 +45,12 @@ func NewKDE(xs []float64, rule BandwidthRule) *KDE {
 	return &KDE{xs: s, bandwidth: bandwidthFor(s, rule)}
 }
 
-// NewKDEBandwidth builds a KDE with an explicit bandwidth h > 0.
+// NewKDEBandwidth builds a KDE with an explicit bandwidth h > 0. A
+// non-positive h is not an error: the constructor deliberately falls back
+// to Silverman's rule (the NewKDE default), so callers can pass a
+// configured-but-unset bandwidth of 0 and still get a usable estimate.
+// Callers that need to detect the fallback can compare Bandwidth() against
+// the value they passed.
 func NewKDEBandwidth(xs []float64, h float64) *KDE {
 	s := make([]float64, len(xs))
 	copy(s, xs)
@@ -94,9 +107,16 @@ func (k *KDE) At(x float64) float64 {
 		u := (x - xi) / h
 		sum += math.Exp(-0.5 * u * u)
 	}
-	const invSqrt2Pi = 0.3989422804014327
 	return sum * invSqrt2Pi / (float64(n) * h)
 }
+
+// kdeGridChunk is the fixed number of grid points per work chunk for the
+// parallel grid sweeps. Each point costs two binary searches plus a kernel
+// window, so chunks of 32 amortize pool overhead while still splitting the
+// default 512-point grid across many workers. The value only affects
+// scheduling granularity, never results: every point is written
+// independently.
+const kdeGridChunk = 32
 
 // Grid evaluates the density on n evenly spaced points covering the sample
 // range padded by 3 bandwidths on each side. It returns plot-ready points,
@@ -107,13 +127,7 @@ func (k *KDE) Grid(n int) []Point {
 	}
 	lo := k.xs[0] - 3*k.bandwidth
 	hi := k.xs[len(k.xs)-1] + 3*k.bandwidth
-	pts := make([]Point, n)
-	step := (hi - lo) / float64(n-1)
-	for i := range pts {
-		x := lo + float64(i)*step
-		pts[i] = Point{X: x, Y: k.At(x)}
-	}
-	return pts
+	return k.gridOver(lo, hi, n)
 }
 
 // GridRange evaluates the density on n points over [lo, hi].
@@ -121,12 +135,21 @@ func (k *KDE) GridRange(lo, hi float64, n int) []Point {
 	if n <= 1 || hi <= lo {
 		return nil
 	}
+	return k.gridOver(lo, hi, n)
+}
+
+// gridOver evaluates the density at n evenly spaced points, fanned out over
+// fixed chunks of grid indices. Each point is a pure function of the sorted
+// sample, so parallel evaluation is exact, not approximate.
+func (k *KDE) gridOver(lo, hi float64, n int) []Point {
 	pts := make([]Point, n)
 	step := (hi - lo) / float64(n-1)
-	for i := range pts {
-		x := lo + float64(i)*step
-		pts[i] = Point{X: x, Y: k.At(x)}
-	}
+	parallel.ForChunks(k.Parallelism, n, kdeGridChunk, func(_, from, to int) {
+		for i := from; i < to; i++ {
+			x := lo + float64(i)*step
+			pts[i] = Point{X: x, Y: k.At(x)}
+		}
+	})
 	return pts
 }
 

@@ -93,6 +93,23 @@ func TestKDEExplicitBandwidth(t *testing.T) {
 	}
 }
 
+// TestKDEBandwidthFallbackPinned pins the documented NewKDEBandwidth
+// contract: any h <= 0 silently selects exactly the Silverman bandwidth —
+// the same value NewKDE(xs, Silverman) would choose — rather than erroring.
+func TestKDEBandwidthFallbackPinned(t *testing.T) {
+	xs := []float64{1, 2, 3, 5, 8, 13, 21}
+	want := NewKDE(xs, Silverman).Bandwidth()
+	for _, h := range []float64{0, -1, -1e9} {
+		if got := NewKDEBandwidth(xs, h).Bandwidth(); got != want {
+			t.Errorf("NewKDEBandwidth(xs, %v).Bandwidth() = %v, want Silverman %v", h, got, want)
+		}
+	}
+	// And a positive h is always taken literally, never second-guessed.
+	if got := NewKDEBandwidth(xs, 0.125).Bandwidth(); got != 0.125 {
+		t.Errorf("explicit bandwidth = %v, want 0.125", got)
+	}
+}
+
 func TestKDEEmptyAndDegenerate(t *testing.T) {
 	var empty *KDE = NewKDE(nil, Silverman)
 	if empty.At(3) != 0 {

@@ -1,0 +1,13 @@
+#!/bin/sh
+# bench2json.sh — convert `go test -bench` output on stdin to a flat JSON
+# object mapping benchmark name -> ns/op, for the committed BENCH_pr*.json
+# perf-trajectory files.
+exec awk '
+BEGIN { print "{"; sep = "" }
+/^Benchmark/ {
+	gsub(/,/, "", $3)
+	printf "%s  \"%s\": %s", sep, $1, $3
+	sep = ",\n"
+}
+END { print "\n}" }
+'
