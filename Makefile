@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-smoke bench-baseline
+.PHONY: check vet build test race bench bench-smoke bench-baseline bench-compare
 
-check: vet build race bench-smoke
+check: vet build race bench-smoke bench-compare
 
 vet:
 	$(GO) vet ./...
@@ -34,5 +34,11 @@ bench:
 # BENCH_pr*.json files.
 bench-baseline:
 	$(GO) test -run NONE -bench 'KDEGrid|KDEPeaks|FitGMM' -benchtime 2x ./internal/stats/ \
-		| scripts/bench2json.sh > BENCH_pr1.json
-	@cat BENCH_pr1.json
+		| scripts/bench2json.sh > BENCH_pr3.json
+	@cat BENCH_pr3.json
+
+# bench-compare gates the committed perf trajectory: fail if any benchmark
+# shared with the PR 1 baseline regressed >10% (machine-normalized; see
+# scripts/bench_compare.sh).
+bench-compare:
+	scripts/bench_compare.sh BENCH_pr3.json BENCH_pr1.json

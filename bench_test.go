@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"speedctx/internal/analysis"
+	"speedctx/internal/core"
 	"speedctx/internal/device"
 	"speedctx/internal/experiments"
 	"speedctx/internal/report"
@@ -461,6 +462,6 @@ func BenchmarkJointDensity(b *testing.B) {
 
 func BenchmarkRobustnessSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		mustTable(b, experiments.RobustnessSweep(2021, 0), nil)
+		mustTable(b, experiments.RobustnessSweep(2021, 0, core.Config{}), nil)
 	}
 }

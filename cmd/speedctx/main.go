@@ -12,7 +12,9 @@
 // Common flags: -scale (fraction of the paper's dataset sizes, default
 // 0.02), -seed, -ascii (render figures as terminal charts), -par (worker
 // parallelism for the BST fits and the `all` fan-out; 0 = all CPUs, 1 =
-// serial — output is identical at every setting).
+// serial — output is identical at every setting), -fast (binned KDE +
+// histogram-EM fast paths for large slices; approximate but likewise
+// identical at every -par) and -bins (fast-path resolution, 0 = auto).
 package main
 
 import (
@@ -50,6 +52,8 @@ func run(args []string, out io.Writer) error {
 	scale := fs.Float64("scale", 0.02, "fraction of the paper's dataset sizes")
 	seed := fs.Int64("seed", 2021, "generation seed")
 	par := fs.Int("par", 0, "worker parallelism: 0 = all CPUs, 1 = serial (output is identical at every setting)")
+	fast := fs.Bool("fast", false, "binned KDE + histogram-EM fast paths for large slices (approximate; see DESIGN.md §8)")
+	bins := fs.Int("bins", 0, "bin-grid resolution for -fast: 0 = auto from bandwidth/defaults")
 	ascii := fs.Bool("ascii", false, "render figures as terminal charts")
 	city := fs.String("city", "A", "city identifier (A-D)")
 	outDir := fs.String("out", "speedctx-data", "output directory for generate")
@@ -65,6 +69,8 @@ func run(args []string, out io.Writer) error {
 	}
 	s := experiments.NewSuite(*scale, *seed)
 	s.Parallelism = *par
+	s.FastFit = *fast
+	s.FastFitBins = *bins
 
 	switch cmd {
 	case "table":
@@ -124,7 +130,7 @@ func challengeFile(s *experiments.Suite, city, input string, out io.Writer) erro
 	for i, r := range recs {
 		samples[i] = core.Sample{Download: r.DownloadMbps, Upload: r.UploadMbps}
 	}
-	res, err := core.Fit(samples, cat, core.Config{Parallelism: s.Parallelism})
+	res, err := core.Fit(samples, cat, s.BSTConfig())
 	if err != nil {
 		return err
 	}
@@ -176,7 +182,7 @@ func emitTable(s *experiments.Suite, id string, out io.Writer) error {
 	case "census":
 		t, err = s.BottleneckCensus("A", 0)
 	case "sweep":
-		t = experiments.RobustnessSweep(2021, s.Parallelism)
+		t = experiments.RobustnessSweep(2021, s.Parallelism, s.BSTConfig())
 	case "assoc":
 		t, err = s.MLabAssociationStats("A")
 	default:
@@ -312,7 +318,7 @@ func bstSummary(s *experiments.Suite, city string, out io.Writer) error {
 	for i, r := range b.Ookla {
 		samples[i] = core.Sample{Download: r.DownloadMbps, Upload: r.UploadMbps}
 	}
-	res, err := core.Fit(samples, b.Catalog, core.Config{Parallelism: s.Parallelism})
+	res, err := core.Fit(samples, b.Catalog, s.BSTConfig())
 	if err != nil {
 		return err
 	}

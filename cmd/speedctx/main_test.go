@@ -147,3 +147,21 @@ func TestAllOutputDeterministicAcrossParallelism(t *testing.T) {
 		t.Error("`all` output is missing expected sections")
 	}
 }
+
+// TestAllFastOutputDeterministicAcrossParallelism extends the end-to-end
+// gate to the binned fast paths and the shared fit cache: `-fast` must be
+// byte-identical between serial and parallel runs too (DESIGN.md §8 — the
+// approximation is deterministic, and cache keys ignore parallelism).
+func TestAllFastOutputDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite run; skipped in -short mode")
+	}
+	serial := runCLI(t, "all", "-scale", "0.005", "-fast", "-par", "1")
+	par := runCLI(t, "all", "-scale", "0.005", "-fast", "-par", "8")
+	if serial != par {
+		t.Error("`all -fast` output differs between -par 1 and -par 8")
+	}
+	if !strings.Contains(serial, "BST robustness") || !strings.Contains(serial, "# fig4") {
+		t.Error("`all -fast` output is missing expected sections")
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"math"
 	"sort"
 
+	"speedctx/internal/fitcache"
 	"speedctx/internal/parallel"
 	"speedctx/internal/plans"
 	"speedctx/internal/stats"
@@ -66,6 +67,24 @@ type Config struct {
 	// partial results in fixed chunk order, so the Result is identical
 	// at every setting (see internal/parallel).
 	Parallelism int
+	// FastFit enables the binned fast paths (DESIGN.md §8) in every KDE
+	// and GMM fit the pipeline runs: large slices are linearly binned
+	// once and the density/EM sweeps run over the bin weights. Fits are
+	// approximate within the binning quantization but remain
+	// bit-identical across parallelism levels; slices below the
+	// threshold keep the exact algorithms.
+	FastFit bool
+	// FastFitBins overrides the fast paths' bin-grid resolution; 0 (the
+	// default, recommended) selects an automatic resolution — bandwidth
+	// derived for the KDEs, a fixed histogram width for EM.
+	FastFitBins int
+	// FitCache, when non-nil, memoizes the pipeline's GMM fits
+	// content-addressed by (sample bytes, fit config), so repeated runs
+	// over identical city/tier slices — e.g. the experiments suite
+	// regenerating tables and figures — never refit. Safe to share
+	// across goroutines and across parallelism settings: cache hits are
+	// byte-identical to the fit they replaced.
+	FitCache *fitcache.Cache
 }
 
 func (c *Config) defaults() {
@@ -148,6 +167,17 @@ func Fit(samples []Sample, cat *plans.Catalog, cfg Config) (*Result, error) {
 		// tuned the EM worker count separately.
 		cfg.GMM.Parallelism = cfg.Parallelism
 	}
+	// Likewise the fast-fit and cache knobs fan out into the EM config
+	// unless the caller tuned them per-fit.
+	if cfg.FastFit {
+		cfg.GMM.FastFit = true
+	}
+	if cfg.GMM.Bins == 0 {
+		cfg.GMM.Bins = cfg.FastFitBins
+	}
+	if cfg.GMM.Cache == nil {
+		cfg.GMM.Cache = cfg.FitCache
+	}
 	tiers := cat.UploadTiers()
 	if len(samples) < 2*len(tiers) {
 		return nil, fmt.Errorf("%w: %d samples for %d upload tiers", ErrTooFewSamples, len(samples), len(tiers))
@@ -162,6 +192,8 @@ func Fit(samples []Sample, cat *plans.Catalog, cfg Config) (*Result, error) {
 	}
 	kde := stats.NewKDE(uploads, cfg.Bandwidth)
 	kde.Parallelism = cfg.Parallelism
+	kde.FastFit = cfg.FastFit
+	kde.Bins = cfg.FastFitBins
 	res.Upload.Peaks = kde.Peaks(cfg.KDEGridPoints, cfg.MinRelPeak)
 
 	// Components are seeded at the offered upload rates (the methodology
@@ -246,6 +278,8 @@ func Fit(samples []Sample, cat *plans.Catalog, cfg Config) (*Result, error) {
 		if len(b.downs) >= 2*len(tier.Plans) && len(b.downs) >= 4 {
 			dkde := stats.NewKDE(b.downs, cfg.Bandwidth)
 			dkde.Parallelism = cfg.Parallelism
+			dkde.FastFit = cfg.FastFit
+			dkde.Bins = cfg.FastFitBins
 			ds.Peaks = dkde.Peaks(cfg.KDEGridPoints, cfg.MinRelPeak)
 			initDown := downloadInitMeans(ds.Peaks, tier, cfg)
 			if len(initDown) > len(b.downs) {

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"speedctx/internal/dataset"
+	"speedctx/internal/fitcache"
+	"speedctx/internal/plans"
+)
+
+// mbaPanel memoizes one netsim-backed MBA generation shared by the fast-fit
+// tests — the simulation dominates their runtime, the fits do not.
+var mbaPanel struct {
+	once    sync.Once
+	samples []Sample
+	truth   []int
+	cat     *plans.Catalog
+}
+
+// mbaSamples returns the first n samples of an MBA-style labelled panel
+// large enough for the fast paths to engage on stage 1 (n well above the
+// binning threshold), generated via the netsim-backed generator — the same
+// distributions the paper's validation runs on.
+func mbaSamples(t *testing.T, n int) ([]Sample, []int, *plans.Catalog) {
+	t.Helper()
+	mbaPanel.once.Do(func() {
+		cat, ok := plans.ByCity("A")
+		if !ok {
+			t.Fatal("no catalog for city A")
+		}
+		recs := dataset.GenerateMBA(cat, 20, 20000, 424242)
+		mbaPanel.cat = cat
+		mbaPanel.samples = make([]Sample, len(recs))
+		mbaPanel.truth = make([]int, len(recs))
+		for i, r := range recs {
+			mbaPanel.samples[i] = Sample{Download: r.DownloadMbps, Upload: r.UploadMbps}
+			mbaPanel.truth[i] = r.Tier
+		}
+	})
+	if n > len(mbaPanel.samples) {
+		n = len(mbaPanel.samples)
+	}
+	return mbaPanel.samples[:n], mbaPanel.truth[:n], mbaPanel.cat
+}
+
+// TestFastFitMBAAgreement is the pipeline-level accuracy gate of the fast
+// paths: on the MBA validation panel the binned KDE must count the same
+// upload peaks as the exact pipeline, and the end-to-end tier assignment
+// must agree with the exact fit on >= 99.9% of samples — so enabling
+// FastFit cannot move the paper's Table 2 accuracy numbers beyond noise.
+func TestFastFitMBAAgreement(t *testing.T) {
+	samples, truth, cat := mbaSamples(t, 20000)
+
+	exact, err := Fit(samples, cat, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Fit(samples, cat, Config{FastFit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(exact.Upload.Peaks) != len(fast.Upload.Peaks) {
+		t.Errorf("upload peak count: exact %d, fast %d",
+			len(exact.Upload.Peaks), len(fast.Upload.Peaks))
+	}
+	agreeTier, agreeUp := 0, 0
+	for i := range exact.Assignments {
+		if exact.Assignments[i].Tier == fast.Assignments[i].Tier {
+			agreeTier++
+		}
+		if exact.Assignments[i].UploadTier == fast.Assignments[i].UploadTier {
+			agreeUp++
+		}
+	}
+	n := float64(len(samples))
+	if frac := float64(agreeUp) / n; frac < 0.999 {
+		t.Errorf("upload-tier agreement %.5f, want >= 0.999", frac)
+	}
+	if frac := float64(agreeTier) / n; frac < 0.999 {
+		t.Errorf("plan-tier agreement %.5f, want >= 0.999", frac)
+	}
+
+	// Ground-truth accuracy must be preserved, not just mutual agreement.
+	evExact, err := Evaluate(exact, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evFast, err := Evaluate(fast, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := evExact.UploadAccuracy() - evFast.UploadAccuracy(); d > 0.002 || d < -0.002 {
+		t.Errorf("upload accuracy moved: exact %.4f, fast %.4f",
+			evExact.UploadAccuracy(), evFast.UploadAccuracy())
+	}
+}
+
+// TestFastFitDeterministicAcrossParallelism extends the PR 1 pipeline
+// determinism gate to the fast paths: the full fast-fit Result must be
+// bit-identical at every Parallelism setting.
+func TestFastFitDeterministicAcrossParallelism(t *testing.T) {
+	samples, _, cat := mbaSamples(t, 12000)
+	serial, err := Fit(samples, cat, Config{FastFit: true, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{0, 3, 8} {
+		got, err := Fit(samples, cat, Config{FastFit: true, Parallelism: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, serial) {
+			t.Fatalf("Parallelism=%d: fast-fit Result differs from serial", p)
+		}
+	}
+}
+
+// TestFitCacheEndToEnd pins the cache contract at the pipeline level: a
+// second Fit over the same samples with a shared FitCache returns a Result
+// identical to the first (hits replace every GMM fit), including across
+// parallelism settings.
+func TestFitCacheEndToEnd(t *testing.T) {
+	samples, _, cat := mbaSamples(t, 8000)
+	cache := fitcache.New(64)
+
+	cold, err := Fit(samples, cat, Config{FitCache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	missesAfterCold := cache.Snapshot().Misses
+	if missesAfterCold == 0 {
+		t.Fatal("cold pipeline run should populate the cache")
+	}
+	warm, err := Fit(samples, cat, Config{FitCache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Error("cache-served Result differs from cold Result")
+	}
+	s := cache.Snapshot()
+	if s.Misses != missesAfterCold {
+		t.Errorf("warm run should not miss: %+v", s)
+	}
+	if s.Hits == 0 {
+		t.Errorf("warm run should hit: %+v", s)
+	}
+
+	warmPar, err := Fit(samples, cat, Config{FitCache: cache, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, warmPar) {
+		t.Error("cache-served Result at Parallelism=8 differs")
+	}
+}

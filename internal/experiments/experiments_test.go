@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"speedctx/internal/analysis"
+	"speedctx/internal/core"
 	"speedctx/internal/report"
 )
 
@@ -400,7 +401,7 @@ func TestJointDensity(t *testing.T) {
 }
 
 func TestRobustnessSweep(t *testing.T) {
-	tb := RobustnessSweep(7, 0)
+	tb := RobustnessSweep(7, 0, core.Config{})
 	if len(tb.Rows) != 5 {
 		t.Fatalf("rows = %d", len(tb.Rows))
 	}

@@ -16,6 +16,7 @@ import (
 	"speedctx/internal/core"
 	"speedctx/internal/dataset"
 	"speedctx/internal/device"
+	"speedctx/internal/fitcache"
 	"speedctx/internal/plans"
 	"speedctx/internal/population"
 )
@@ -44,6 +45,17 @@ type Suite struct {
 	// setting — the pipeline reduces in fixed chunk order — so this
 	// knob trades wall-clock only.
 	Parallelism int
+	// FastFit switches every BST fit to the binned KDE / histogram-EM
+	// fast paths (core.Config.FastFit; DESIGN.md §8). Approximate but
+	// deterministic; set it before the first City call.
+	FastFit bool
+	// FastFitBins overrides the fast paths' bin resolution (0 = auto).
+	FastFitBins int
+	// FitCache memoizes GMM fits across every table, figure and sweep
+	// the suite drives, content-addressed by (slice bytes, fit config) —
+	// regenerating two tables over the same city slice fits once.
+	// NewSuite installs a shared cache; nil disables caching.
+	FitCache *fitcache.Cache
 
 	mu     sync.Mutex
 	cities map[string]*CityBundle
@@ -58,7 +70,23 @@ func NewSuite(scale float64, seed int64) *Suite {
 	if seed == 0 {
 		seed = 2021
 	}
-	return &Suite{Scale: scale, Seed: seed, cities: map[string]*CityBundle{}}
+	return &Suite{
+		Scale:    scale,
+		Seed:     seed,
+		FitCache: fitcache.New(0),
+		cities:   map[string]*CityBundle{},
+	}
+}
+
+// BSTConfig is the core.Config every suite-driven fit runs with: the
+// suite's parallelism, fast-fit and cache knobs over the paper defaults.
+func (s *Suite) BSTConfig() core.Config {
+	return core.Config{
+		Parallelism: s.Parallelism,
+		FastFit:     s.FastFit,
+		FastFitBins: s.FastFitBins,
+		FitCache:    s.FitCache,
+	}
 }
 
 // CityBundle is one city's generated data plus memoized BST fits.
@@ -82,14 +110,12 @@ type CityBundle struct {
 	androidSeed int64
 	androidN    int
 
-	par int // Suite.Parallelism at bundle creation
+	cfg core.Config // Suite.BSTConfig() at bundle creation
 }
 
 // coreCfg is the BST configuration every suite-driven fit uses: defaults
-// plus the suite's parallelism knob.
-func (b *CityBundle) coreCfg() core.Config {
-	return core.Config{Parallelism: b.par}
-}
+// plus the suite's parallelism, fast-fit and cache knobs.
+func (b *CityBundle) coreCfg() core.Config { return b.cfg }
 
 func scaled(n int, scale float64) int {
 	v := int(float64(n) * scale)
@@ -115,7 +141,7 @@ func (s *Suite) City(id string) (*CityBundle, error) {
 		return nil, fmt.Errorf("experiments: no paper counts for city %q", id)
 	}
 	seed := s.Seed + int64(id[0])*1000
-	b := &CityBundle{Catalog: cat, par: s.Parallelism}
+	b := &CityBundle{Catalog: cat, cfg: s.BSTConfig()}
 	b.Ookla = dataset.GenerateOokla(cat, scaled(counts.Ookla, s.Scale), seed)
 	b.MLabRows = dataset.GenerateMLab(cat, scaled(counts.MLab, s.Scale), seed+1, dataset.DefaultMLabOptions())
 	b.MLabTests = dataset.Associate(b.MLabRows)

@@ -22,7 +22,10 @@ import (
 // so they fan out across parallelism workers (0 = GOMAXPROCS, 1 = serial)
 // and are assembled into the table in fixed grid order. The rendered table
 // is identical at every setting.
-func RobustnessSweep(seed int64, parallelism int) *report.Table {
+//
+// base carries the fit knobs (FastFit/FastFitBins/FitCache) each cell's BST
+// run inherits; its Parallelism is ignored — cells are the parallel grain.
+func RobustnessSweep(seed int64, parallelism int, base core.Config) *report.Table {
 	cat := plans.CityA()
 	sigmas := []float64{0.05, 0.10, 0.20, 0.30, 0.45}
 	contaminations := []float64{0, 0.1, 0.25}
@@ -63,7 +66,10 @@ func RobustnessSweep(seed int64, parallelism int) *report.Table {
 		// The cells themselves are the parallel grain; keep each fit
 		// serial rather than oversubscribing the pool with nested
 		// workers.
-		res, err := core.Fit(samples, cat, core.Config{Parallelism: 1})
+		cfg := base
+		cfg.Parallelism = 1
+		cfg.GMM.Parallelism = 0 // re-derived from cfg.Parallelism by Fit
+		res, err := core.Fit(samples, cat, cfg)
 		if err != nil {
 			return "error"
 		}

@@ -1,0 +1,128 @@
+package fitcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestHasherDistinguishesInputs(t *testing.T) {
+	base := NewHasher().String("tag").Float64s([]float64{1, 2, 3}).Sum()
+	cases := map[string]Key{
+		"order":    NewHasher().String("tag").Float64s([]float64{2, 1, 3}).Sum(),
+		"value":    NewHasher().String("tag").Float64s([]float64{1, 2, 3.0000001}).Sum(),
+		"length":   NewHasher().String("tag").Float64s([]float64{1, 2}).Sum(),
+		"tag":      NewHasher().String("gat").Float64s([]float64{1, 2, 3}).Sum(),
+		"extraInt": NewHasher().String("tag").Float64s([]float64{1, 2, 3}).Int(0).Sum(),
+	}
+	for name, k := range cases {
+		if k == base {
+			t.Errorf("%s variation should change the key", name)
+		}
+	}
+	again := NewHasher().String("tag").Float64s([]float64{1, 2, 3}).Sum()
+	if again != base {
+		t.Error("identical input must reproduce the key")
+	}
+}
+
+// TestHasherFieldBoundaries guards against concatenation ambiguity: the
+// length prefix must keep ["ab"]+["c"] distinct from ["a"]+["bc"].
+func TestHasherFieldBoundaries(t *testing.T) {
+	a := NewHasher().String("ab").String("c").Sum()
+	b := NewHasher().String("a").String("bc").Sum()
+	if a == b {
+		t.Error("length-prefixed strings should not collide on concatenation")
+	}
+	c := NewHasher().Float64s([]float64{1}).Float64s([]float64{2, 3}).Sum()
+	d := NewHasher().Float64s([]float64{1, 2}).Float64s([]float64{3}).Sum()
+	if c == d {
+		t.Error("length-prefixed slices should not collide on concatenation")
+	}
+}
+
+func TestHasherBool(t *testing.T) {
+	if NewHasher().Bool(true).Sum() == NewHasher().Bool(false).Sum() {
+		t.Error("bool values should hash differently")
+	}
+}
+
+func TestCacheGetPut(t *testing.T) {
+	c := New(4)
+	if _, ok := c.Get(1); ok {
+		t.Fatal("empty cache should miss")
+	}
+	c.Put(1, "a")
+	if v, ok := c.Get(1); !ok || v.(string) != "a" {
+		t.Fatalf("Get(1) = %v, %v", v, ok)
+	}
+	c.Put(1, "b") // replace refreshes in place
+	if v, _ := c.Get(1); v.(string) != "b" {
+		t.Error("Put on existing key should replace the value")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+	s := c.Snapshot()
+	if s.Hits != 2 || s.Misses != 1 || s.Evictions != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := New(3)
+	for k := Key(1); k <= 3; k++ {
+		c.Put(k, int(k))
+	}
+	c.Get(1)    // 1 becomes MRU; LRU order now 2, 3, 1
+	c.Put(4, 4) // evicts 2
+	if _, ok := c.Get(2); ok {
+		t.Error("least recently used entry should have been evicted")
+	}
+	for _, k := range []Key{1, 3, 4} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("entry %d should survive", k)
+		}
+	}
+	if s := c.Snapshot(); s.Evictions != 1 || s.Len != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestCacheDefaultCapacity(t *testing.T) {
+	c := New(0)
+	for k := Key(0); k < DefaultCapacity+10; k++ {
+		c.Put(k, nil)
+	}
+	if c.Len() != DefaultCapacity {
+		t.Errorf("Len = %d, want %d", c.Len(), DefaultCapacity)
+	}
+}
+
+// TestCacheConcurrent hammers one cache from many goroutines; run under
+// -race this pins thread safety of the map + intrusive list.
+func TestCacheConcurrent(t *testing.T) {
+	c := New(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := Key(i % 24)
+				if v, ok := c.Get(k); ok {
+					if v.(string) != fmt.Sprintf("v%d", k) {
+						t.Errorf("corrupted value for %d: %v", k, v)
+						return
+					}
+				} else {
+					c.Put(k, fmt.Sprintf("v%d", k))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Errorf("capacity exceeded: %d", c.Len())
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+
+	"speedctx/internal/fitcache"
 )
 
 // Benchmarks for the parallel stats engine. Each hot path is measured at
@@ -14,6 +16,11 @@ import (
 //
 // Determinism tests in parallel_determinism_test.go assert the two rows of
 // each pair produce bit-identical output, so the comparison is pure speed.
+//
+// The `/fast` rows measure the binned fast paths (DESIGN.md §8) on the
+// same inputs — accuracy gates in fastfit_test.go pin them to the exact
+// rows — and BenchmarkFitGMMCached measures a content-addressed cache hit
+// against the cold fit it replaces.
 
 func benchSample(n int) []float64 {
 	return MixtureSpec{
@@ -46,6 +53,33 @@ func BenchmarkKDEGrid(b *testing.B) {
 				}
 			})
 		}
+		// Binned fast path, steady state: the one-off O(n) binning runs
+		// before the timer (it is amortized over every Grid/Peaks call
+		// the pipeline makes on one KDE).
+		b.Run(fmt.Sprintf("n=%d/p=1/fast", n), func(b *testing.B) {
+			kde := NewKDE(xs, Silverman)
+			kde.Parallelism = 1
+			kde.FastFit = true
+			kde.Grid(512)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if pts := kde.Grid(512); len(pts) != 512 {
+					b.Fatal("bad grid")
+				}
+			}
+		})
+		// Cold fast path: constructor + binning + one grid, per
+		// iteration.
+		b.Run(fmt.Sprintf("n=%d/p=1/fastcold", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				kde := NewKDE(xs, Silverman)
+				kde.Parallelism = 1
+				kde.FastFit = true
+				if pts := kde.Grid(512); len(pts) != 512 {
+					b.Fatal("bad grid")
+				}
+			}
+		})
 	}
 }
 
@@ -83,6 +117,55 @@ func BenchmarkFitGMM(b *testing.B) {
 				}
 			})
 		}
+		// Histogram-EM fast path: same data, same iteration budget, EM
+		// over bin weights instead of raw samples.
+		b.Run(fmt.Sprintf("n=%d/p=1/fast", n), func(b *testing.B) {
+			cfg := GMMConfig{MaxIter: 25, Parallelism: 1, FastFit: true}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m, err := FitGMM(xs, 3, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if m.K() != 3 {
+					b.Fatal("bad fit")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFitGMMCached compares a cold exact fit against a cache hit on
+// the same inputs. The hot rows still pay the full content hash of the
+// sample slice plus a model clone, so the ratio is the honest speedup a
+// second identical fit sees through GMMConfig.Cache.
+func BenchmarkFitGMMCached(b *testing.B) {
+	for _, n := range []int{100_000, 1_000_000} {
+		xs := benchSample(n)
+		b.Run(fmt.Sprintf("n=%d/cold", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := GMMConfig{MaxIter: 25, Parallelism: 1, Cache: fitcache.New(4)}
+				if _, err := FitGMM(xs, 3, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/hot", n), func(b *testing.B) {
+			cfg := GMMConfig{MaxIter: 25, Parallelism: 1, Cache: fitcache.New(4)}
+			if _, err := FitGMM(xs, 3, cfg); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m, err := FitGMM(xs, 3, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if m.K() != 3 {
+					b.Fatal("bad fit")
+				}
+			}
+		})
 	}
 }
 

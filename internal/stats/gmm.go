@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 
+	"speedctx/internal/fitcache"
 	"speedctx/internal/parallel"
 )
 
@@ -57,6 +58,22 @@ type GMMConfig struct {
 	// chunks and merges them in chunk order, so the fit is bit-identical
 	// at every setting (see internal/parallel).
 	Parallelism int
+	// FastFit enables the histogram-EM fast path for samples of at least
+	// fastFitMinN points: the sample is linearly binned once (O(n)) and
+	// the E/M sweeps run over (bin center, bin mass) pairs, cutting the
+	// per-iteration cost from O(n·k) to O(B·k). The fit is approximate —
+	// parameters land within the binning quantization of the exact fit
+	// (DESIGN.md §8) — but remains bit-identical across parallelism
+	// levels. Smaller samples always take the exact path.
+	FastFit bool
+	// Bins overrides the fast path's histogram resolution; 0 selects
+	// gmmDefaultBins. Ignored unless FastFit engages.
+	Bins int
+	// Cache, when non-nil, memoizes whole fits content-addressed by the
+	// sample bytes and the fit configuration (Parallelism excluded —
+	// results are bit-identical at every setting). Hits return a clone
+	// of the cached model, byte-identical to what a refit would produce.
+	Cache *fitcache.Cache
 }
 
 func (c *GMMConfig) defaults() {
@@ -89,6 +106,52 @@ func logNormalPDF(x, mean, variance float64) float64 {
 	return -0.5*math.Log(2*math.Pi*variance) - 0.5*d*d/variance
 }
 
+// clone returns a deep copy of the fit, so cached models can be handed out
+// without aliasing the cache's own copy.
+func (m *GMM) clone() *GMM {
+	c := *m
+	c.Components = append([]Component(nil), m.Components...)
+	return &c
+}
+
+// gmmCacheKey builds the content-addressed cache key of one fit: a
+// version/kind tag, the effective configuration, and every sample byte, in
+// order. Parallelism is deliberately excluded — the fixed-chunk reductions
+// make the fit bit-identical at every setting, so a fit computed at one
+// worker count may serve requests at any other. Sample order is included
+// (via Float64s) because those same reductions make the result depend,
+// bitwise, on the order of the input.
+func gmmCacheKey(kind string, xs, initMeans []float64, k int, cfg GMMConfig) fitcache.Key {
+	h := fitcache.NewHasher()
+	h.String("stats.gmm/v1").String(kind)
+	h.Int(k).Float64s(initMeans)
+	h.Int(cfg.MaxIter).Float64(cfg.Tol).Float64(cfg.MinVariance)
+	fast := cfg.useFast(len(xs))
+	h.Bool(fast)
+	if fast {
+		h.Int(cfg.emBins())
+	}
+	h.Float64s(xs)
+	return h.Sum()
+}
+
+// cachedFit wraps a fit computation with the config's cache, when present.
+func cachedFit(cfg GMMConfig, key func() fitcache.Key, fit func() (*GMM, error)) (*GMM, error) {
+	if cfg.Cache == nil {
+		return fit()
+	}
+	k := key()
+	if v, ok := cfg.Cache.Get(k); ok {
+		return v.(*GMM).clone(), nil
+	}
+	m, err := fit()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Cache.Put(k, m.clone())
+	return m, nil
+}
+
 // FitGMM fits a k-component 1-D Gaussian mixture to xs with EM, initialized
 // by deterministic 1-D k-means. Components in the result are sorted by mean.
 func FitGMM(xs []float64, k int, cfg GMMConfig) (*GMM, error) {
@@ -99,6 +162,19 @@ func FitGMM(xs []float64, k int, cfg GMMConfig) (*GMM, error) {
 	}
 	if n < k {
 		return nil, ErrTooFewPoints
+	}
+	return cachedFit(cfg,
+		func() fitcache.Key { return gmmCacheKey("FitGMM", xs, nil, k, cfg) },
+		func() (*GMM, error) { return fitGMM(xs, k, cfg) })
+}
+
+// fitGMM is FitGMM past validation and caching.
+func fitGMM(xs []float64, k int, cfg GMMConfig) (*GMM, error) {
+	n := len(xs)
+	if cfg.useFast(n) {
+		if g, ok := binForEM(xs, k, cfg); ok {
+			return fitGMMBinned(xs, g, k, cfg)
+		}
 	}
 
 	// Initialization from k-means: means are the centers, variances the
@@ -124,7 +200,7 @@ func FitGMM(xs []float64, k int, cfg GMMConfig) (*GMM, error) {
 			comps[c].Variance = cfg.MinVariance
 		}
 	}
-	return runEM(xs, comps, cfg)
+	return runEM(xs, nil, n, comps, cfg)
 }
 
 // FitGMMInit fits a Gaussian mixture initialized at the given means —
@@ -141,6 +217,14 @@ func FitGMMInit(xs []float64, initMeans []float64, cfg GMMConfig) (*GMM, error) 
 	if len(xs) < k {
 		return nil, ErrTooFewPoints
 	}
+	return cachedFit(cfg,
+		func() fitcache.Key { return gmmCacheKey("FitGMMInit", xs, initMeans, k, cfg) },
+		func() (*GMM, error) { return fitGMMInit(xs, initMeans, cfg) })
+}
+
+// fitGMMInit is FitGMMInit past validation and caching.
+func fitGMMInit(xs []float64, initMeans []float64, cfg GMMConfig) (*GMM, error) {
+	k := len(initMeans)
 	means := make([]float64, k)
 	copy(means, initMeans)
 	sort.Float64s(means)
@@ -162,7 +246,12 @@ func FitGMMInit(xs []float64, initMeans []float64, cfg GMMConfig) (*GMM, error) 
 			Variance: math.Max(sigma*sigma, cfg.MinVariance),
 		}
 	}
-	return runEM(xs, comps, cfg)
+	if cfg.useFast(len(xs)) {
+		if g, ok := binForEM(xs, k, cfg); ok {
+			return runEM(binnedSample{g}.xs(), g.w, len(xs), comps, cfg)
+		}
+	}
+	return runEM(xs, nil, len(xs), comps, cfg)
 }
 
 // emChunk is the fixed number of samples per EM work chunk. It is a
@@ -171,23 +260,29 @@ func FitGMMInit(xs []float64, initMeans []float64, cfg GMMConfig) (*GMM, error) 
 // is identical at every Parallelism setting.
 const emChunk = 4096
 
-// runEM iterates EM from the given initial components to convergence.
+// runEM iterates EM from the given initial components to convergence over
+// the observations xs. ws carries per-observation masses for the histogram
+// fast path ((bin center, bin mass) pairs); a nil ws means unit weights —
+// the exact path — and follows the identical code with w ≡ 1, whose
+// multiplications are IEEE-exact, so the refactor cannot perturb exact-path
+// results. n is the underlying sample count (≥ len(xs) on the binned path)
+// and feeds BIC/AIC.
 //
-// Both EM sweeps are fanned out over fixed chunks of the sample. Each chunk
-// writes its responsibilities into a disjoint segment of one shared buffer
-// and accumulates its sufficient statistics (partial log-likelihood, per
-// component Σr and Σr·x, then Σr·(x−μ)²) into a per-chunk slot; the slots
-// are merged in chunk order afterwards. All buffers are allocated once up
-// front and reused across iterations, so a converged fit performs no
-// per-iteration allocation.
-func runEM(xs []float64, comps []Component, cfg GMMConfig) (*GMM, error) {
+// Both EM sweeps are fanned out over fixed chunks of the observations. Each
+// chunk writes its responsibilities into a disjoint segment of one shared
+// buffer and accumulates its sufficient statistics (partial log-likelihood,
+// per component Σw·r and Σw·r·x, then Σw·r·(x−μ)²) into a per-chunk slot;
+// the slots are merged in chunk order afterwards. All buffers are allocated
+// once up front and reused across iterations, so a converged fit performs
+// no per-iteration allocation.
+func runEM(xs, ws []float64, n int, comps []Component, cfg GMMConfig) (*GMM, error) {
 	cfg.defaults()
-	n := len(xs)
+	nb := len(xs) // observation count: samples, or bins on the fast path
 	k := len(comps)
 	m := &GMM{Components: comps, n: n}
 
-	resp := make([]float64, n*k) // responsibilities, row-major [i*k+c]
-	chunks := parallel.ChunkCount(n, emChunk)
+	resp := make([]float64, nb*k) // responsibilities, row-major [i*k+c]
+	chunks := parallel.ChunkCount(nb, emChunk)
 	partLL := make([]float64, chunks)   // per-chunk log-likelihood
 	partNk := make([]float64, chunks*k) // per-chunk Σ resp, chunk-major
 	partSx := make([]float64, chunks*k) // per-chunk Σ resp·x
@@ -209,8 +304,9 @@ func runEM(xs []float64, comps []Component, cfg GMMConfig) (*GMM, error) {
 		}
 
 		// E-step: responsibilities via log-sum-exp, plus the zeroth and
-		// first sufficient statistics, per fixed chunk.
-		parallel.ForChunks(cfg.Parallelism, n, emChunk, func(ch, lo, hi int) {
+		// first sufficient statistics, per fixed chunk. Zero-mass
+		// observations (empty histogram bins) are skipped outright.
+		parallel.ForChunks(cfg.Parallelism, nb, emChunk, func(ch, lo, hi int) {
 			ll := 0.0
 			pnk := partNk[ch*k : ch*k+k]
 			psx := partSx[ch*k : ch*k+k]
@@ -218,6 +314,12 @@ func runEM(xs []float64, comps []Component, cfg GMMConfig) (*GMM, error) {
 				pnk[c], psx[c] = 0, 0
 			}
 			for i := lo; i < hi; i++ {
+				w := 1.0
+				if ws != nil {
+					if w = ws[i]; w == 0 {
+						continue
+					}
+				}
 				x := xs[i]
 				row := resp[i*k : i*k+k]
 				maxLog := math.Inf(-1)
@@ -237,10 +339,10 @@ func runEM(xs []float64, comps []Component, cfg GMMConfig) (*GMM, error) {
 				for c := range row {
 					r := row[c] / sum
 					row[c] = r
-					pnk[c] += r
-					psx[c] += r * x
+					pnk[c] += w * r
+					psx[c] += w * r * x
 				}
-				ll += maxLog + math.Log(sum)
+				ll += w * (maxLog + math.Log(sum))
 			}
 			partLL[ch] = ll
 		})
@@ -279,17 +381,23 @@ func runEM(xs []float64, comps []Component, cfg GMMConfig) (*GMM, error) {
 		// Second sweep: variances around the new means. Kept as a
 		// separate pass (rather than folding Σr·x² into the first) to
 		// preserve the numerically stable centered form.
-		parallel.ForChunks(cfg.Parallelism, n, emChunk, func(ch, lo, hi int) {
+		parallel.ForChunks(cfg.Parallelism, nb, emChunk, func(ch, lo, hi int) {
 			psv := partSv[ch*k : ch*k+k]
 			for c := range psv {
 				psv[c] = 0
 			}
 			for i := lo; i < hi; i++ {
+				w := 1.0
+				if ws != nil {
+					if w = ws[i]; w == 0 {
+						continue
+					}
+				}
 				x := xs[i]
 				row := resp[i*k : i*k+k]
 				for c := range row {
 					d := x - mu[c]
-					psv[c] += row[c] * d * d
+					psv[c] += w * row[c] * d * d
 				}
 			}
 		})

@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"speedctx/internal/parallel"
 )
@@ -33,16 +34,41 @@ type KDE struct {
 	// path. Every grid point is computed independently and written to its
 	// own slot, so the output is bit-identical at every setting.
 	Parallelism int
+	// FastFit enables the linear-binned evaluation path (DESIGN.md §8)
+	// for samples of at least fastFitMinN points: the sample is deposited
+	// onto a bin grid once, and every evaluation convolves the bin masses
+	// with the kernel instead of the raw sample — O(12h/step) per point
+	// regardless of n. The density is approximate (within ~1e-3 of the
+	// peak density of the exact estimate at the automatic resolution) but
+	// still bit-identical at every Parallelism setting. Set it before the
+	// first evaluation; smaller samples always evaluate exactly.
+	FastFit bool
+	// Bins overrides the fast path's grid resolution; 0 selects an
+	// automatic resolution from the bandwidth (autoKDEBins). Ignored
+	// unless FastFit engages.
+	Bins int
+
+	binOnce sync.Once
+	bin     *binGrid // non-nil once the fast path has engaged
+}
+
+// newKDESorted is the shared constructor core: one defensive copy + sort of
+// the sample, reused by every public constructor so none of them duplicates
+// the O(n log n) preparation.
+func newKDESorted(xs []float64) *KDE {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return &KDE{xs: s}
 }
 
 // NewKDE builds a Gaussian KDE over xs using the given bandwidth rule.
 // The sample is copied and sorted. An explicit bandwidth can be forced with
 // NewKDEBandwidth.
 func NewKDE(xs []float64, rule BandwidthRule) *KDE {
-	s := make([]float64, len(xs))
-	copy(s, xs)
-	sort.Float64s(s)
-	return &KDE{xs: s, bandwidth: bandwidthFor(s, rule)}
+	k := newKDESorted(xs)
+	k.bandwidth = bandwidthFor(k.xs, rule)
+	return k
 }
 
 // NewKDEBandwidth builds a KDE with an explicit bandwidth h > 0. A
@@ -52,13 +78,12 @@ func NewKDE(xs []float64, rule BandwidthRule) *KDE {
 // Callers that need to detect the fallback can compare Bandwidth() against
 // the value they passed.
 func NewKDEBandwidth(xs []float64, h float64) *KDE {
-	s := make([]float64, len(xs))
-	copy(s, xs)
-	sort.Float64s(s)
+	k := newKDESorted(xs)
 	if h <= 0 {
-		h = bandwidthFor(s, Silverman)
+		h = bandwidthFor(k.xs, Silverman)
 	}
-	return &KDE{xs: s, bandwidth: h}
+	k.bandwidth = h
+	return k
 }
 
 // bandwidthFor computes the bandwidth for a sorted sample.
@@ -91,13 +116,45 @@ func (k *KDE) Bandwidth() float64 { return k.bandwidth }
 // Len reports the number of observations.
 func (k *KDE) Len() int { return len(k.xs) }
 
+// binned lazily builds and returns the linear binning when the fast path
+// is engaged, or nil when evaluation should stay exact (FastFit unset,
+// sample below the threshold, or a degenerate span/bandwidth). The build is
+// serial and happens exactly once, so concurrent evaluators — including the
+// parallel grid workers — observe one deterministic grid.
+func (k *KDE) binned() *binGrid {
+	k.binOnce.Do(func() {
+		n := len(k.xs)
+		if !k.FastFit || n < fastFitMinN || k.bandwidth <= 0 {
+			return
+		}
+		span := k.xs[n-1] - k.xs[0]
+		if span <= 0 {
+			return
+		}
+		b := k.Bins
+		if b <= 0 {
+			b = autoKDEBins(span, k.bandwidth)
+		}
+		if b < 2 {
+			b = 2
+		}
+		k.bin = linearBin(k.xs, k.xs[0], k.xs[n-1], b)
+	})
+	return k.bin
+}
+
 // At evaluates the density estimate at x. Points further than 6 bandwidths
 // from x contribute negligibly and are skipped via a binary search window,
-// keeping evaluation O(window) per point on the sorted sample.
+// keeping evaluation O(window) per point on the sorted sample. When the
+// fast path is engaged (FastFit), evaluation runs over the bin grid
+// instead — see binned.
 func (k *KDE) At(x float64) float64 {
 	n := len(k.xs)
 	if n == 0 {
 		return 0
+	}
+	if g := k.binned(); g != nil {
+		return g.kdeAt(x, k.bandwidth, n)
 	}
 	h := k.bandwidth
 	lo := sort.SearchFloat64s(k.xs, x-6*h)

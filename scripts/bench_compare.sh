@@ -1,0 +1,73 @@
+#!/bin/sh
+# bench_compare.sh NEW.json OLD.json — gate on benchmark regressions.
+#
+# Compares two flat bench2json.sh files (benchmark name -> ns/op) over the
+# keys they share and fails (exit 1) if any shared entry regressed by more
+# than 10%.
+#
+# The committed BENCH_pr*.json files are recorded on whatever machine ran
+# that PR, so raw ns/op ratios conflate code changes with machine speed.
+# To separate the two, the smallest new/old ratio across shared entries is
+# taken as the machine scale (the entry that changed least is the best
+# available estimate of pure hardware drift), every ratio is divided by it,
+# and an entry only fails if it is BOTH >10% worse after normalization AND
+# absolutely slower than the old recording. On same-machine comparisons the
+# scale is ~1.0 and this reduces to a plain 10% gate.
+set -e
+
+if [ $# -ne 2 ]; then
+	echo "usage: $0 NEW.json OLD.json" >&2
+	exit 2
+fi
+
+exec awk -v newfile="$1" -v oldfile="$2" '
+function parse(file, table,    line, name, val) {
+	while ((getline line < file) > 0) {
+		if (line !~ /": [0-9]/) continue
+		name = line
+		sub(/^[^"]*"/, "", name)
+		sub(/".*$/, "", name)
+		val = line
+		sub(/^.*": */, "", val)
+		sub(/[^0-9].*$/, "", val)
+		table[name] = val + 0
+	}
+	close(file)
+}
+BEGIN {
+	parse(newfile, new)
+	parse(oldfile, old)
+	nshared = 0
+	scale = -1
+	for (name in new) {
+		if (!(name in old) || old[name] <= 0) continue
+		shared[++nshared] = name
+		r = new[name] / old[name]
+		if (scale < 0 || r < scale) scale = r
+	}
+	if (nshared == 0) {
+		printf "bench_compare: no shared entries between %s and %s\n", newfile, oldfile
+		exit 1
+	}
+	printf "machine scale (min new/old over %d shared entries): %.3f\n\n", nshared, scale
+	printf "%-45s %14s %14s %8s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio", "norm"
+	fails = 0
+	for (i = 1; i <= nshared; i++) {
+		name = shared[i]
+		r = new[name] / old[name]
+		norm = r / scale
+		flag = ""
+		if (norm > 1.10 && r > 1.0) {
+			flag = "  REGRESSION"
+			fails++
+		}
+		printf "%-45s %14d %14d %8.3f %8.3f%s\n", name, old[name], new[name], r, norm, flag
+	}
+	if (fails > 0) {
+		printf "\nbench_compare: %d entr%s regressed >10%% after machine normalization\n", \
+			fails, fails == 1 ? "y" : "ies"
+		exit 1
+	}
+	printf "\nbench_compare: OK (no shared entry >10%% worse after normalization)\n"
+}
+' </dev/null
