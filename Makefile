@@ -20,25 +20,35 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench-smoke runs one iteration of the parallel stats benchmarks — enough
-# to catch a broken benchmark without paying for a full measurement run.
+# bench-smoke runs one iteration of the parallel stats and dataset
+# generation benchmarks — enough to catch a broken benchmark without paying
+# for a full measurement run.
 bench-smoke:
 	$(GO) test -run NONE -bench 'KDEGrid|FitGMM' -benchtime 1x ./internal/stats/
+	$(GO) test -run NONE -bench 'GenerateOokla/n=10000$$|WriteOoklaCSV' -benchtime 1x ./internal/dataset/
 
-# bench runs the full parallel stats benchmark suite with memory stats.
+# bench runs the full stats + generation benchmark suite with memory stats.
+# The n=1000000 generation sizes need more than go test's default 10m.
 bench:
 	$(GO) test -run NONE -bench 'KDEGrid|KDEPeaks|FitGMM' -benchmem ./internal/stats/
+	$(GO) test -run NONE -bench 'GenerateOokla|GenerateMLab|WriteOoklaCSV' -benchmem -timeout 60m ./internal/dataset/
 
 # bench-baseline records the perf trajectory file for this PR series:
 # benchmark name -> ns/op. Compare future PRs against the committed
-# BENCH_pr*.json files.
+# BENCH_pr*.json files. The sub-second stats benches repeat 5 times and
+# bench2json.sh keeps the per-bench minimum (noise on a shared VM only
+# inflates samples). The multi-minute generation sizes run once — they pin
+# large-n throughput, are stable run-to-run, and exist for the trajectory,
+# not statistical precision.
 bench-baseline:
-	$(GO) test -run NONE -bench 'KDEGrid|KDEPeaks|FitGMM' -benchtime 2x ./internal/stats/ \
-		| scripts/bench2json.sh > BENCH_pr3.json
-	@cat BENCH_pr3.json
+	( $(GO) test -run NONE -bench 'KDEGrid|KDEPeaks|FitGMM' -benchtime 2x -count 5 ./internal/stats/ ; \
+	  $(GO) test -run NONE -bench 'GenerateOokla|GenerateMLab|WriteOoklaCSV' -benchtime 1x -timeout 60m ./internal/dataset/ ) \
+		| scripts/bench2json.sh > BENCH_pr4.json
+	@cat BENCH_pr4.json
 
 # bench-compare gates the committed perf trajectory: fail if any benchmark
-# shared with the PR 1 baseline regressed >10% (machine-normalized; see
-# scripts/bench_compare.sh).
+# shared with an earlier baseline regressed >10% (machine-normalized; see
+# scripts/bench_compare.sh). The generation entries are new in BENCH_pr4 —
+# future PRs gate against them.
 bench-compare:
-	scripts/bench_compare.sh BENCH_pr3.json BENCH_pr1.json
+	scripts/bench_compare.sh BENCH_pr4.json BENCH_pr3.json BENCH_pr1.json

@@ -17,56 +17,63 @@ import (
 	"speedctx/internal/wifi"
 )
 
-// Ookla couples an Ookla dataset with its BST contextualization.
+// Ookla couples an Ookla dataset with its BST contextualization. Cols is
+// the columnar (SoA) view of Records, extracted once at analysis time —
+// every grouping loop below reads the columns it needs instead of
+// re-walking the record structs.
 type Ookla struct {
 	Catalog *plans.Catalog
 	Records []dataset.OoklaRecord
+	Cols    *dataset.OoklaColumns
 	Result  *core.Result
 }
 
 // AnalyzeOokla fits BST over the records and returns the coupled view.
 func AnalyzeOokla(cat *plans.Catalog, recs []dataset.OoklaRecord, cfg core.Config) (*Ookla, error) {
+	cols := dataset.ColumnizeOokla(recs)
 	samples := make([]core.Sample, len(recs))
-	for i, r := range recs {
-		samples[i] = core.Sample{Download: r.DownloadMbps, Upload: r.UploadMbps}
+	for i := range samples {
+		samples[i] = core.Sample{Download: cols.Download[i], Upload: cols.Upload[i]}
 	}
 	res, err := core.Fit(samples, cat, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: ookla fit: %w", err)
 	}
-	return &Ookla{Catalog: cat, Records: recs, Result: res}, nil
+	return &Ookla{Catalog: cat, Records: recs, Cols: cols, Result: res}, nil
 }
 
 // MLab couples associated NDT tests with their BST contextualization.
 type MLab struct {
 	Catalog *plans.Catalog
 	Tests   []dataset.MLabTest
+	Cols    *dataset.MLabColumns
 	Result  *core.Result
 }
 
 // AnalyzeMLab fits BST over associated NDT tests.
 func AnalyzeMLab(cat *plans.Catalog, tests []dataset.MLabTest, cfg core.Config) (*MLab, error) {
+	cols := dataset.ColumnizeMLab(tests)
 	samples := make([]core.Sample, len(tests))
-	for i, r := range tests {
-		samples[i] = core.Sample{Download: r.DownloadMbps, Upload: r.UploadMbps}
+	for i := range samples {
+		samples[i] = core.Sample{Download: cols.Download[i], Upload: cols.Upload[i]}
 	}
 	res, err := core.Fit(samples, cat, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: mlab fit: %w", err)
 	}
-	return &MLab{Catalog: cat, Tests: tests, Result: res}, nil
+	return &MLab{Catalog: cat, Tests: tests, Cols: cols, Result: res}, nil
 }
 
 // NormalizedDownload returns record i's download speed divided by the
 // advertised download of its BST-assigned plan; ok is false for unassigned
 // (off-catalog) records.
 func (a *Ookla) NormalizedDownload(i int) (float64, bool) {
-	return normalized(a.Result, a.Catalog, i, a.Records[i].DownloadMbps)
+	return normalized(a.Result, a.Catalog, i, a.Cols.Download[i])
 }
 
 // NormalizedDownload is the M-Lab analogue.
 func (m *MLab) NormalizedDownload(i int) (float64, bool) {
-	return normalized(m.Result, m.Catalog, i, m.Tests[i].DownloadMbps)
+	return normalized(m.Result, m.Catalog, i, m.Cols.Download[i])
 }
 
 func normalized(res *core.Result, cat *plans.Catalog, i int, down float64) (float64, bool) {
@@ -105,23 +112,24 @@ func (g Group) ECDF() *stats.ECDF { return stats.NewECDF(g.Values) }
 func (a *Ookla) FilterTierGroup(g int) *Ookla {
 	sub := &Ookla{Catalog: a.Catalog}
 	res := &core.Result{Catalog: a.Catalog}
-	for i, r := range a.Records {
+	for i := range a.Records {
 		if a.Result.Assignments[i].UploadTier != g {
 			continue
 		}
-		sub.Records = append(sub.Records, r)
+		sub.Records = append(sub.Records, a.Records[i])
 		res.Assignments = append(res.Assignments, a.Result.Assignments[i])
 	}
+	sub.Cols = dataset.ColumnizeOokla(sub.Records)
 	sub.Result = res
 	return sub
 }
 
-// collect builds groups from a keying function; records the key maps to ""
-// are skipped.
-func (a *Ookla) collect(order []string, key func(i int, r dataset.OoklaRecord) string) []Group {
+// collect builds groups from a keying function over the columnar view;
+// records the key maps to "" are skipped.
+func (a *Ookla) collect(order []string, key func(i int) string) []Group {
 	vals := map[string][]float64{}
-	for i, r := range a.Records {
-		k := key(i, r)
+	for i := 0; i < a.Cols.Len(); i++ {
+		k := key(i)
 		if k == "" {
 			continue
 		}
@@ -141,8 +149,9 @@ func (a *Ookla) collect(order []string, key func(i int, r dataset.OoklaRecord) s
 // ByAccessType reproduces Figure 9a: WiFi vs Ethernet normalized download
 // for native-app tests across all tiers.
 func (a *Ookla) ByAccessType() []Group {
-	return a.collect([]string{"WiFi", "Ethernet"}, func(_ int, r dataset.OoklaRecord) string {
-		switch r.Access {
+	c := a.Cols
+	return a.collect([]string{"WiFi", "Ethernet"}, func(i int) string {
+		switch c.Access[i] {
 		case dataset.AccessWiFi:
 			return "WiFi"
 		case dataset.AccessEthernet:
@@ -155,11 +164,12 @@ func (a *Ookla) ByAccessType() []Group {
 
 // ByBand reproduces Figure 9b: 2.4 GHz vs 5 GHz Android tests.
 func (a *Ookla) ByBand() []Group {
-	return a.collect([]string{"2.4 GHz", "5 GHz"}, func(_ int, r dataset.OoklaRecord) string {
-		if !r.HasRadioInfo {
+	c := a.Cols
+	return a.collect([]string{"2.4 GHz", "5 GHz"}, func(i int) string {
+		if !c.HasRadioInfo[i] {
 			return ""
 		}
-		return r.Band.String()
+		return c.Band[i].String()
 	})
 }
 
@@ -169,11 +179,12 @@ func (a *Ookla) ByRSSIBin() []Group {
 	for _, b := range wifi.Bins() {
 		order = append(order, b.String())
 	}
-	return a.collect(order, func(_ int, r dataset.OoklaRecord) string {
-		if !r.HasRadioInfo || r.Band != wifi.Band5GHz {
+	c := a.Cols
+	return a.collect(order, func(i int) string {
+		if !c.HasRadioInfo[i] || c.Band[i] != wifi.Band5GHz {
 			return ""
 		}
-		return wifi.BinRSSI(r.RSSI).String()
+		return wifi.BinRSSI(c.RSSI[i]).String()
 	})
 }
 
@@ -184,11 +195,12 @@ func (a *Ookla) ByMemoryBin() []Group {
 	for _, b := range device.MemoryBins() {
 		order = append(order, b.String())
 	}
-	return a.collect(order, func(_ int, r dataset.OoklaRecord) string {
-		if !r.HasRadioInfo || r.Band != wifi.Band5GHz || r.RSSI < -50 {
+	c := a.Cols
+	return a.collect(order, func(i int) string {
+		if !c.HasRadioInfo[i] || c.Band[i] != wifi.Band5GHz || c.RSSI[i] < -50 {
 			return ""
 		}
-		return device.BinMemory(r.KernelMemMB).String()
+		return device.BinMemory(c.KernelMemMB[i]).String()
 	})
 }
 
@@ -196,11 +208,12 @@ func (a *Ookla) ByMemoryBin() []Group {
 // "Best" group (5 GHz, RSSI > -50 dBm, > 2 GB kernel memory) and the
 // "Local-bottleneck" remainder.
 func (a *Ookla) BestVsBottleneck() []Group {
-	return a.collect([]string{"Best", "Local-bottleneck"}, func(_ int, r dataset.OoklaRecord) string {
-		if !r.HasRadioInfo {
+	c := a.Cols
+	return a.collect([]string{"Best", "Local-bottleneck"}, func(i int) string {
+		if !c.HasRadioInfo[i] {
 			return ""
 		}
-		if r.Band == wifi.Band5GHz && r.RSSI > -50 && r.KernelMemMB >= 2048 {
+		if c.Band[i] == wifi.Band5GHz && c.RSSI[i] > -50 && c.KernelMemMB[i] >= 2048 {
 			return "Best"
 		}
 		return "Local-bottleneck"
@@ -211,10 +224,11 @@ func (a *Ookla) BestVsBottleneck() []Group {
 // restricted to one upload tier group (tierGroup -1 means all) — Figure 12.
 func (a *Ookla) ByHourBin(tierGroup int) []Group {
 	order := []string{"00-06", "06-12", "12-18", "18-00"}
-	return a.collect(order, func(i int, r dataset.OoklaRecord) string {
+	c := a.Cols
+	return a.collect(order, func(i int) string {
 		if tierGroup >= 0 && a.Result.Assignments[i].UploadTier != tierGroup {
 			return ""
 		}
-		return population.HourBinLabel(population.HourBin(r.Timestamp))
+		return population.HourBinLabel(population.HourBin(c.Timestamp[i]))
 	})
 }

@@ -16,17 +16,18 @@ import (
 func (a *Ookla) ConsistencyFactors(p device.Platform, minTests int) (downCF, upCF []float64) {
 	type speeds struct{ downs, ups []float64 }
 	byUser := map[int]*speeds{}
-	for _, r := range a.Records {
-		if r.Platform != p {
+	c := a.Cols
+	for i := 0; i < c.Len(); i++ {
+		if c.Platform[i] != p {
 			continue
 		}
-		s := byUser[r.UserID]
+		s := byUser[c.UserID[i]]
 		if s == nil {
 			s = &speeds{}
-			byUser[r.UserID] = s
+			byUser[c.UserID[i]] = s
 		}
-		s.downs = append(s.downs, r.DownloadMbps)
-		s.ups = append(s.ups, r.UploadMbps)
+		s.downs = append(s.downs, c.Download[i])
+		s.ups = append(s.ups, c.Upload[i])
 	}
 	for _, s := range byUser {
 		if len(s.downs) < minTests {
@@ -44,11 +45,12 @@ func (a *Ookla) ConsistencyFactors(p device.Platform, minTests int) (downCF, upC
 // with more than minTests tests, the largest fraction of that user-month's
 // tests assigned to one tier. Sorted ascending (Figure 8).
 func (a *Ookla) AlphaPerUserMonth(minTests int) ([]float64, error) {
-	tiers := make([]int, len(a.Records))
-	groups := make([]string, len(a.Records))
-	for i, r := range a.Records {
+	c := a.Cols
+	tiers := make([]int, c.Len())
+	groups := make([]string, c.Len())
+	for i := range tiers {
 		tiers[i] = a.Result.Assignments[i].Tier
-		groups[i] = fmt.Sprintf("%d/%d", r.UserID, int(r.Timestamp.Month()))
+		groups[i] = fmt.Sprintf("%d/%d", c.UserID[i], int(c.Timestamp[i].Month()))
 	}
 	return core.Alpha(tiers, groups, minTests)
 }
@@ -63,12 +65,13 @@ func (a *Ookla) VolumeByHourBin() [][]float64 {
 	for g := range counts {
 		counts[g] = make([]int, 4)
 	}
-	for i, r := range a.Records {
+	ts := a.Cols.Timestamp
+	for i := range ts {
 		g := a.Result.Assignments[i].UploadTier
 		if g < 0 {
 			continue
 		}
-		counts[g][r.Timestamp.Hour()/6]++
+		counts[g][ts[i].Hour()/6]++
 		totals[g]++
 	}
 	out := make([][]float64, nGroups)
@@ -100,19 +103,20 @@ type MotivatingCurves struct {
 func (a *Ookla) Motivating() MotivatingCurves {
 	var mc MotivatingCurves
 	top := len(a.Catalog.Plans)
-	for i, r := range a.Records {
-		mc.Uncontextualized = append(mc.Uncontextualized, r.DownloadMbps)
+	c := a.Cols
+	mc.Uncontextualized = c.Download
+	for i := 0; i < c.Len(); i++ {
 		t := a.Result.Assignments[i].Tier
 		switch {
 		case t == 1:
-			mc.Tier1 = append(mc.Tier1, r.DownloadMbps)
+			mc.Tier1 = append(mc.Tier1, c.Download[i])
 		case t == top:
-			mc.TierTop = append(mc.TierTop, r.DownloadMbps)
-			if r.Platform == device.Android {
-				mc.TierTopAndroid = append(mc.TierTopAndroid, r.DownloadMbps)
+			mc.TierTop = append(mc.TierTop, c.Download[i])
+			if c.Platform[i] == device.Android {
+				mc.TierTopAndroid = append(mc.TierTopAndroid, c.Download[i])
 			}
-			if r.Platform == device.DesktopEthernet {
-				mc.TierTopEthernet = append(mc.TierTopEthernet, r.DownloadMbps)
+			if c.Platform[i] == device.DesktopEthernet {
+				mc.TierTopEthernet = append(mc.TierTopEthernet, c.Download[i])
 			}
 		}
 	}
@@ -179,9 +183,5 @@ func VendorComparison(o *Ookla, m *MLab) ([]VendorTier, error) {
 // MedianDownload returns the dataset's overall (uncontextualized) median
 // download speed — the headline number the motivating example warns about.
 func (a *Ookla) MedianDownload() float64 {
-	downs := make([]float64, len(a.Records))
-	for i, r := range a.Records {
-		downs[i] = r.DownloadMbps
-	}
-	return stats.Median(downs)
+	return stats.Median(a.Cols.Download)
 }

@@ -1,0 +1,117 @@
+package dataset
+
+import (
+	"time"
+
+	"speedctx/internal/device"
+	"speedctx/internal/wifi"
+)
+
+// Columnar (SoA) views of the record slices. The analysis and experiment
+// layers slice the same few columns over and over — download/upload pairs
+// for BST fits, uploads for density figures, timestamps for hour bins —
+// and walking []OoklaRecord (~160-byte structs) re-extracts and
+// re-allocates those floats for every figure. A Columns value extracts
+// every column once, in one pass, and is cached per dataset (see
+// experiments.CityBundle), so repeated consumers share the exact same
+// backing slices. That identity is what keeps the fit cache hot: two
+// tables fitting "the same" city slice hand the cache bit-identical
+// sample memory.
+
+// OoklaColumns is the column-oriented view of an Ookla dataset.
+type OoklaColumns struct {
+	Download, Upload, Latency []float64
+	RSSI, MaxTheoretical      []float64
+	UserID, TruthTier         []int
+	KernelMemMB               []int
+	Platform                  []device.Platform
+	Access                    []AccessType
+	HasRadioInfo              []bool
+	Band                      []wifi.Band
+	Timestamp                 []time.Time
+}
+
+// ColumnizeOokla extracts every column in one pass over the records.
+func ColumnizeOokla(recs []OoklaRecord) *OoklaColumns {
+	n := len(recs)
+	c := &OoklaColumns{
+		Download: make([]float64, n), Upload: make([]float64, n),
+		Latency: make([]float64, n), RSSI: make([]float64, n),
+		MaxTheoretical: make([]float64, n),
+		UserID:         make([]int, n), TruthTier: make([]int, n),
+		KernelMemMB: make([]int, n),
+		Platform:    make([]device.Platform, n),
+		Access:      make([]AccessType, n),
+		HasRadioInfo: make([]bool, n), Band: make([]wifi.Band, n),
+		Timestamp: make([]time.Time, n),
+	}
+	for i := range recs {
+		r := &recs[i]
+		c.Download[i], c.Upload[i], c.Latency[i] = r.DownloadMbps, r.UploadMbps, r.LatencyMs
+		c.RSSI[i], c.MaxTheoretical[i] = r.RSSI, r.MaxTheoreticalMbps
+		c.UserID[i], c.TruthTier[i], c.KernelMemMB[i] = r.UserID, r.TruthTier, r.KernelMemMB
+		c.Platform[i], c.Access[i] = r.Platform, r.Access
+		c.HasRadioInfo[i], c.Band[i] = r.HasRadioInfo, r.Band
+		c.Timestamp[i] = r.Timestamp
+	}
+	return c
+}
+
+// Len returns the row count.
+func (c *OoklaColumns) Len() int { return len(c.Download) }
+
+// MLabColumns is the column-oriented view of associated NDT tests.
+type MLabColumns struct {
+	Download, Upload, MinRTT []float64
+	TruthTier                []int
+	Timestamp                []time.Time
+}
+
+// ColumnizeMLab extracts every column in one pass over the tests.
+func ColumnizeMLab(tests []MLabTest) *MLabColumns {
+	n := len(tests)
+	c := &MLabColumns{
+		Download: make([]float64, n), Upload: make([]float64, n),
+		MinRTT: make([]float64, n), TruthTier: make([]int, n),
+		Timestamp: make([]time.Time, n),
+	}
+	for i := range tests {
+		t := &tests[i]
+		c.Download[i], c.Upload[i], c.MinRTT[i] = t.DownloadMbps, t.UploadMbps, t.MinRTTMs
+		c.TruthTier[i] = t.TruthTier
+		c.Timestamp[i] = t.Timestamp
+	}
+	return c
+}
+
+// Len returns the row count.
+func (c *MLabColumns) Len() int { return len(c.Download) }
+
+// MBAColumns is the column-oriented view of an MBA panel.
+type MBAColumns struct {
+	Download, Upload, PlanDown, PlanUp []float64
+	UnitID, Tier                       []int
+	Timestamp                          []time.Time
+}
+
+// ColumnizeMBA extracts every column in one pass over the records.
+func ColumnizeMBA(recs []MBARecord) *MBAColumns {
+	n := len(recs)
+	c := &MBAColumns{
+		Download: make([]float64, n), Upload: make([]float64, n),
+		PlanDown: make([]float64, n), PlanUp: make([]float64, n),
+		UnitID: make([]int, n), Tier: make([]int, n),
+		Timestamp: make([]time.Time, n),
+	}
+	for i := range recs {
+		r := &recs[i]
+		c.Download[i], c.Upload[i] = r.DownloadMbps, r.UploadMbps
+		c.PlanDown[i], c.PlanUp[i] = float64(r.PlanDown), float64(r.PlanUp)
+		c.UnitID[i], c.Tier[i] = r.UnitID, r.Tier
+		c.Timestamp[i] = r.Timestamp
+	}
+	return c
+}
+
+// Len returns the row count.
+func (c *MBAColumns) Len() int { return len(c.Download) }

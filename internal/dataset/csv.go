@@ -1,10 +1,12 @@
 package dataset
 
 import (
+	"bufio"
 	"encoding/csv"
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 	"time"
 
 	"speedctx/internal/device"
@@ -15,6 +17,12 @@ import (
 // CSV codecs for the three datasets. Formats are stable, with a header row,
 // RFC 3339 timestamps, and full float precision, so generated datasets can
 // be archived and re-analyzed without the simulator.
+//
+// The writers stream: each row is rendered into one reused []byte scratch
+// with the strconv.Append* / time.AppendFormat family and flushed through a
+// bufio.Writer, so writing n rows costs O(1) allocations, not O(n)
+// (TestWriteCSVAllocs pins this). Readers keep encoding/csv — they accept
+// foreign files and need its full quoting/edge-case handling.
 
 var ooklaHeader = []string{
 	"test_id", "user_id", "city", "isp", "timestamp", "platform", "access",
@@ -22,33 +30,110 @@ var ooklaHeader = []string{
 	"download_mbps", "upload_mbps", "latency_ms", "truth_tier",
 }
 
-func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+// rowBuf renders CSV rows into a reused scratch buffer. Fields are
+// appended with a trailing comma; endRow turns the last comma into a
+// newline and flushes the row.
+type rowBuf struct {
+	w   *bufio.Writer
+	buf []byte
+}
+
+func newRowBuf(w io.Writer) *rowBuf {
+	return &rowBuf{w: bufio.NewWriterSize(w, 1<<16), buf: make([]byte, 0, 256)}
+}
+
+// str appends a string field, quoting per RFC 4180 only when it contains a
+// comma, quote or line break (generated vocabularies never do; quoting
+// keeps arbitrary round-tripped records safe).
+func (b *rowBuf) str(s string) {
+	if strings.ContainsAny(s, ",\"\r\n") {
+		b.buf = append(b.buf, '"')
+		for i := 0; i < len(s); i++ {
+			if s[i] == '"' {
+				b.buf = append(b.buf, '"')
+			}
+			b.buf = append(b.buf, s[i])
+		}
+		b.buf = append(b.buf, '"', ',')
+		return
+	}
+	b.buf = append(b.buf, s...)
+	b.buf = append(b.buf, ',')
+}
+
+func (b *rowBuf) int(v int) {
+	b.buf = strconv.AppendInt(b.buf, int64(v), 10)
+	b.buf = append(b.buf, ',')
+}
+
+func (b *rowBuf) float(v float64) {
+	b.buf = strconv.AppendFloat(b.buf, v, 'g', -1, 64)
+	b.buf = append(b.buf, ',')
+}
+
+func (b *rowBuf) bool(v bool) {
+	b.buf = strconv.AppendBool(b.buf, v)
+	b.buf = append(b.buf, ',')
+}
+
+func (b *rowBuf) time(t time.Time) {
+	b.buf = t.AppendFormat(b.buf, time.RFC3339)
+	b.buf = append(b.buf, ',')
+}
+
+// endRow terminates the pending row and writes it out.
+func (b *rowBuf) endRow() error {
+	if n := len(b.buf); n > 0 && b.buf[n-1] == ',' {
+		b.buf[n-1] = '\n'
+	}
+	_, err := b.w.Write(b.buf)
+	b.buf = b.buf[:0]
+	return err
+}
+
+// header writes a header row.
+func (b *rowBuf) header(fields []string) error {
+	for _, f := range fields {
+		b.str(f)
+	}
+	return b.endRow()
+}
+
+func (b *rowBuf) flush() error { return b.w.Flush() }
 
 // WriteOoklaCSV writes records to w in the speedctx Ookla CSV format.
 func WriteOoklaCSV(w io.Writer, recs []OoklaRecord) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(ooklaHeader); err != nil {
+	b := newRowBuf(w)
+	if err := b.header(ooklaHeader); err != nil {
 		return err
 	}
-	for _, r := range recs {
-		band := ""
+	for i := range recs {
+		r := &recs[i]
+		b.int(r.TestID)
+		b.int(r.UserID)
+		b.str(r.City)
+		b.str(r.ISP)
+		b.time(r.Timestamp)
+		b.str(r.Platform.String())
+		b.str(string(r.Access))
+		b.bool(r.HasRadioInfo)
 		if r.HasRadioInfo {
-			band = r.Band.String()
+			b.str(r.Band.String())
+		} else {
+			b.str("")
 		}
-		row := []string{
-			strconv.Itoa(r.TestID), strconv.Itoa(r.UserID), r.City, r.ISP,
-			r.Timestamp.Format(time.RFC3339), r.Platform.String(), string(r.Access),
-			strconv.FormatBool(r.HasRadioInfo), band, ftoa(r.RSSI),
-			ftoa(r.MaxTheoreticalMbps), strconv.Itoa(r.KernelMemMB),
-			ftoa(r.DownloadMbps), ftoa(r.UploadMbps), ftoa(r.LatencyMs),
-			strconv.Itoa(r.TruthTier),
-		}
-		if err := cw.Write(row); err != nil {
+		b.float(r.RSSI)
+		b.float(r.MaxTheoreticalMbps)
+		b.int(r.KernelMemMB)
+		b.float(r.DownloadMbps)
+		b.float(r.UploadMbps)
+		b.float(r.LatencyMs)
+		b.int(r.TruthTier)
+		if err := b.endRow(); err != nil {
 			return err
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	return b.flush()
 }
 
 var platformByName = func() map[string]device.Platform {
@@ -115,23 +200,28 @@ var mlabHeader = []string{
 
 // WriteMLabCSV writes NDT rows to w.
 func WriteMLabCSV(w io.Writer, rows []MLabRow) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(mlabHeader); err != nil {
+	b := newRowBuf(w)
+	if err := b.header(mlabHeader); err != nil {
 		return err
 	}
-	for _, r := range rows {
-		rec := []string{
-			strconv.Itoa(r.RowID), r.ClientIP, r.ServerIP, r.City, r.ISP,
-			strconv.Itoa(r.ASN), r.Timestamp.Format(time.RFC3339),
-			string(r.Direction), ftoa(r.SpeedMbps), ftoa(r.MinRTTMs),
-			strconv.Itoa(r.TruthTier),
-		}
-		if err := cw.Write(rec); err != nil {
+	for i := range rows {
+		r := &rows[i]
+		b.int(r.RowID)
+		b.str(r.ClientIP)
+		b.str(r.ServerIP)
+		b.str(r.City)
+		b.str(r.ISP)
+		b.int(r.ASN)
+		b.time(r.Timestamp)
+		b.str(string(r.Direction))
+		b.float(r.SpeedMbps)
+		b.float(r.MinRTTMs)
+		b.int(r.TruthTier)
+		if err := b.endRow(); err != nil {
 			return err
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	return b.flush()
 }
 
 // ReadMLabCSV parses NDT rows.
@@ -176,24 +266,27 @@ var mbaHeader = []string{
 
 // WriteMBACSV writes MBA records to w.
 func WriteMBACSV(w io.Writer, recs []MBARecord) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(mbaHeader); err != nil {
+	b := newRowBuf(w)
+	if err := b.header(mbaHeader); err != nil {
 		return err
 	}
-	for _, r := range recs {
-		row := []string{
-			strconv.Itoa(r.UnitID), r.State, r.ISP, r.CensusTract,
-			r.Timestamp.Format(time.RFC3339),
-			ftoa(r.DownloadMbps), ftoa(r.UploadMbps),
-			ftoa(float64(r.PlanDown)), ftoa(float64(r.PlanUp)),
-			strconv.Itoa(r.Tier),
-		}
-		if err := cw.Write(row); err != nil {
+	for i := range recs {
+		r := &recs[i]
+		b.int(r.UnitID)
+		b.str(r.State)
+		b.str(r.ISP)
+		b.str(r.CensusTract)
+		b.time(r.Timestamp)
+		b.float(r.DownloadMbps)
+		b.float(r.UploadMbps)
+		b.float(float64(r.PlanDown))
+		b.float(float64(r.PlanUp))
+		b.int(r.Tier)
+		if err := b.endRow(); err != nil {
 			return err
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	return b.flush()
 }
 
 // ReadMBACSV parses MBA records.

@@ -6,10 +6,38 @@ import (
 
 	"speedctx/internal/device"
 	"speedctx/internal/netsim"
+	"speedctx/internal/parallel"
 	"speedctx/internal/plans"
 	"speedctx/internal/population"
 	"speedctx/internal/stats"
 	"speedctx/internal/units"
+)
+
+// Generation is sharded and deterministic. Every subscriber draws all of
+// its randomness — subscriber attributes and every test — from a private
+// stream derived purely from (seed, userID) via stats.NewStreamRNG, so a
+// subscriber's rows cannot depend on how many draws other subscribers
+// consumed. The generators therefore define their output as: concatenate
+// every subscriber's rows in user-ID order and truncate to the requested
+// size. Shards of genShardSubs consecutive subscribers are generated
+// concurrently on the internal/parallel pool and merged in shard order,
+// which reproduces exactly that definition — output is byte-identical at
+// every Parallelism setting and at every shard size (DESIGN.md §9).
+
+// genShardSubs is the number of consecutive subscribers per generation
+// shard. A shard is the unit of parallel work; its size trades scheduling
+// overhead against load balance but can never change the output. It is a
+// variable only so determinism tests can sweep it.
+var genShardSubs = 256
+
+// ooklaRowsPerSub and mlabTestsPerSub are conservative (low) estimates of
+// the expected rows/tests one subscriber contributes — the heavy-tailed
+// Pareto test count floors at ~3.3 for Ookla's cap and ~2.7 for M-Lab's.
+// Waves sized with a low estimate converge in a couple of rounds with
+// bounded overshoot (at most a final partial wave of shards).
+const (
+	ooklaRowsPerSub = 3
+	mlabTestsPerSub = 2
 )
 
 // GenerateOokla synthesizes n Ookla Speedtest Intelligence rows for the
@@ -17,25 +45,76 @@ import (
 // are drawn from the Ookla population model; each contributes its
 // heavy-tailed number of tests until n rows exist.
 func GenerateOokla(cat *plans.Catalog, n int, seed int64) []OoklaRecord {
-	return GenerateOoklaModel(cat, population.OoklaModel(cat), n, seed)
+	return GenerateOoklaPar(cat, n, seed, 1)
+}
+
+// GenerateOoklaPar is GenerateOokla with an explicit worker count
+// (parallel.Workers semantics: 0 = all CPUs, 1 = serial). Output is
+// byte-identical at every setting.
+func GenerateOoklaPar(cat *plans.Catalog, n int, seed int64, par int) []OoklaRecord {
+	return GenerateOoklaModelPar(cat, population.OoklaModel(cat), n, seed, par)
 }
 
 // GenerateOoklaModel is GenerateOokla with an explicit population model —
 // used for platform-restricted datasets such as the paper's Android-only
 // radio analyses.
 func GenerateOoklaModel(cat *plans.Catalog, model population.Model, n int, seed int64) []OoklaRecord {
-	rng := stats.NewRNG(seed)
+	return GenerateOoklaModelPar(cat, model, n, seed, 1)
+}
+
+// GenerateOoklaModelPar is GenerateOoklaModel over par workers.
+func GenerateOoklaModelPar(cat *plans.Catalog, model population.Model, n int, seed int64, par int) []OoklaRecord {
+	if n <= 0 {
+		return nil
+	}
 	recs := make([]OoklaRecord, 0, n)
-	userID := 0
+	nextUser := 0
 	for len(recs) < n {
-		sub := model.NewSubscriber(userID, rng)
-		userID++
-		for t := 0; t < sub.TestsPerYear && len(recs) < n; t++ {
+		shardCount := waveShards(n-len(recs), ooklaRowsPerSub)
+		shards := parallel.Map(par, shardCount, func(i int) []OoklaRecord {
+			return ooklaShard(cat, model, seed, nextUser+i*genShardSubs)
+		})
+		nextUser += shardCount * genShardSubs
+		for _, sh := range shards {
+			if room := n - len(recs); room < len(sh) {
+				sh = sh[:room]
+			}
+			recs = append(recs, sh...)
+			if len(recs) == n {
+				break
+			}
+		}
+	}
+	for i := range recs {
+		recs[i].TestID = i
+	}
+	return recs
+}
+
+// waveShards sizes one generation wave: enough shards of genShardSubs
+// subscribers to cover `need` more rows at perSub expected rows each, and
+// at least one.
+func waveShards(need, perSub int) int {
+	shards := (need + perSub*genShardSubs - 1) / (perSub * genShardSubs)
+	if shards < 1 {
+		shards = 1
+	}
+	return shards
+}
+
+// ooklaShard generates the complete row sets of genShardSubs consecutive
+// subscribers starting at baseUser. TestID is assigned by the caller after
+// the shard-order merge.
+func ooklaShard(cat *plans.Catalog, model population.Model, seed int64, baseUser int) []OoklaRecord {
+	recs := make([]OoklaRecord, 0, ooklaRowsPerSub*genShardSubs)
+	for u := baseUser; u < baseUser+genShardSubs; u++ {
+		rng := stats.NewStreamRNG(seed, int64(u))
+		sub := model.NewSubscriber(u, rng)
+		for t := 0; t < sub.TestsPerYear; t++ {
 			ts := population.SampleTestTime(rng)
 			sc := model.TestScenario(&sub, netsim.VendorOokla, ts, rng)
 			m := netsim.Run(sc, rng)
 			rec := OoklaRecord{
-				TestID:       len(recs),
 				UserID:       sub.ID,
 				City:         cat.City,
 				ISP:          cat.ISP,
@@ -90,32 +169,78 @@ func DefaultMLabOptions() MLabOptions {
 	return MLabOptions{OffCatalogShare: 0.06, UnpairedShare: 0.08, UploadDelay: 40 * time.Second}
 }
 
+// mlabUserBase offsets M-Lab user IDs so they are disjoint from Ookla's.
+const mlabUserBase = 1 << 20
+
 // GenerateMLab synthesizes NDT rows — separate download and upload rows per
 // test, as M-Lab publishes them — for ~nTests tests.
 func GenerateMLab(cat *plans.Catalog, nTests int, seed int64, opts MLabOptions) []MLabRow {
-	rng := stats.NewRNG(seed)
+	return GenerateMLabPar(cat, nTests, seed, opts, 1)
+}
+
+// GenerateMLabPar is GenerateMLab over par workers; output is
+// byte-identical at every setting.
+func GenerateMLabPar(cat *plans.Catalog, nTests int, seed int64, opts MLabOptions, par int) []MLabRow {
+	if nTests <= 0 {
+		return nil
+	}
 	model := population.MLabModel(cat)
 	rows := make([]MLabRow, 0, 2*nTests)
-	userID := 1 << 20 // disjoint from Ookla user IDs
 	tests := 0
+	nextSub := 0
 	for tests < nTests {
+		shardCount := waveShards(nTests-tests, mlabTestsPerSub)
+		shards := parallel.Map(par, shardCount, func(i int) []MLabRow {
+			return mlabShard(cat, model, seed, opts, nextSub+i*genShardSubs)
+		})
+		nextSub += shardCount * genShardSubs
+		for _, sh := range shards {
+			for _, r := range sh {
+				// Every test leads with its download row; truncate at a
+				// test boundary once nTests tests are in.
+				if r.Direction == MLabDownload {
+					if tests == nTests {
+						break
+					}
+					tests++
+				}
+				rows = append(rows, r)
+			}
+			if tests == nTests {
+				break
+			}
+		}
+	}
+	for i := range rows {
+		rows[i].RowID = i
+	}
+	sort.SliceStable(rows, func(a, b int) bool { return rows[a].Timestamp.Before(rows[b].Timestamp) })
+	return rows
+}
+
+// mlabShard generates the complete row sets of genShardSubs consecutive
+// NDT subscribers starting at subscriber index baseSub. RowID is assigned
+// by the caller after the merge.
+func mlabShard(cat *plans.Catalog, model population.Model, seed int64, opts MLabOptions, baseSub int) []MLabRow {
+	rows := make([]MLabRow, 0, 2*mlabTestsPerSub*genShardSubs)
+	for u := baseSub; u < baseSub+genShardSubs; u++ {
+		userID := mlabUserBase + u
+		rng := stats.NewStreamRNG(seed, int64(userID))
 		sub := model.NewSubscriber(userID, rng)
-		userID++
-		offCatalog := rng.Bool(opts.OffCatalogShare)
-		if offCatalog {
+		if rng.Bool(opts.OffCatalogShare) {
 			// Legacy DSL-ish line: slow download, ~1 Mbps upload,
 			// not in the dominant ISP's current catalog.
 			sub.Tier = 0
 			sub.Plan = plans.Plan{Name: "legacy", Download: units.Mbps(rng.Uniform(8, 20)), Upload: 1}
 			sub.Access = model.AccessModel.Provision(sub.Plan, rng)
 		}
-		for t := 0; t < sub.TestsPerYear && tests < nTests; t++ {
+		for t := 0; t < sub.TestsPerYear; t++ {
 			ts := population.SampleTestTime(rng)
 			sc := model.TestScenario(&sub, netsim.VendorNDT, ts, rng)
 			m := netsim.Run(sc, rng)
 			srv := serverIP(rng.Intn(500))
 			rows = append(rows, MLabRow{
-				RowID: len(rows), ClientIP: clientIP(sub.ID), ServerIP: srv,
+				ClientIP: clientIP(sub.ID), ServerIP: srv,
 				City: cat.City, ISP: cat.ISP, ASN: 64500,
 				Timestamp: ts, Direction: MLabDownload,
 				SpeedMbps: float64(m.Download), MinRTTMs: m.RTTMillis,
@@ -124,17 +249,15 @@ func GenerateMLab(cat *plans.Catalog, nTests int, seed int64, opts MLabOptions) 
 			if !rng.Bool(opts.UnpairedShare) {
 				delay := time.Duration(rng.Uniform(2, opts.UploadDelay.Seconds())) * time.Second
 				rows = append(rows, MLabRow{
-					RowID: len(rows), ClientIP: clientIP(sub.ID), ServerIP: srv,
+					ClientIP: clientIP(sub.ID), ServerIP: srv,
 					City: cat.City, ISP: cat.ISP, ASN: 64500,
 					Timestamp: ts.Add(delay), Direction: MLabUpload,
 					SpeedMbps: float64(m.Upload), MinRTTMs: m.RTTMillis,
 					TruthTier: sub.Tier,
 				})
 			}
-			tests++
 		}
 	}
-	sort.Slice(rows, func(a, b int) bool { return rows[a].Timestamp.Before(rows[b].Timestamp) })
 	return rows
 }
 
@@ -143,33 +266,37 @@ func GenerateMLab(cat *plans.Catalog, nTests int, seed int64, opts MLabOptions) 
 // nRecords measurements exist, each labelled with the unit's ground-truth
 // plan.
 func GenerateMBA(cat *plans.Catalog, nUnits, nRecords int, seed int64) []MBARecord {
-	rng := stats.NewRNG(seed)
-	model := population.MBAModel(cat)
-	units_ := make([]population.Subscriber, nUnits)
-	for i := range units_ {
-		units_[i] = model.NewSubscriber(i, rng)
+	return GenerateMBAPar(cat, nUnits, nRecords, seed, 1)
+}
+
+// GenerateMBAPar is GenerateMBA over par workers; output is byte-identical
+// at every setting. Each unit is one stream/task: units measure in
+// rotation, so unit i owns record indices i, i+nUnits, i+2·nUnits, ... and
+// the per-unit row sets interleave back into rotation order.
+func GenerateMBAPar(cat *plans.Catalog, nUnits, nRecords int, seed int64, par int) []MBARecord {
+	if nUnits <= 0 || nRecords <= 0 {
+		return nil
 	}
-	recs := make([]MBARecord, 0, nRecords)
+	model := population.MBAModel(cat)
 	// Units measure in rotation on an hourly-ish cadence through 2021.
 	// The paper's MBA data lacks September-October; reproduce the gap.
 	start := time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)
 	step := (365 * 24 * time.Hour) / time.Duration(max(nRecords/nUnits, 1))
-	for len(recs) < nRecords {
-		for i := range units_ {
-			if len(recs) >= nRecords {
-				break
-			}
-			idx := len(recs) / nUnits
-			ts := start.Add(time.Duration(idx)*step + time.Duration(rng.Intn(3600))*time.Second)
+	perUnit := parallel.Map(par, nUnits, func(i int) []MBARecord {
+		rng := stats.NewStreamRNG(seed, int64(i))
+		sub := model.NewSubscriber(i, rng)
+		count := (nRecords - i + nUnits - 1) / nUnits // rotations reaching unit i
+		out := make([]MBARecord, 0, count)
+		for k := 0; k < count; k++ {
+			ts := start.Add(time.Duration(k)*step + time.Duration(rng.Intn(3600))*time.Second)
 			if ts.Month() == time.September || ts.Month() == time.October {
 				ts = ts.AddDate(0, 2, 0)
 			}
-			sub := &units_[i]
-			sc := model.TestScenario(sub, netsim.VendorOokla, ts, rng)
+			sc := model.TestScenario(&sub, netsim.VendorOokla, ts, rng)
 			// MBA units run well-provisioned multi-connection tests
 			// directly from the modem.
 			m := netsim.Run(sc, rng)
-			recs = append(recs, MBARecord{
+			out = append(out, MBARecord{
 				UnitID: sub.ID, State: cat.State, ISP: cat.ISP,
 				CensusTract:  "tract-" + cat.State,
 				Timestamp:    ts,
@@ -177,6 +304,13 @@ func GenerateMBA(cat *plans.Catalog, nUnits, nRecords int, seed int64) []MBAReco
 				PlanDown: sub.Plan.Download, PlanUp: sub.Plan.Upload,
 				Tier: sub.Tier,
 			})
+		}
+		return out
+	})
+	recs := make([]MBARecord, 0, nRecords)
+	for k := 0; len(recs) < nRecords; k++ {
+		for i := 0; i < nUnits && len(recs) < nRecords; i++ {
+			recs = append(recs, perUnit[i][k])
 		}
 	}
 	return recs

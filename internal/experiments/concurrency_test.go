@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCityBuildsConcurrently proves Suite.City no longer serializes dataset
+// generation behind the suite lock: while city A's build is blocked inside
+// the generation hook, city B's build must still be able to start.
+func TestCityBuildsConcurrently(t *testing.T) {
+	entered := make(chan string, 2)
+	release := make(chan struct{})
+	cityGenHook = func(id string) {
+		entered <- id
+		<-release
+	}
+	defer func() { cityGenHook = nil }()
+
+	s := NewSuite(0.002, 99)
+	var wg sync.WaitGroup
+	for _, id := range []string{"A", "B"} {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			if _, err := s.City(id); err != nil {
+				t.Errorf("City(%s): %v", id, err)
+			}
+		}(id)
+	}
+
+	timeout := time.After(30 * time.Second)
+	for i := 0; i < 2; i++ {
+		select {
+		case <-entered:
+		case <-timeout:
+			t.Fatal("second city build never started while the first was in flight: generation is serialized")
+		}
+	}
+	close(release)
+	wg.Wait()
+
+	// A second request for a built city returns the cached bundle.
+	a1, _ := s.City("A")
+	a2, _ := s.City("A")
+	if a1 != a2 {
+		t.Fatal("City(A) rebuilt instead of returning the cached bundle")
+	}
+}

@@ -76,11 +76,7 @@ func (s *Suite) mbaUploadKDE(state, id string) (*report.Figure, error) {
 	if err != nil {
 		return nil, err
 	}
-	ups := make([]float64, len(b.MBA))
-	for i, r := range b.MBA {
-		ups[i] = r.UploadMbps
-	}
-	kde := stats.NewKDE(ups, stats.Silverman)
+	kde := stats.NewKDE(b.MBACols().Upload, stats.Silverman)
 	f := &report.Figure{
 		ID:     id,
 		Title:  fmt.Sprintf("MBA State-%s upload speed density", state),
@@ -123,11 +119,12 @@ func (s *Suite) mbaDownloadKDE(state, id string) (*report.Figure, error) {
 		return nil, err
 	}
 	tiers := b.Catalog.UploadTiers()
+	downs := b.MBACols().Download
 	perTier := make([][]float64, len(tiers))
-	for i, r := range b.MBA {
+	for i, d := range downs {
 		g := res.Assignments[i].UploadTier
 		if g >= 0 {
-			perTier[g] = append(perTier[g], r.DownloadMbps)
+			perTier[g] = append(perTier[g], d)
 		}
 	}
 	f := &report.Figure{
@@ -158,13 +155,14 @@ func (s *Suite) Figure6() (*report.Figure, error) {
 		Title:  "City A upload densities by platform",
 		XLabel: "Upload Speed (Mbps)", YLabel: "Density",
 	}
+	c := b.OoklaCols()
 	var android, web []float64
-	for _, r := range b.Ookla {
-		switch r.Platform {
+	for i, p := range c.Platform {
+		switch p {
 		case device.Android:
-			android = append(android, r.UploadMbps)
+			android = append(android, c.Upload[i])
 		case device.Web:
-			web = append(web, r.UploadMbps)
+			web = append(web, c.Upload[i])
 		}
 	}
 	var mlab []float64
@@ -195,10 +193,11 @@ func (s *Suite) Figure7() (*report.Figure, error) {
 	if err != nil {
 		return nil, err
 	}
+	oc := b.OoklaCols()
 	var samples []core.Sample
-	for _, r := range b.Ookla {
-		if r.Platform == device.Android {
-			samples = append(samples, core.Sample{Download: r.DownloadMbps, Upload: r.UploadMbps})
+	for i, p := range oc.Platform {
+		if p == device.Android {
+			samples = append(samples, core.Sample{Download: oc.Download[i], Upload: oc.Upload[i]})
 		}
 	}
 	res, err := core.Fit(samples, b.Catalog, b.coreCfg())

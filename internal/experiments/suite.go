@@ -58,8 +58,23 @@ type Suite struct {
 	FitCache *fitcache.Cache
 
 	mu     sync.Mutex
-	cities map[string]*CityBundle
+	cities map[string]*cityEntry
 }
+
+// cityEntry is the per-city inflight guard: Suite.City resolves the entry
+// under Suite.mu but generates outside it, under the entry's own once, so
+// concurrent requests for different cities generate concurrently while a
+// second request for the same city blocks until the first build finishes.
+type cityEntry struct {
+	once sync.Once
+	b    *CityBundle
+	err  error
+}
+
+// cityGenHook, when non-nil, is called at the start of every city build.
+// Test seam: the concurrency test uses it to prove two cities are in
+// flight at once.
+var cityGenHook func(id string)
 
 // NewSuite creates a suite at the given scale (0 selects 0.02, i.e. ~4k
 // Ookla rows for City A).
@@ -74,7 +89,7 @@ func NewSuite(scale float64, seed int64) *Suite {
 		Scale:    scale,
 		Seed:     seed,
 		FitCache: fitcache.New(0),
-		cities:   map[string]*CityBundle{},
+		cities:   map[string]*cityEntry{},
 	}
 }
 
@@ -110,7 +125,66 @@ type CityBundle struct {
 	androidSeed int64
 	androidN    int
 
+	// Columnar views and derived sample slices, extracted once and shared
+	// by every table/figure consumer — identical backing arrays keep the
+	// fit cache hot (DESIGN.md §9).
+	ooklaColsOnce sync.Once
+	ooklaCols     *dataset.OoklaColumns
+	mlabColsOnce  sync.Once
+	mlabCols      *dataset.MLabColumns
+	mbaColsOnce   sync.Once
+	mbaCols       *dataset.MBAColumns
+
+	ooklaSamplesOnce sync.Once
+	ooklaSamples     []core.Sample
+
+	mbaFitOnce sync.Once
+	mbaRes     *core.Result
+	mbaEval    *core.Evaluation
+	mbaErr     error
+
+	platformOnce   sync.Once
+	platformSlabs  []platformSlice
+
 	cfg core.Config // Suite.BSTConfig() at bundle creation
+}
+
+// OoklaCols returns (extracting on first use) the columnar view of the
+// city's Ookla dataset.
+func (b *CityBundle) OoklaCols() *dataset.OoklaColumns {
+	b.ooklaColsOnce.Do(func() { b.ooklaCols = dataset.ColumnizeOokla(b.Ookla) })
+	return b.ooklaCols
+}
+
+// MLabCols returns the columnar view of the city's associated NDT tests.
+func (b *CityBundle) MLabCols() *dataset.MLabColumns {
+	b.mlabColsOnce.Do(func() { b.mlabCols = dataset.ColumnizeMLab(b.MLabTests) })
+	return b.mlabCols
+}
+
+// MBACols returns the columnar view of the city's MBA panel.
+func (b *CityBundle) MBACols() *dataset.MBAColumns {
+	b.mbaColsOnce.Do(func() { b.mbaCols = dataset.ColumnizeMBA(b.MBA) })
+	return b.mbaCols
+}
+
+// OoklaSampleView returns the shared <download, upload> sample slice of the
+// city's Ookla dataset. Callers must not mutate it.
+func (b *CityBundle) OoklaSampleView() []core.Sample {
+	b.ooklaSamplesOnce.Do(func() {
+		c := b.OoklaCols()
+		b.ooklaSamples = pairSamples(c.Download, c.Upload)
+	})
+	return b.ooklaSamples
+}
+
+// pairSamples zips parallel download/upload columns into BST input.
+func pairSamples(down, up []float64) []core.Sample {
+	out := make([]core.Sample, len(down))
+	for i := range out {
+		out[i] = core.Sample{Download: down[i], Upload: up[i]}
+	}
+	return out
 }
 
 // coreCfg is the BST configuration every suite-driven fit uses: defaults
@@ -125,12 +199,27 @@ func scaled(n int, scale float64) int {
 	return v
 }
 
-// City returns (generating on first use) the bundle for a city ID.
+// City returns (generating on first use) the bundle for a city ID. The
+// suite lock only resolves the per-city entry; dataset generation runs
+// outside it, so different cities generate concurrently (the `all`
+// fan-out's first jobs no longer serialize on one big lock).
 func (s *Suite) City(id string) (*CityBundle, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if b, ok := s.cities[id]; ok {
-		return b, nil
+	e, ok := s.cities[id]
+	if !ok {
+		e = &cityEntry{}
+		s.cities[id] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() { e.b, e.err = s.buildCity(id) })
+	return e.b, e.err
+}
+
+// buildCity generates one city's datasets at the suite's scale, seed and
+// parallelism.
+func (s *Suite) buildCity(id string) (*CityBundle, error) {
+	if cityGenHook != nil {
+		cityGenHook(id)
 	}
 	cat, ok := plans.ByCity(id)
 	if !ok {
@@ -142,10 +231,10 @@ func (s *Suite) City(id string) (*CityBundle, error) {
 	}
 	seed := s.Seed + int64(id[0])*1000
 	b := &CityBundle{Catalog: cat, cfg: s.BSTConfig()}
-	b.Ookla = dataset.GenerateOokla(cat, scaled(counts.Ookla, s.Scale), seed)
-	b.MLabRows = dataset.GenerateMLab(cat, scaled(counts.MLab, s.Scale), seed+1, dataset.DefaultMLabOptions())
+	b.Ookla = dataset.GenerateOoklaPar(cat, scaled(counts.Ookla, s.Scale), seed, s.Parallelism)
+	b.MLabRows = dataset.GenerateMLabPar(cat, scaled(counts.MLab, s.Scale), seed+1, dataset.DefaultMLabOptions(), s.Parallelism)
 	b.MLabTests = dataset.Associate(b.MLabRows)
-	b.MBA = dataset.GenerateMBA(cat, counts.MBAUnits, scaled(counts.MBA, s.Scale), seed+2)
+	b.MBA = dataset.GenerateMBAPar(cat, counts.MBAUnits, scaled(counts.MBA, s.Scale), seed+2, s.Parallelism)
 	b.androidSeed = seed + 3
 	// The paper's radio analyses (Figs 9b-d, 10) use Android-only
 	// slices; generate an Android-only dataset large enough for stable
@@ -154,7 +243,6 @@ func (s *Suite) City(id string) (*CityBundle, error) {
 	if b.androidN < 6000 {
 		b.androidN = 6000
 	}
-	s.cities[id] = b
 	return b, nil
 }
 
@@ -164,7 +252,7 @@ func (s *Suite) City(id string) (*CityBundle, error) {
 func (b *CityBundle) AndroidAnalysis() (*analysis.Ookla, error) {
 	b.androidOnce.Do(func() {
 		model := population.OoklaModel(b.Catalog).WithOnlyPlatform(device.Android)
-		recs := dataset.GenerateOoklaModel(b.Catalog, model, b.androidN, b.androidSeed)
+		recs := dataset.GenerateOoklaModelPar(b.Catalog, model, b.androidN, b.androidSeed, b.cfg.Parallelism)
 		b.androidA, b.androidErr = analysis.AnalyzeOokla(b.Catalog, recs, b.coreCfg())
 	})
 	return b.androidA, b.androidErr
@@ -188,24 +276,26 @@ func (b *CityBundle) MLabAnalysis() (*analysis.MLab, error) {
 	return b.mlabA, b.mlabErr
 }
 
-// MBAFit runs BST over the city's MBA panel and scores it against the
-// ground-truth tiers.
+// MBAFit runs (once, memoized) BST over the city's MBA panel and scores it
+// against the ground-truth tiers. Table 2, Figure 5 and the ablations all
+// consume the same fit.
 func (b *CityBundle) MBAFit() (*core.Result, *core.Evaluation, error) {
-	samples := make([]core.Sample, len(b.MBA))
-	truth := make([]int, len(b.MBA))
-	for i, r := range b.MBA {
-		samples[i] = core.Sample{Download: r.DownloadMbps, Upload: r.UploadMbps}
-		truth[i] = r.Tier
-	}
-	res, err := core.Fit(samples, b.Catalog, b.coreCfg())
-	if err != nil {
-		return nil, nil, err
-	}
-	ev, err := core.Evaluate(res, truth)
-	if err != nil {
-		return nil, nil, err
-	}
-	return res, ev, nil
+	b.mbaFitOnce.Do(func() {
+		c := b.MBACols()
+		samples := pairSamples(c.Download, c.Upload)
+		res, err := core.Fit(samples, b.Catalog, b.coreCfg())
+		if err != nil {
+			b.mbaErr = err
+			return
+		}
+		ev, err := core.Evaluate(res, c.Tier)
+		if err != nil {
+			b.mbaErr = err
+			return
+		}
+		b.mbaRes, b.mbaEval = res, ev
+	})
+	return b.mbaRes, b.mbaEval, b.mbaErr
 }
 
 // CityIDs lists the study cities in paper order.

@@ -45,8 +45,8 @@ func (s *Suite) Table2() (*report.Table, error) {
 			return nil, err
 		}
 		units := map[int]bool{}
-		for _, r := range b.MBA {
-			units[r.UnitID] = true
+		for _, id := range b.MBACols().UnitID {
+			units[id] = true
 		}
 		t.AddRow(id, b.Catalog.ISP, len(units), ev.Total,
 			fmt.Sprintf("%.2f%%", 100*ev.UploadAccuracy()))
@@ -62,24 +62,28 @@ type platformSlice struct {
 	Samples  []core.Sample
 }
 
+// platformSlices is memoized: Tables 3 and 4 both iterate it for City A,
+// and sharing the exact sample slices means the second table's fits hit
+// the fit cache without re-walking the record structs.
 func (b *CityBundle) platformSlices() []platformSlice {
-	byPlat := map[device.Platform][]core.Sample{}
-	for _, r := range b.Ookla {
-		byPlat[r.Platform] = append(byPlat[r.Platform],
-			core.Sample{Download: r.DownloadMbps, Upload: r.UploadMbps})
-	}
-	var out []platformSlice
-	for _, p := range device.Platforms() {
-		out = append(out, platformSlice{
-			Vendor: "Ookla", Platform: p.String(), Samples: byPlat[p],
+	b.platformOnce.Do(func() {
+		c := b.OoklaCols()
+		byPlat := map[device.Platform][]core.Sample{}
+		for i, p := range c.Platform {
+			byPlat[p] = append(byPlat[p],
+				core.Sample{Download: c.Download[i], Upload: c.Upload[i]})
+		}
+		for _, p := range device.Platforms() {
+			b.platformSlabs = append(b.platformSlabs, platformSlice{
+				Vendor: "Ookla", Platform: p.String(), Samples: byPlat[p],
+			})
+		}
+		mc := b.MLabCols()
+		b.platformSlabs = append(b.platformSlabs, platformSlice{
+			Vendor: "M-Lab", Platform: "NDT-Web", Samples: pairSamples(mc.Download, mc.Upload),
 		})
-	}
-	var ml []core.Sample
-	for _, r := range b.MLabTests {
-		ml = append(ml, core.Sample{Download: r.DownloadMbps, Upload: r.UploadMbps})
-	}
-	out = append(out, platformSlice{Vendor: "M-Lab", Platform: "NDT-Web", Samples: ml})
-	return out
+	})
+	return b.platformSlabs
 }
 
 // UploadClusterTable builds the Table 3/5/6/7 row set for a city: per

@@ -17,15 +17,39 @@ func NewRNG(seed int64) *RNG {
 	return &RNG{r: rand.New(rand.NewSource(seed))}
 }
 
+// mix64 is the SplitMix64 finalizer: a bijective avalanche mix in which
+// every input bit affects every output bit.
+func mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// NewStreamRNG returns the RNG for stream `stream` of root `seed`. The
+// stream seed is a pure function of (seed, stream) — no draws from any
+// shared generator are involved — so stream k is bit-identical whether it
+// is constructed first, last, or concurrently with every other stream.
+// This is the counter-based construction the dataset generators use to
+// give each subscriber an independent stream keyed by user ID: a
+// subscriber's rows cannot depend on how many draws earlier subscribers
+// consumed, which is what makes sharded parallel generation byte-identical
+// to the serial loop.
+func NewStreamRNG(seed, stream int64) *RNG {
+	// Two SplitMix64 rounds over a Weyl-sequence step of the stream
+	// index decorrelate adjacent streams (0, 1, 2, ...) of one seed and
+	// identical streams of adjacent seeds.
+	z := mix64(uint64(seed) + 0x9E3779B97F4A7C15*uint64(stream))
+	z = mix64(z + 0x9E3779B97F4A7C15)
+	return NewRNG(int64(z))
+}
+
 // Fork derives an independent child RNG. Deriving children instead of
 // sharing one stream keeps generation order-independent: adding a new
 // consumer does not perturb existing streams.
 func (g *RNG) Fork(label int64) *RNG {
 	// SplitMix-style derivation of a child seed.
 	z := uint64(g.r.Int63()) + uint64(label)*0x9E3779B97F4A7C15
-	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	return NewRNG(int64(z ^ (z >> 31)))
+	return NewRNG(int64(mix64(z)))
 }
 
 // Float64 returns a uniform value in [0, 1).

@@ -1,26 +1,45 @@
 #!/bin/sh
-# bench_compare.sh NEW.json OLD.json — gate on benchmark regressions.
+# bench_compare.sh NEW.json OLD.json [OLD2.json ...] — gate on benchmark
+# regressions.
 #
-# Compares two flat bench2json.sh files (benchmark name -> ns/op) over the
-# keys they share and fails (exit 1) if any shared entry regressed by more
-# than 10%.
+# Compares the NEW flat bench2json.sh file (benchmark name -> ns/op)
+# against each OLD baseline in turn over the keys they share. Benchmarks
+# new in NEW (no baseline counterpart) pass through: they become the
+# baseline future PRs gate against.
 #
 # The committed BENCH_pr*.json files are recorded on whatever machine ran
 # that PR, so raw ns/op ratios conflate code changes with machine speed.
-# To separate the two, the smallest new/old ratio across shared entries is
-# taken as the machine scale (the entry that changed least is the best
-# available estimate of pure hardware drift), every ratio is divided by it,
-# and an entry only fails if it is BOTH >10% worse after normalization AND
-# absolutely slower than the old recording. On same-machine comparisons the
-# scale is ~1.0 and this reduces to a plain 10% gate.
+# Two layers separate the two:
+#
+#   1. Machine scale: the MEDIAN new/old ratio over shared entries. When
+#      most entries are unchanged code, the median is pure hardware drift;
+#      unlike the minimum it is not corrupted by one entry that genuinely
+#      sped up (or one noise-deflated sample). Every ratio is divided by
+#      the scale before gating, and an entry can only ever fail if it is
+#      also absolutely slower than the old recording.
+#
+#   2. Spread-adaptive threshold: the interquartile ratio spread
+#      (p75/p25 of the new/old ratios) tells same-machine from
+#      cross-machine recordings. Same machine + unchanged code gives a
+#      tight spread (<= ~1.10 even with -benchtime 2x min-of-N samples),
+#      so a tight 15% gate is safe. Across machines, per-workload
+#      hardware character (cache sizes, memory bandwidth, VM steal) moves
+#      individual entries by up to ~1.6x in either direction with NO code
+#      change — observed on the shared-VM fleet that records these files —
+#      so only a >2x normalized regression is unambiguously algorithmic
+#      (a lost fast path, an accidental O(n^2)); anything past the tight
+#      bound is still printed as WARN for human review. The quartile
+#      spread is robust to a quarter of the entries genuinely regressing,
+#      so a real regression cannot flip the gate into loose mode.
 set -e
 
-if [ $# -ne 2 ]; then
-	echo "usage: $0 NEW.json OLD.json" >&2
+if [ $# -lt 2 ]; then
+	echo "usage: $0 NEW.json OLD.json [OLD2.json ...]" >&2
 	exit 2
 fi
 
-exec awk -v newfile="$1" -v oldfile="$2" '
+compare_one() {
+	awk -v newfile="$1" -v oldfile="$2" '
 function parse(file, table,    line, name, val) {
 	while ((getline line < file) > 0) {
 		if (line !~ /": [0-9]/) continue
@@ -34,40 +53,80 @@ function parse(file, table,    line, name, val) {
 	}
 	close(file)
 }
+# quantile over sorted[1..n], linear interpolation
+function quantile(sorted, n, q,    pos, lo, hi) {
+	pos = 1 + q * (n - 1)
+	lo = int(pos)
+	hi = lo < n ? lo + 1 : n
+	return sorted[lo] + (pos - lo) * (sorted[hi] - sorted[lo])
+}
 BEGIN {
 	parse(newfile, new)
 	parse(oldfile, old)
 	nshared = 0
-	scale = -1
 	for (name in new) {
 		if (!(name in old) || old[name] <= 0) continue
 		shared[++nshared] = name
-		r = new[name] / old[name]
-		if (scale < 0 || r < scale) scale = r
+		ratio[nshared] = new[name] / old[name]
 	}
 	if (nshared == 0) {
 		printf "bench_compare: no shared entries between %s and %s\n", newfile, oldfile
 		exit 1
 	}
-	printf "machine scale (min new/old over %d shared entries): %.3f\n\n", nshared, scale
+	# insertion sort of ratios (entry counts are tiny)
+	for (i = 1; i <= nshared; i++) sorted[i] = ratio[i]
+	for (i = 2; i <= nshared; i++) {
+		v = sorted[i]
+		for (j = i - 1; j >= 1 && sorted[j] > v; j--) sorted[j+1] = sorted[j]
+		sorted[j+1] = v
+	}
+	scale = quantile(sorted, nshared, 0.5)
+	spread = quantile(sorted, nshared, 0.75) / quantile(sorted, nshared, 0.25)
+	if (spread <= 1.10) {
+		mode = "same-machine"
+		failthresh = 1.15
+	} else {
+		mode = "cross-machine"
+		failthresh = 2.00
+	}
+	printf "machine scale (median new/old over %d shared entries): %.3f\n", nshared, scale
+	printf "ratio spread p75/p25 = %.3f -> %s gate (fail: norm > %.2f)\n\n", spread, mode, failthresh
 	printf "%-45s %14s %14s %8s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio", "norm"
 	fails = 0
+	warns = 0
 	for (i = 1; i <= nshared; i++) {
 		name = shared[i]
-		r = new[name] / old[name]
+		r = ratio[i]
 		norm = r / scale
 		flag = ""
-		if (norm > 1.10 && r > 1.0) {
+		if (norm > failthresh && r > 1.0) {
 			flag = "  REGRESSION"
 			fails++
+		} else if (norm > 1.15 && r > 1.0) {
+			flag = "  WARN"
+			warns++
 		}
 		printf "%-45s %14d %14d %8.3f %8.3f%s\n", name, old[name], new[name], r, norm, flag
 	}
 	if (fails > 0) {
-		printf "\nbench_compare: %d entr%s regressed >10%% after machine normalization\n", \
-			fails, fails == 1 ? "y" : "ies"
+		printf "\nbench_compare: %d entr%s regressed past the %s gate\n", \
+			fails, fails == 1 ? "y" : "ies", mode
 		exit 1
 	}
-	printf "\nbench_compare: OK (no shared entry >10%% worse after normalization)\n"
+	if (warns > 0)
+		printf "\nbench_compare: OK with %d WARN(s) — review, likely hardware character\n", warns
+	else
+		printf "\nbench_compare: OK\n"
 }
 ' </dev/null
+}
+
+newfile="$1"
+shift
+status=0
+for oldfile in "$@"; do
+	echo "== $newfile vs $oldfile =="
+	compare_one "$newfile" "$oldfile" || status=1
+	echo
+done
+exit $status
