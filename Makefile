@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-smoke bench-baseline bench-compare
+.PHONY: check vet build test race bench bench-smoke bench-baseline bench-compare snapshot-verify
 
-check: vet build race bench-smoke bench-compare
+check: vet build race bench-smoke bench-compare snapshot-verify
 
 vet:
 	$(GO) vet ./...
@@ -25,13 +25,14 @@ race:
 # for a full measurement run.
 bench-smoke:
 	$(GO) test -run NONE -bench 'KDEGrid|FitGMM' -benchtime 1x ./internal/stats/
-	$(GO) test -run NONE -bench 'GenerateOokla/n=10000$$|WriteOoklaCSV' -benchtime 1x ./internal/dataset/
+	$(GO) test -run NONE -bench 'GenerateOokla/n=10000$$|WriteOoklaCSV|ReadOoklaCSV/n=100000|OoklaIngest/n=100000/src=(csv|snapshot)' -benchtime 1x ./internal/dataset/
 
 # bench runs the full stats + generation benchmark suite with memory stats.
 # The n=1000000 generation sizes need more than go test's default 10m.
 bench:
 	$(GO) test -run NONE -bench 'KDEGrid|KDEPeaks|FitGMM' -benchmem ./internal/stats/
-	$(GO) test -run NONE -bench 'GenerateOokla|GenerateMLab|WriteOoklaCSV' -benchmem -timeout 60m ./internal/dataset/
+	$(GO) test -run NONE -bench 'GenerateOokla|GenerateMLab|WriteOoklaCSV|ReadOoklaCSV|OoklaIngest' -benchmem -timeout 60m ./internal/dataset/
+	$(GO) test -run NONE -bench 'AllSnapshot' -benchmem -timeout 60m ./cmd/speedctx/
 
 # bench-baseline records the perf trajectory file for this PR series:
 # benchmark name -> ns/op. Compare future PRs against the committed
@@ -42,13 +43,28 @@ bench:
 # not statistical precision.
 bench-baseline:
 	( $(GO) test -run NONE -bench 'KDEGrid|KDEPeaks|FitGMM' -benchtime 2x -count 5 ./internal/stats/ ; \
-	  $(GO) test -run NONE -bench 'GenerateOokla|GenerateMLab|WriteOoklaCSV' -benchtime 1x -timeout 60m ./internal/dataset/ ) \
-		| scripts/bench2json.sh > BENCH_pr4.json
-	@cat BENCH_pr4.json
+	  $(GO) test -run NONE -bench 'GenerateOokla|GenerateMLab|WriteOoklaCSV' -benchtime 1x -timeout 60m ./internal/dataset/ ; \
+	  $(GO) test -run NONE -bench 'ReadOoklaCSV|OoklaIngest' -benchtime 1x -count 3 -timeout 60m ./internal/dataset/ ; \
+	  $(GO) test -run NONE -bench 'AllSnapshot' -benchtime 1x -count 2 -timeout 60m ./cmd/speedctx/ ) \
+		| scripts/bench2json.sh > BENCH_pr5.json
+	@cat BENCH_pr5.json
 
 # bench-compare gates the committed perf trajectory: fail if any benchmark
 # shared with an earlier baseline regressed >10% (machine-normalized; see
-# scripts/bench_compare.sh). The generation entries are new in BENCH_pr4 —
-# future PRs gate against them.
+# scripts/bench_compare.sh). The ingest entries (Read*/OoklaIngest/
+# AllSnapshot) are new in BENCH_pr5 — future PRs gate against them.
 bench-compare:
-	scripts/bench_compare.sh BENCH_pr4.json BENCH_pr3.json BENCH_pr1.json
+	scripts/bench_compare.sh BENCH_pr5.json BENCH_pr4.json BENCH_pr3.json BENCH_pr1.json
+
+# snapshot-verify is the end-to-end identity gate for the snapshot store
+# (DESIGN.md §10): a no-snapshot run, a cold-cache run (generate + write
+# .sxc) and a warm-cache run (load .sxc, skipping generation) of
+# `speedctx all` must be byte-identical. The tempdir is left behind on
+# failure for inspection.
+snapshot-verify:
+	@dir=$$(mktemp -d) && \
+	$(GO) run ./cmd/speedctx all -scale 0.005 > $$dir/plain.txt && \
+	$(GO) run ./cmd/speedctx all -scale 0.005 -snapshot-dir $$dir/snaps > $$dir/cold.txt && \
+	$(GO) run ./cmd/speedctx all -scale 0.005 -snapshot-dir $$dir/snaps > $$dir/warm.txt && \
+	cmp $$dir/plain.txt $$dir/cold.txt && cmp $$dir/plain.txt $$dir/warm.txt && \
+	rm -rf $$dir && echo "snapshot-verify: cold and warm snapshot runs byte-identical"

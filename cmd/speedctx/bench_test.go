@@ -1,0 +1,42 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// BenchmarkAllSnapshot measures the complete `speedctx all` run against
+// the snapshot store: cold (empty cache — generate every city, write
+// snapshots) versus warm (populated cache — load .sxc files, skipping
+// generation and parsing). The cold/warm gap is the end-to-end value of
+// the PR 5 ingest layer; both runs produce byte-identical output
+// (TestAllSnapshotOutputIdentical).
+func BenchmarkAllSnapshot(b *testing.B) {
+	root := b.TempDir()
+	args := func(dir string) []string {
+		return []string{"all", "-scale", "0.005", "-snapshot-dir", dir}
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dir := filepath.Join(root, fmt.Sprintf("cold%d", i))
+			if err := run(args(dir), io.Discard); err != nil {
+				b.Fatal(err)
+			}
+			os.RemoveAll(dir)
+		}
+	})
+	warmDir := filepath.Join(root, "warm")
+	if err := run(args(warmDir), io.Discard); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := run(args(warmDir), io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -14,7 +14,10 @@
 // parallelism for the BST fits and the `all` fan-out; 0 = all CPUs, 1 =
 // serial — output is identical at every setting), -fast (binned KDE +
 // histogram-EM fast paths for large slices; approximate but likewise
-// identical at every -par) and -bins (fast-path resolution, 0 = auto).
+// identical at every -par), -bins (fast-path resolution, 0 = auto) and
+// -snapshot-dir (a .sxc snapshot cache directory: cities load from it
+// instead of regenerating, and misses write back — output is byte-identical
+// with or without it; DESIGN.md §10).
 package main
 
 import (
@@ -58,6 +61,7 @@ func run(args []string, out io.Writer) error {
 	city := fs.String("city", "A", "city identifier (A-D)")
 	outDir := fs.String("out", "speedctx-data", "output directory for generate")
 	input := fs.String("input", "", "Ookla CSV to analyze (challenge command); empty generates synthetic data")
+	snapDir := fs.String("snapshot-dir", "", "directory of .sxc city snapshots: load cities from it instead of generating, writing snapshots back on a miss (output is identical either way; see DESIGN.md §10)")
 
 	var positional []string
 	for len(rest) > 0 && rest[0] != "" && rest[0][0] != '-' {
@@ -71,6 +75,7 @@ func run(args []string, out io.Writer) error {
 	s.Parallelism = *par
 	s.FastFit = *fast
 	s.FastFitBins = *bins
+	s.SnapshotDir = *snapDir
 
 	switch cmd {
 	case "table":

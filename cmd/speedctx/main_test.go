@@ -148,6 +148,33 @@ func TestAllOutputDeterministicAcrossParallelism(t *testing.T) {
 	}
 }
 
+// TestAllSnapshotOutputIdentical is the end-to-end gate for the snapshot
+// store (DESIGN.md §10): `speedctx all` must be byte-identical without a
+// snapshot dir, with a cold one (generate + write) and with a warm one
+// (load, skipping generation and parsing entirely).
+func TestAllSnapshotOutputIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite run; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	plain := runCLI(t, "all", "-scale", "0.005")
+	cold := runCLI(t, "all", "-scale", "0.005", "-snapshot-dir", dir)
+	warm := runCLI(t, "all", "-scale", "0.005", "-snapshot-dir", dir)
+	if plain != cold {
+		t.Error("`all` output differs between no-snapshot and cold-snapshot runs")
+	}
+	if plain != warm {
+		t.Error("`all` output differs between no-snapshot and warm-snapshot runs")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Errorf("snapshot dir has %d entries after `all`, want 4 cities", len(entries))
+	}
+}
+
 // TestAllFastOutputDeterministicAcrossParallelism extends the end-to-end
 // gate to the binned fast paths and the shared fit cache: `-fast` must be
 // byte-identical between serial and parallel runs too (DESIGN.md §8 — the

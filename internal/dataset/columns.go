@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"speedctx/internal/device"
+	"speedctx/internal/units"
 	"speedctx/internal/wifi"
 )
 
@@ -17,13 +18,21 @@ import (
 // backing slices. That identity is what keeps the fit cache hot: two
 // tables fitting "the same" city slice hand the cache bit-identical
 // sample memory.
+//
+// Since PR 5 the columns are also the ingest interchange format: the
+// parallel CSV decoders (decode.go) parse straight into them with no
+// intermediate row structs, and the .sxc snapshot codec (snapshot.go)
+// serializes them directly. They therefore carry every CSV field —
+// including the constant-per-city string columns — so records and columns
+// convert losslessly in both directions (Columnize* / Records).
 
 // OoklaColumns is the column-oriented view of an Ookla dataset.
 type OoklaColumns struct {
 	Download, Upload, Latency []float64
 	RSSI, MaxTheoretical      []float64
-	UserID, TruthTier         []int
+	TestID, UserID, TruthTier []int
 	KernelMemMB               []int
+	City, ISP                 []string
 	Platform                  []device.Platform
 	Access                    []AccessType
 	HasRadioInfo              []bool
@@ -38,10 +47,12 @@ func ColumnizeOokla(recs []OoklaRecord) *OoklaColumns {
 		Download: make([]float64, n), Upload: make([]float64, n),
 		Latency: make([]float64, n), RSSI: make([]float64, n),
 		MaxTheoretical: make([]float64, n),
+		TestID:         make([]int, n),
 		UserID:         make([]int, n), TruthTier: make([]int, n),
 		KernelMemMB: make([]int, n),
-		Platform:    make([]device.Platform, n),
-		Access:      make([]AccessType, n),
+		City:        make([]string, n), ISP: make([]string, n),
+		Platform: make([]device.Platform, n),
+		Access:   make([]AccessType, n),
 		HasRadioInfo: make([]bool, n), Band: make([]wifi.Band, n),
 		Timestamp: make([]time.Time, n),
 	}
@@ -49,7 +60,9 @@ func ColumnizeOokla(recs []OoklaRecord) *OoklaColumns {
 		r := &recs[i]
 		c.Download[i], c.Upload[i], c.Latency[i] = r.DownloadMbps, r.UploadMbps, r.LatencyMs
 		c.RSSI[i], c.MaxTheoretical[i] = r.RSSI, r.MaxTheoreticalMbps
+		c.TestID[i] = r.TestID
 		c.UserID[i], c.TruthTier[i], c.KernelMemMB[i] = r.UserID, r.TruthTier, r.KernelMemMB
+		c.City[i], c.ISP[i] = r.City, r.ISP
 		c.Platform[i], c.Access[i] = r.Platform, r.Access
 		c.HasRadioInfo[i], c.Band[i] = r.HasRadioInfo, r.Band
 		c.Timestamp[i] = r.Timestamp
@@ -59,6 +72,27 @@ func ColumnizeOokla(recs []OoklaRecord) *OoklaColumns {
 
 // Len returns the row count.
 func (c *OoklaColumns) Len() int { return len(c.Download) }
+
+// Records materializes the row-struct view of the columns — the inverse of
+// ColumnizeOokla, field-for-field.
+func (c *OoklaColumns) Records() []OoklaRecord {
+	recs := make([]OoklaRecord, c.Len())
+	for i := range recs {
+		recs[i] = OoklaRecord{
+			TestID: c.TestID[i], UserID: c.UserID[i],
+			City: c.City[i], ISP: c.ISP[i],
+			Timestamp: c.Timestamp[i],
+			Platform:  c.Platform[i], Access: c.Access[i],
+			HasRadioInfo: c.HasRadioInfo[i], Band: c.Band[i],
+			RSSI:               c.RSSI[i],
+			MaxTheoreticalMbps: c.MaxTheoretical[i],
+			KernelMemMB:        c.KernelMemMB[i],
+			DownloadMbps:       c.Download[i], UploadMbps: c.Upload[i],
+			LatencyMs: c.Latency[i], TruthTier: c.TruthTier[i],
+		}
+	}
+	return recs
+}
 
 // MLabColumns is the column-oriented view of associated NDT tests.
 type MLabColumns struct {
@@ -87,10 +121,69 @@ func ColumnizeMLab(tests []MLabTest) *MLabColumns {
 // Len returns the row count.
 func (c *MLabColumns) Len() int { return len(c.Download) }
 
+// MLabRowColumns is the column-oriented view of raw NDT rows — the
+// direction-separated form M-Lab publishes and the mlab CSV/snapshot codecs
+// transport. (MLabColumns above is the view of *associated* tests, the form
+// the analysis layer consumes after §3.2 pairing.)
+type MLabRowColumns struct {
+	Speed, MinRTT      []float64
+	RowID, ASN         []int
+	TruthTier          []int
+	ClientIP, ServerIP []string
+	City, ISP          []string
+	Direction          []MLabDirection
+	Timestamp          []time.Time
+}
+
+// ColumnizeMLabRows extracts every column in one pass over the rows.
+func ColumnizeMLabRows(rows []MLabRow) *MLabRowColumns {
+	n := len(rows)
+	c := &MLabRowColumns{
+		Speed: make([]float64, n), MinRTT: make([]float64, n),
+		RowID: make([]int, n), ASN: make([]int, n),
+		TruthTier: make([]int, n),
+		ClientIP:  make([]string, n), ServerIP: make([]string, n),
+		City: make([]string, n), ISP: make([]string, n),
+		Direction: make([]MLabDirection, n),
+		Timestamp: make([]time.Time, n),
+	}
+	for i := range rows {
+		r := &rows[i]
+		c.Speed[i], c.MinRTT[i] = r.SpeedMbps, r.MinRTTMs
+		c.RowID[i], c.ASN[i], c.TruthTier[i] = r.RowID, r.ASN, r.TruthTier
+		c.ClientIP[i], c.ServerIP[i] = r.ClientIP, r.ServerIP
+		c.City[i], c.ISP[i] = r.City, r.ISP
+		c.Direction[i] = r.Direction
+		c.Timestamp[i] = r.Timestamp
+	}
+	return c
+}
+
+// Len returns the row count.
+func (c *MLabRowColumns) Len() int { return len(c.Speed) }
+
+// Records materializes the row-struct view — the inverse of
+// ColumnizeMLabRows, field-for-field.
+func (c *MLabRowColumns) Records() []MLabRow {
+	rows := make([]MLabRow, c.Len())
+	for i := range rows {
+		rows[i] = MLabRow{
+			RowID:    c.RowID[i],
+			ClientIP: c.ClientIP[i], ServerIP: c.ServerIP[i],
+			City: c.City[i], ISP: c.ISP[i], ASN: c.ASN[i],
+			Timestamp: c.Timestamp[i], Direction: c.Direction[i],
+			SpeedMbps: c.Speed[i], MinRTTMs: c.MinRTT[i],
+			TruthTier: c.TruthTier[i],
+		}
+	}
+	return rows
+}
+
 // MBAColumns is the column-oriented view of an MBA panel.
 type MBAColumns struct {
 	Download, Upload, PlanDown, PlanUp []float64
 	UnitID, Tier                       []int
+	State, ISP, CensusTract            []string
 	Timestamp                          []time.Time
 }
 
@@ -101,13 +194,16 @@ func ColumnizeMBA(recs []MBARecord) *MBAColumns {
 		Download: make([]float64, n), Upload: make([]float64, n),
 		PlanDown: make([]float64, n), PlanUp: make([]float64, n),
 		UnitID: make([]int, n), Tier: make([]int, n),
-		Timestamp: make([]time.Time, n),
+		State: make([]string, n), ISP: make([]string, n),
+		CensusTract: make([]string, n),
+		Timestamp:   make([]time.Time, n),
 	}
 	for i := range recs {
 		r := &recs[i]
 		c.Download[i], c.Upload[i] = r.DownloadMbps, r.UploadMbps
 		c.PlanDown[i], c.PlanUp[i] = float64(r.PlanDown), float64(r.PlanUp)
 		c.UnitID[i], c.Tier[i] = r.UnitID, r.Tier
+		c.State[i], c.ISP[i], c.CensusTract[i] = r.State, r.ISP, r.CensusTract
 		c.Timestamp[i] = r.Timestamp
 	}
 	return c
@@ -115,3 +211,21 @@ func ColumnizeMBA(recs []MBARecord) *MBAColumns {
 
 // Len returns the row count.
 func (c *MBAColumns) Len() int { return len(c.Download) }
+
+// Records materializes the row-struct view — the inverse of ColumnizeMBA,
+// field-for-field (the float64 plan columns cast back to units.Mbps
+// bit-exactly).
+func (c *MBAColumns) Records() []MBARecord {
+	recs := make([]MBARecord, c.Len())
+	for i := range recs {
+		recs[i] = MBARecord{
+			UnitID: c.UnitID[i],
+			State:  c.State[i], ISP: c.ISP[i], CensusTract: c.CensusTract[i],
+			Timestamp:    c.Timestamp[i],
+			DownloadMbps: c.Download[i], UploadMbps: c.Upload[i],
+			PlanDown: units.Mbps(c.PlanDown[i]), PlanUp: units.Mbps(c.PlanUp[i]),
+			Tier: c.Tier[i],
+		}
+	}
+	return recs
+}

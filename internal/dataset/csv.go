@@ -2,16 +2,12 @@ package dataset
 
 import (
 	"bufio"
-	"encoding/csv"
-	"fmt"
 	"io"
 	"strconv"
 	"strings"
 	"time"
 
 	"speedctx/internal/device"
-	"speedctx/internal/units"
-	"speedctx/internal/wifi"
 )
 
 // CSV codecs for the three datasets. Formats are stable, with a header row,
@@ -21,8 +17,9 @@ import (
 // The writers stream: each row is rendered into one reused []byte scratch
 // with the strconv.Append* / time.AppendFormat family and flushed through a
 // bufio.Writer, so writing n rows costs O(1) allocations, not O(n)
-// (TestWriteCSVAllocs pins this). Readers keep encoding/csv — they accept
-// foreign files and need its full quoting/edge-case handling.
+// (TestWriteCSVAllocs pins this). The readers live in decode.go: a
+// chunk-parallel streaming scanner that parses straight into columnar
+// buffers, bit-identical to a serial parse at every worker count.
 
 var ooklaHeader = []string{
 	"test_id", "user_id", "city", "isp", "timestamp", "platform", "access",
@@ -144,54 +141,6 @@ var platformByName = func() map[string]device.Platform {
 	return m
 }()
 
-// ReadOoklaCSV parses the speedctx Ookla CSV format.
-func ReadOoklaCSV(r io.Reader) ([]OoklaRecord, error) {
-	cr := csv.NewReader(r)
-	rows, err := cr.ReadAll()
-	if err != nil {
-		return nil, err
-	}
-	if len(rows) == 0 {
-		return nil, fmt.Errorf("dataset: empty ookla csv")
-	}
-	var out []OoklaRecord
-	for i, row := range rows[1:] {
-		if len(row) != len(ooklaHeader) {
-			return nil, fmt.Errorf("dataset: ookla row %d has %d fields, want %d", i+2, len(row), len(ooklaHeader))
-		}
-		var rec OoklaRecord
-		rec.TestID, _ = strconv.Atoi(row[0])
-		rec.UserID, _ = strconv.Atoi(row[1])
-		rec.City, rec.ISP = row[2], row[3]
-		rec.Timestamp, err = time.Parse(time.RFC3339, row[4])
-		if err != nil {
-			return nil, fmt.Errorf("dataset: ookla row %d timestamp: %w", i+2, err)
-		}
-		p, ok := platformByName[row[5]]
-		if !ok {
-			return nil, fmt.Errorf("dataset: ookla row %d: unknown platform %q", i+2, row[5])
-		}
-		rec.Platform = p
-		rec.Access = AccessType(row[6])
-		rec.HasRadioInfo, _ = strconv.ParseBool(row[7])
-		if rec.HasRadioInfo {
-			if row[8] == wifi.Band24GHz.String() {
-				rec.Band = wifi.Band24GHz
-			} else {
-				rec.Band = wifi.Band5GHz
-			}
-		}
-		rec.RSSI, _ = strconv.ParseFloat(row[9], 64)
-		rec.MaxTheoreticalMbps, _ = strconv.ParseFloat(row[10], 64)
-		rec.KernelMemMB, _ = strconv.Atoi(row[11])
-		rec.DownloadMbps, _ = strconv.ParseFloat(row[12], 64)
-		rec.UploadMbps, _ = strconv.ParseFloat(row[13], 64)
-		rec.LatencyMs, _ = strconv.ParseFloat(row[14], 64)
-		rec.TruthTier, _ = strconv.Atoi(row[15])
-		out = append(out, rec)
-	}
-	return out, nil
-}
 
 var mlabHeader = []string{
 	"row_id", "client_ip", "server_ip", "city", "isp", "asn", "timestamp",
@@ -224,40 +173,6 @@ func WriteMLabCSV(w io.Writer, rows []MLabRow) error {
 	return b.flush()
 }
 
-// ReadMLabCSV parses NDT rows.
-func ReadMLabCSV(r io.Reader) ([]MLabRow, error) {
-	cr := csv.NewReader(r)
-	rows, err := cr.ReadAll()
-	if err != nil {
-		return nil, err
-	}
-	if len(rows) == 0 {
-		return nil, fmt.Errorf("dataset: empty mlab csv")
-	}
-	var out []MLabRow
-	for i, row := range rows[1:] {
-		if len(row) != len(mlabHeader) {
-			return nil, fmt.Errorf("dataset: mlab row %d has %d fields, want %d", i+2, len(row), len(mlabHeader))
-		}
-		var rec MLabRow
-		rec.RowID, _ = strconv.Atoi(row[0])
-		rec.ClientIP, rec.ServerIP, rec.City, rec.ISP = row[1], row[2], row[3], row[4]
-		rec.ASN, _ = strconv.Atoi(row[5])
-		rec.Timestamp, err = time.Parse(time.RFC3339, row[6])
-		if err != nil {
-			return nil, fmt.Errorf("dataset: mlab row %d timestamp: %w", i+2, err)
-		}
-		rec.Direction = MLabDirection(row[7])
-		if rec.Direction != MLabDownload && rec.Direction != MLabUpload {
-			return nil, fmt.Errorf("dataset: mlab row %d: bad direction %q", i+2, row[7])
-		}
-		rec.SpeedMbps, _ = strconv.ParseFloat(row[8], 64)
-		rec.MinRTTMs, _ = strconv.ParseFloat(row[9], 64)
-		rec.TruthTier, _ = strconv.Atoi(row[10])
-		out = append(out, rec)
-	}
-	return out, nil
-}
 
 var mbaHeader = []string{
 	"unit_id", "state", "isp", "census_tract", "timestamp",
@@ -289,35 +204,3 @@ func WriteMBACSV(w io.Writer, recs []MBARecord) error {
 	return b.flush()
 }
 
-// ReadMBACSV parses MBA records.
-func ReadMBACSV(r io.Reader) ([]MBARecord, error) {
-	cr := csv.NewReader(r)
-	rows, err := cr.ReadAll()
-	if err != nil {
-		return nil, err
-	}
-	if len(rows) == 0 {
-		return nil, fmt.Errorf("dataset: empty mba csv")
-	}
-	var out []MBARecord
-	for i, row := range rows[1:] {
-		if len(row) != len(mbaHeader) {
-			return nil, fmt.Errorf("dataset: mba row %d has %d fields, want %d", i+2, len(row), len(mbaHeader))
-		}
-		var rec MBARecord
-		rec.UnitID, _ = strconv.Atoi(row[0])
-		rec.State, rec.ISP, rec.CensusTract = row[1], row[2], row[3]
-		rec.Timestamp, err = time.Parse(time.RFC3339, row[4])
-		if err != nil {
-			return nil, fmt.Errorf("dataset: mba row %d timestamp: %w", i+2, err)
-		}
-		rec.DownloadMbps, _ = strconv.ParseFloat(row[5], 64)
-		rec.UploadMbps, _ = strconv.ParseFloat(row[6], 64)
-		pd, _ := strconv.ParseFloat(row[7], 64)
-		pu, _ := strconv.ParseFloat(row[8], 64)
-		rec.PlanDown, rec.PlanUp = units.Mbps(pd), units.Mbps(pu)
-		rec.Tier, _ = strconv.Atoi(row[9])
-		out = append(out, rec)
-	}
-	return out, nil
-}

@@ -1,0 +1,743 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"time"
+
+	"speedctx/internal/device"
+	"speedctx/internal/wifi"
+)
+
+// The .sxc binary columnar snapshot format (PR 5, DESIGN.md §10). A
+// snapshot serializes the columnar views of one city's generated datasets
+// so a later run can re-read them at memory speed instead of re-deriving
+// them — the property that makes M-Lab-scale re-analysis tractable in the
+// big-data studies the paper builds on.
+//
+// Layout (all integers little-endian unless varint):
+//
+//	magic "SXC1" | u16 format version | uvarint data version |
+//	u8 section count | sections... | 8-byte LE checksum
+//
+// Each section is: u8 kind | uvarint row count | column blocks in a fixed
+// per-kind order. Each column block is: u8 column id | uvarint payload
+// length | payload. Payload encodings by column type:
+//
+//   - int and timestamp columns: per-row zigzag varint of the delta to the
+//     previous row. Timestamp payloads start with a precision flag byte:
+//     0 = deltas of whole-second UTC unix times (the common case), 1 =
+//     deltas of unix nanoseconds (the MBA generator's step division can
+//     land off whole seconds; unlike the second-granular CSV format, the
+//     snapshot round-trips those exactly);
+//   - float64 columns: raw little-endian IEEE 754 bits, so speeds and RSSI
+//     round-trip bit-exactly;
+//   - low-cardinality string columns (city, ISP, access, direction, ...):
+//     dictionary-coded — a first-seen-order dictionary of unique values,
+//     then a per-row uvarint dictionary index;
+//   - enum/bool columns (platform, band, radio flag): one byte per row.
+//
+// The checksum (snapshotChecksum: a 4-lane word-wise rotate-multiply mix
+// with a splitmix64 finalizer — corruption detection at memory bandwidth,
+// not cryptography) covers every preceding byte; a mismatch, a foreign
+// format version, or a foreign data version all fail decoding, which the
+// SnapshotStore treats as a cache miss (regenerate, then atomically
+// rewrite).
+
+// SnapshotFormatVersion is the .sxc layout version. It changes only when
+// the byte layout itself changes.
+const SnapshotFormatVersion = 1
+
+// DataVersion tags the semantics of generated data: it must be bumped
+// whenever the generators change output for a fixed (seed, scale, city) —
+// e.g. PR 4's move to per-subscriber RNG streams — and whenever
+// experiments.PaperCounts or the scaling rule changes. Snapshots recorded
+// under another data version are stale and ignored.
+const DataVersion = 2
+
+var snapshotMagic = [4]byte{'S', 'X', 'C', '1'}
+
+// ErrSnapshotStale marks a structurally valid snapshot whose format or
+// data version does not match this binary.
+var ErrSnapshotStale = errors.New("dataset: stale snapshot version")
+
+// CitySnapshot bundles the columnar datasets of one generated city. Nil
+// sections are simply absent from the encoded file. Android is the
+// Android-only Ookla dataset the paper's radio/memory analyses use
+// (experiments.CityBundle.AndroidAnalysis); it shares the Ookla section
+// codec under its own section kind.
+type CitySnapshot struct {
+	Ookla    *OoklaColumns
+	MLabRows *MLabRowColumns
+	MBA      *MBAColumns
+	Android  *OoklaColumns
+}
+
+const (
+	snapKindOokla   = 1
+	snapKindMLab    = 2
+	snapKindMBA     = 3
+	snapKindAndroid = 4
+)
+
+// WriteCitySnapshot encodes the snapshot to w under the current format and
+// data versions.
+func WriteCitySnapshot(w io.Writer, snap *CitySnapshot) error {
+	buf, err := encodeCitySnapshot(snap, DataVersion)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadCitySnapshot decodes a snapshot, verifying magic, versions and
+// checksum.
+func ReadCitySnapshot(r io.Reader) (*CitySnapshot, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeCitySnapshot(data)
+}
+
+// DecodeCitySnapshot is ReadCitySnapshot over an in-memory file image.
+func DecodeCitySnapshot(data []byte) (*CitySnapshot, error) {
+	const headerMin = 4 + 2 + 1 + 1 + 8
+	if len(data) < headerMin {
+		return nil, errors.New("dataset: snapshot too short")
+	}
+	body, sum := data[:len(data)-8], data[len(data)-8:]
+	if snapshotChecksum(body) != binary.LittleEndian.Uint64(sum) {
+		return nil, errors.New("dataset: snapshot checksum mismatch")
+	}
+	d := &snapDec{data: body}
+	if !bytes.Equal(d.bytes(4), snapshotMagic[:]) {
+		return nil, errors.New("dataset: not a .sxc snapshot")
+	}
+	if v := d.u16(); v != SnapshotFormatVersion {
+		return nil, fmt.Errorf("%w: format version %d, want %d", ErrSnapshotStale, v, SnapshotFormatVersion)
+	}
+	if v := d.uvarint(); v != DataVersion {
+		return nil, fmt.Errorf("%w: data version %d, want %d", ErrSnapshotStale, v, DataVersion)
+	}
+	sections := int(d.u8())
+	snap := &CitySnapshot{}
+	for s := 0; s < sections && d.err == nil; s++ {
+		kind := d.u8()
+		rows := int(d.uvarint())
+		switch kind {
+		case snapKindOokla:
+			snap.Ookla = decodeOoklaSection(d, rows)
+		case snapKindMLab:
+			snap.MLabRows = decodeMLabSection(d, rows)
+		case snapKindMBA:
+			snap.MBA = decodeMBASection(d, rows)
+		case snapKindAndroid:
+			snap.Android = decodeOoklaSection(d, rows)
+		default:
+			d.fail("unknown section kind %d", kind)
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.pos != len(d.data) {
+		return nil, fmt.Errorf("dataset: snapshot has %d trailing bytes", len(d.data)-d.pos)
+	}
+	return snap, nil
+}
+
+// encodeCitySnapshot renders the full file image; dataVersion is a
+// parameter so tests can fabricate stale snapshots.
+func encodeCitySnapshot(snap *CitySnapshot, dataVersion uint64) ([]byte, error) {
+	e := &snapEnc{}
+	e.buf = append(e.buf, snapshotMagic[:]...)
+	e.buf = binary.LittleEndian.AppendUint16(e.buf, SnapshotFormatVersion)
+	e.buf = binary.AppendUvarint(e.buf, dataVersion)
+	sections := 0
+	for _, present := range []bool{snap.Ookla != nil, snap.MLabRows != nil, snap.MBA != nil, snap.Android != nil} {
+		if present {
+			sections++
+		}
+	}
+	e.buf = append(e.buf, byte(sections))
+	if snap.Ookla != nil {
+		if err := encodeOoklaSection(e, snapKindOokla, snap.Ookla); err != nil {
+			return nil, err
+		}
+	}
+	if snap.MLabRows != nil {
+		if err := encodeMLabSection(e, snap.MLabRows); err != nil {
+			return nil, err
+		}
+	}
+	if snap.MBA != nil {
+		if err := encodeMBASection(e, snap.MBA); err != nil {
+			return nil, err
+		}
+	}
+	if snap.Android != nil {
+		if err := encodeOoklaSection(e, snapKindAndroid, snap.Android); err != nil {
+			return nil, err
+		}
+	}
+	if e.err != nil {
+		return nil, e.err
+	}
+	return binary.LittleEndian.AppendUint64(e.buf, snapshotChecksum(e.buf)), nil
+}
+
+// snapshotChecksum detects corruption in a snapshot image. Four
+// independent rotate-multiply lanes consume 32 bytes per step (the serial
+// dependency of a single lane would cap throughput well below memory
+// bandwidth on the multi-MB files the store reads), then a splitmix64
+// finalizer mixes the lanes. The total length seeds lane 1, so
+// truncations that happen to end on a lane boundary still change the sum.
+func snapshotChecksum(p []byte) uint64 {
+	const (
+		m1 = 0x9e3779b97f4a7c15
+		m2 = 0xbf58476d1ce4e5b9
+		m3 = 0x94d049bb133111eb
+		m4 = 0xff51afd7ed558ccd
+	)
+	h1 := uint64(len(p)) + m1
+	h2, h3, h4 := uint64(m2), uint64(m3), uint64(m4)
+	for len(p) >= 32 {
+		h1 = bits.RotateLeft64(h1^binary.LittleEndian.Uint64(p), 31) * m1
+		h2 = bits.RotateLeft64(h2^binary.LittleEndian.Uint64(p[8:]), 29) * m2
+		h3 = bits.RotateLeft64(h3^binary.LittleEndian.Uint64(p[16:]), 27) * m3
+		h4 = bits.RotateLeft64(h4^binary.LittleEndian.Uint64(p[24:]), 25) * m4
+		p = p[32:]
+	}
+	h := h1 ^ bits.RotateLeft64(h2, 17) ^ bits.RotateLeft64(h3, 33) ^ bits.RotateLeft64(h4, 49)
+	for len(p) >= 8 {
+		h = bits.RotateLeft64(h^binary.LittleEndian.Uint64(p), 31) * m1
+		p = p[8:]
+	}
+	var tail uint64
+	for i := 0; i < len(p); i++ {
+		tail |= uint64(p[i]) << (8 * uint(i))
+	}
+	h = bits.RotateLeft64(h^tail, 31) * m1
+	h ^= h >> 30
+	h *= m2
+	h ^= h >> 27
+	h *= m3
+	h ^= h >> 31
+	return h
+}
+
+// snapEnc accumulates the file image. Column payloads are rendered into a
+// reused scratch buffer, then length-prefixed into buf.
+type snapEnc struct {
+	buf     []byte
+	scratch []byte
+	err     error
+}
+
+func (e *snapEnc) column(id byte, payload []byte) {
+	e.buf = append(e.buf, id)
+	e.buf = binary.AppendUvarint(e.buf, uint64(len(payload)))
+	e.buf = append(e.buf, payload...)
+}
+
+func (e *snapEnc) section(kind byte, rows int) {
+	e.buf = append(e.buf, kind)
+	e.buf = binary.AppendUvarint(e.buf, uint64(rows))
+}
+
+// Column payload encoders.
+
+func appendDeltaInts(b []byte, v []int) []byte {
+	prev := 0
+	for _, x := range v {
+		b = binary.AppendVarint(b, int64(x-prev))
+		prev = x
+	}
+	return b
+}
+
+func appendTimes(b []byte, v []time.Time) ([]byte, error) {
+	nanos := false
+	for _, t := range v {
+		if t.Nanosecond() != 0 {
+			nanos = true
+			break
+		}
+	}
+	var prev int64
+	if !nanos {
+		b = append(b, 0)
+		for _, t := range v {
+			s := t.Unix()
+			b = binary.AppendVarint(b, s-prev)
+			prev = s
+		}
+		return b, nil
+	}
+	b = append(b, 1)
+	for _, t := range v {
+		if sec := t.Unix(); sec > math.MaxInt64/1000000000 || sec < math.MinInt64/1000000000 {
+			return nil, fmt.Errorf("dataset: timestamp %v outside the snapshot's nanosecond range", t)
+		}
+		ns := t.UnixNano()
+		b = binary.AppendVarint(b, ns-prev)
+		prev = ns
+	}
+	return b, nil
+}
+
+func appendFloats(b []byte, v []float64) []byte {
+	for _, x := range v {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(x))
+	}
+	return b
+}
+
+func appendStrings[T ~string](b []byte, v []T) []byte {
+	dict := map[T]int{}
+	var names []T
+	for _, s := range v {
+		if _, ok := dict[s]; !ok {
+			dict[s] = len(names)
+			names = append(names, s)
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(len(names)))
+	for _, s := range names {
+		b = binary.AppendUvarint(b, uint64(len(s)))
+		b = append(b, s...)
+	}
+	for _, s := range v {
+		b = binary.AppendUvarint(b, uint64(dict[s]))
+	}
+	return b
+}
+
+func appendBools(b []byte, v []bool) []byte {
+	for _, x := range v {
+		if x {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	return b
+}
+
+func appendBytes[T ~int](b []byte, v []T) []byte {
+	for _, x := range v {
+		b = append(b, byte(x))
+	}
+	return b
+}
+
+// snapDec reads the file image with a latched first error, so decode code
+// reads straight through without per-call error plumbing.
+type snapDec struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (d *snapDec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("dataset: snapshot: "+format, args...)
+	}
+}
+
+func (d *snapDec) bytes(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.pos+n > len(d.data) {
+		d.fail("truncated")
+		return nil
+	}
+	p := d.data[d.pos : d.pos+n]
+	d.pos += n
+	return p
+}
+
+func (d *snapDec) u8() byte {
+	p := d.bytes(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+func (d *snapDec) u16() uint16 {
+	p := d.bytes(2)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(p)
+}
+
+func (d *snapDec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+// column fetches the payload of the next column block, which must carry
+// the expected id.
+func (d *snapDec) column(id byte) []byte {
+	got := d.u8()
+	if d.err == nil && got != id {
+		d.fail("column id %d, want %d", got, id)
+	}
+	n := d.uvarint()
+	if d.err == nil && n > uint64(len(d.data)-d.pos) {
+		d.fail("column %d truncated", id)
+		return nil
+	}
+	return d.bytes(int(n))
+}
+
+// Column payload decoders. Every decoder validates the payload size
+// against the row count before allocating, so corrupt row counts cannot
+// drive huge allocations.
+
+func decodeDeltaInts(d *snapDec, id byte, n int) []int {
+	p := d.column(id)
+	if d.err != nil {
+		return nil
+	}
+	if n > len(p) { // every varint is at least one byte
+		d.fail("column %d: %d bytes cannot hold %d varints", id, len(p), n)
+		return nil
+	}
+	out := make([]int, n)
+	prev, pos := int64(0), 0
+	for i := 0; i < n; i++ {
+		if pos >= len(p) {
+			d.fail("column %d: truncated varints", id)
+			return nil
+		}
+		// Fast path: deltas are almost always single-byte varints.
+		u, w := uint64(p[pos]), 1
+		if u >= 0x80 {
+			u, w = binary.Uvarint(p[pos:])
+			if w <= 0 {
+				d.fail("column %d: bad varint at row %d", id, i)
+				return nil
+			}
+		}
+		pos += w
+		prev += int64(u>>1) ^ -int64(u&1)
+		out[i] = int(prev)
+	}
+	if pos != len(p) {
+		d.fail("column %d: %d trailing bytes", id, len(p)-pos)
+		return nil
+	}
+	return out
+}
+
+func decodeTimes(d *snapDec, id byte, n int) []time.Time {
+	p := d.column(id)
+	if d.err != nil {
+		return nil
+	}
+	if len(p) < 1 || n > len(p)-1 {
+		d.fail("column %d: %d bytes cannot hold %d varints", id, len(p), n)
+		return nil
+	}
+	mode := p[0]
+	if mode > 1 {
+		d.fail("column %d: unknown timestamp precision %d", id, mode)
+		return nil
+	}
+	p = p[1:]
+	out := make([]time.Time, n)
+	prev, pos := int64(0), 0
+	for i := 0; i < n; i++ {
+		if pos >= len(p) {
+			d.fail("column %d: truncated varints", id)
+			return nil
+		}
+		u, w := uint64(p[pos]), 1
+		if u >= 0x80 {
+			u, w = binary.Uvarint(p[pos:])
+			if w <= 0 {
+				d.fail("column %d: bad varint at row %d", id, i)
+				return nil
+			}
+		}
+		pos += w
+		prev += int64(u>>1) ^ -int64(u&1)
+		if mode == 0 {
+			out[i] = time.Unix(prev, 0).UTC()
+		} else {
+			out[i] = time.Unix(prev/1e9, prev%1e9).UTC()
+		}
+	}
+	if pos != len(p) {
+		d.fail("column %d: %d trailing bytes", id, len(p)-pos)
+		return nil
+	}
+	return out
+}
+
+func decodeFloats(d *snapDec, id byte, n int) []float64 {
+	p := d.column(id)
+	if d.err != nil {
+		return nil
+	}
+	if len(p) != 8*n {
+		d.fail("column %d: %d bytes, want %d", id, len(p), 8*n)
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[8*i:]))
+	}
+	return out
+}
+
+func decodeStrings[T ~string](d *snapDec, id byte, n int) []T {
+	p := d.column(id)
+	if d.err != nil {
+		return nil
+	}
+	pos := 0
+	nv, w := binary.Uvarint(p)
+	if w <= 0 || nv > uint64(len(p)) {
+		d.fail("column %d: bad dictionary size", id)
+		return nil
+	}
+	pos += w
+	names := make([]T, nv)
+	for i := range names {
+		l, w := binary.Uvarint(p[pos:])
+		if w <= 0 || l > uint64(len(p)-pos-w) {
+			d.fail("column %d: bad dictionary entry %d", id, i)
+			return nil
+		}
+		pos += w
+		names[i] = T(p[pos : pos+int(l)])
+		pos += int(l)
+	}
+	if n > len(p)-pos {
+		d.fail("column %d: %d bytes cannot hold %d indexes", id, len(p)-pos, n)
+		return nil
+	}
+	out := make([]T, n)
+	for i := 0; i < n; i++ {
+		if pos >= len(p) {
+			d.fail("column %d: truncated indexes", id)
+			return nil
+		}
+		// Fast path: dictionaries are tiny, so indexes are single bytes.
+		idx, w := uint64(p[pos]), 1
+		if idx >= 0x80 {
+			idx, w = binary.Uvarint(p[pos:])
+		}
+		if w <= 0 || idx >= nv {
+			d.fail("column %d: bad dictionary index at row %d", id, i)
+			return nil
+		}
+		pos += w
+		out[i] = names[idx]
+	}
+	if pos != len(p) {
+		d.fail("column %d: %d trailing bytes", id, len(p)-pos)
+		return nil
+	}
+	return out
+}
+
+func decodeBools(d *snapDec, id byte, n int) []bool {
+	p := d.column(id)
+	if d.err != nil {
+		return nil
+	}
+	if len(p) != n {
+		d.fail("column %d: %d bytes, want %d", id, len(p), n)
+		return nil
+	}
+	out := make([]bool, n)
+	for i, b := range p {
+		out[i] = b != 0
+	}
+	return out
+}
+
+func decodeBytes[T ~int](d *snapDec, id byte, n int) []T {
+	p := d.column(id)
+	if d.err != nil {
+		return nil
+	}
+	if len(p) != n {
+		d.fail("column %d: %d bytes, want %d", id, len(p), n)
+		return nil
+	}
+	out := make([]T, n)
+	for i, b := range p {
+		out[i] = T(b)
+	}
+	return out
+}
+
+// checkLens verifies every column of a section has the section row count
+// before encoding.
+func checkLens(kind string, n int, lens ...int) error {
+	for _, l := range lens {
+		if l != n {
+			return fmt.Errorf("dataset: %s snapshot section: ragged columns (%d vs %d rows)", kind, l, n)
+		}
+	}
+	return nil
+}
+
+// Section codecs. Column ids follow the CSV header order of each dataset.
+
+func encodeOoklaSection(e *snapEnc, kind byte, c *OoklaColumns) error {
+	n := c.Len()
+	if err := checkLens("ookla", n, len(c.TestID), len(c.UserID), len(c.City), len(c.ISP),
+		len(c.Timestamp), len(c.Platform), len(c.Access), len(c.HasRadioInfo), len(c.Band),
+		len(c.RSSI), len(c.MaxTheoretical), len(c.KernelMemMB), len(c.Upload),
+		len(c.Latency), len(c.TruthTier)); err != nil {
+		return err
+	}
+	e.section(kind, n)
+	e.column(1, appendDeltaInts(e.scratch[:0], c.TestID))
+	e.column(2, appendDeltaInts(e.scratch[:0], c.UserID))
+	e.column(3, appendStrings(e.scratch[:0], c.City))
+	e.column(4, appendStrings(e.scratch[:0], c.ISP))
+	ts, err := appendTimes(e.scratch[:0], c.Timestamp)
+	if err != nil {
+		return err
+	}
+	e.column(5, ts)
+	e.column(6, appendBytes(e.scratch[:0], c.Platform))
+	e.column(7, appendStrings(e.scratch[:0], c.Access))
+	e.column(8, appendBools(e.scratch[:0], c.HasRadioInfo))
+	e.column(9, appendBytes(e.scratch[:0], c.Band))
+	e.column(10, appendFloats(e.scratch[:0], c.RSSI))
+	e.column(11, appendFloats(e.scratch[:0], c.MaxTheoretical))
+	e.column(12, appendDeltaInts(e.scratch[:0], c.KernelMemMB))
+	e.column(13, appendFloats(e.scratch[:0], c.Download))
+	e.column(14, appendFloats(e.scratch[:0], c.Upload))
+	e.column(15, appendFloats(e.scratch[:0], c.Latency))
+	e.column(16, appendDeltaInts(e.scratch[:0], c.TruthTier))
+	return nil
+}
+
+func decodeOoklaSection(d *snapDec, n int) *OoklaColumns {
+	c := &OoklaColumns{}
+	c.TestID = decodeDeltaInts(d, 1, n)
+	c.UserID = decodeDeltaInts(d, 2, n)
+	c.City = decodeStrings[string](d, 3, n)
+	c.ISP = decodeStrings[string](d, 4, n)
+	c.Timestamp = decodeTimes(d, 5, n)
+	c.Platform = decodeBytes[device.Platform](d, 6, n)
+	c.Access = decodeStrings[AccessType](d, 7, n)
+	c.HasRadioInfo = decodeBools(d, 8, n)
+	c.Band = decodeBytes[wifi.Band](d, 9, n)
+	c.RSSI = decodeFloats(d, 10, n)
+	c.MaxTheoretical = decodeFloats(d, 11, n)
+	c.KernelMemMB = decodeDeltaInts(d, 12, n)
+	c.Download = decodeFloats(d, 13, n)
+	c.Upload = decodeFloats(d, 14, n)
+	c.Latency = decodeFloats(d, 15, n)
+	c.TruthTier = decodeDeltaInts(d, 16, n)
+	return c
+}
+
+func encodeMLabSection(e *snapEnc, c *MLabRowColumns) error {
+	n := c.Len()
+	if err := checkLens("mlab", n, len(c.RowID), len(c.ClientIP), len(c.ServerIP),
+		len(c.City), len(c.ISP), len(c.ASN), len(c.Timestamp), len(c.Direction),
+		len(c.MinRTT), len(c.TruthTier)); err != nil {
+		return err
+	}
+	e.section(snapKindMLab, n)
+	e.column(1, appendDeltaInts(e.scratch[:0], c.RowID))
+	e.column(2, appendStrings(e.scratch[:0], c.ClientIP))
+	e.column(3, appendStrings(e.scratch[:0], c.ServerIP))
+	e.column(4, appendStrings(e.scratch[:0], c.City))
+	e.column(5, appendStrings(e.scratch[:0], c.ISP))
+	e.column(6, appendDeltaInts(e.scratch[:0], c.ASN))
+	ts, err := appendTimes(e.scratch[:0], c.Timestamp)
+	if err != nil {
+		return err
+	}
+	e.column(7, ts)
+	e.column(8, appendStrings(e.scratch[:0], c.Direction))
+	e.column(9, appendFloats(e.scratch[:0], c.Speed))
+	e.column(10, appendFloats(e.scratch[:0], c.MinRTT))
+	e.column(11, appendDeltaInts(e.scratch[:0], c.TruthTier))
+	return nil
+}
+
+func decodeMLabSection(d *snapDec, n int) *MLabRowColumns {
+	c := &MLabRowColumns{}
+	c.RowID = decodeDeltaInts(d, 1, n)
+	c.ClientIP = decodeStrings[string](d, 2, n)
+	c.ServerIP = decodeStrings[string](d, 3, n)
+	c.City = decodeStrings[string](d, 4, n)
+	c.ISP = decodeStrings[string](d, 5, n)
+	c.ASN = decodeDeltaInts(d, 6, n)
+	c.Timestamp = decodeTimes(d, 7, n)
+	c.Direction = decodeStrings[MLabDirection](d, 8, n)
+	c.Speed = decodeFloats(d, 9, n)
+	c.MinRTT = decodeFloats(d, 10, n)
+	c.TruthTier = decodeDeltaInts(d, 11, n)
+	return c
+}
+
+func encodeMBASection(e *snapEnc, c *MBAColumns) error {
+	n := c.Len()
+	if err := checkLens("mba", n, len(c.UnitID), len(c.State), len(c.ISP),
+		len(c.CensusTract), len(c.Timestamp), len(c.Upload), len(c.PlanDown),
+		len(c.PlanUp), len(c.Tier)); err != nil {
+		return err
+	}
+	e.section(snapKindMBA, n)
+	e.column(1, appendDeltaInts(e.scratch[:0], c.UnitID))
+	e.column(2, appendStrings(e.scratch[:0], c.State))
+	e.column(3, appendStrings(e.scratch[:0], c.ISP))
+	e.column(4, appendStrings(e.scratch[:0], c.CensusTract))
+	ts, err := appendTimes(e.scratch[:0], c.Timestamp)
+	if err != nil {
+		return err
+	}
+	e.column(5, ts)
+	e.column(6, appendFloats(e.scratch[:0], c.Download))
+	e.column(7, appendFloats(e.scratch[:0], c.Upload))
+	e.column(8, appendFloats(e.scratch[:0], c.PlanDown))
+	e.column(9, appendFloats(e.scratch[:0], c.PlanUp))
+	e.column(10, appendDeltaInts(e.scratch[:0], c.Tier))
+	return nil
+}
+
+func decodeMBASection(d *snapDec, n int) *MBAColumns {
+	c := &MBAColumns{}
+	c.UnitID = decodeDeltaInts(d, 1, n)
+	c.State = decodeStrings[string](d, 2, n)
+	c.ISP = decodeStrings[string](d, 3, n)
+	c.CensusTract = decodeStrings[string](d, 4, n)
+	c.Timestamp = decodeTimes(d, 5, n)
+	c.Download = decodeFloats(d, 6, n)
+	c.Upload = decodeFloats(d, 7, n)
+	c.PlanDown = decodeFloats(d, 8, n)
+	c.PlanUp = decodeFloats(d, 9, n)
+	c.Tier = decodeDeltaInts(d, 10, n)
+	return c
+}

@@ -1,0 +1,95 @@
+package dataset
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// SnapshotStore is a directory of .sxc city snapshots keyed by
+// (city, seed, scale, data version). The data version is baked into the
+// filename as well as the file header, so bumping DataVersion orphans old
+// cache entries instead of forcing every Load through a decode-and-reject
+// cycle; stale files are simply never consulted again.
+//
+// Store semantics are cache semantics: Load errors (missing file, torn
+// write, checksum mismatch, foreign version) all mean "miss" to callers,
+// which regenerate and Save. Save writes to a tempfile in the same
+// directory and renames it into place, so concurrent writers race
+// harmlessly and readers never observe a partial file.
+type SnapshotStore struct {
+	Dir string
+}
+
+// SnapshotKey identifies one city's datasets within a store.
+type SnapshotKey struct {
+	City  string
+	Seed  int64
+	Scale float64
+}
+
+// filename renders the key. City IDs are single letters today; sanitize
+// anyway so an unexpected ID cannot escape the store directory.
+func (k SnapshotKey) filename() string {
+	city := make([]byte, 0, len(k.City))
+	for i := 0; i < len(k.City); i++ {
+		c := k.City[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_':
+			city = append(city, c)
+		default:
+			city = append(city, '_')
+		}
+	}
+	return fmt.Sprintf("city%s_seed%d_scale%s_v%d.sxc",
+		city, k.Seed, strconv.FormatFloat(k.Scale, 'g', -1, 64), DataVersion)
+}
+
+// Path returns the file path a key maps to.
+func (st *SnapshotStore) Path(k SnapshotKey) string {
+	return filepath.Join(st.Dir, k.filename())
+}
+
+// Load reads and decodes the snapshot for a key. Any failure — absent
+// file, corruption, stale version — is returned as an error the caller
+// treats as a cache miss.
+func (st *SnapshotStore) Load(k SnapshotKey) (*CitySnapshot, error) {
+	data, err := os.ReadFile(st.Path(k))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeCitySnapshot(data)
+}
+
+// Save atomically writes the snapshot for a key: encode, write to a
+// tempfile in the store directory, fsync-free rename into place.
+func (st *SnapshotStore) Save(k SnapshotKey, snap *CitySnapshot) error {
+	buf, err := encodeCitySnapshot(snap, DataVersion)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(st.Dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(st.Dir, k.filename()+".tmp")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, st.Path(k)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

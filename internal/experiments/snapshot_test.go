@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestSuiteSnapshotWarmEqualsCold is the suite-level identity gate for the
+// snapshot store: a cold run (generate + write snapshot), a warm run (load
+// snapshot) and a store-less run must produce deeply equal bundles, and
+// the warm run must not rewrite the cache.
+func TestSuiteSnapshotWarmEqualsCold(t *testing.T) {
+	dir := t.TempDir()
+	build := func(snapshotDir string) *CityBundle {
+		s := NewSuite(0.004, 7)
+		s.Parallelism = 1
+		s.SnapshotDir = snapshotDir
+		b, err := s.City("A")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	cold := build(dir)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("cold run left %d cache entries, want 1", len(entries))
+	}
+	path := filepath.Join(dir, entries[0].Name())
+	coldStat, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warm := build(dir)
+	plain := build("")
+
+	for _, tc := range []struct {
+		name       string
+		a, b, base any
+	}{
+		{"Ookla", cold.Ookla, warm.Ookla, plain.Ookla},
+		{"MLabRows", cold.MLabRows, warm.MLabRows, plain.MLabRows},
+		{"MLabTests", cold.MLabTests, warm.MLabTests, plain.MLabTests},
+		{"MBA", cold.MBA, warm.MBA, plain.MBA},
+	} {
+		if !reflect.DeepEqual(tc.a, tc.b) {
+			t.Errorf("%s: warm differs from cold", tc.name)
+		}
+		if !reflect.DeepEqual(tc.a, tc.base) {
+			t.Errorf("%s: snapshot path differs from store-less path", tc.name)
+		}
+	}
+
+	// The warm bundle's columnar views must be the snapshot's columns and
+	// deeply equal to freshly extracted ones.
+	if !reflect.DeepEqual(cold.OoklaCols(), warm.OoklaCols()) {
+		t.Error("OoklaCols: warm differs from cold")
+	}
+	if !reflect.DeepEqual(plain.OoklaCols(), warm.OoklaCols()) {
+		t.Error("OoklaCols: warm differs from store-less")
+	}
+	if !reflect.DeepEqual(plain.MBACols(), warm.MBACols()) {
+		t.Error("MBACols: warm differs from store-less")
+	}
+
+	// Warm runs neither rewrite nor invalidate the cache entry.
+	warmStat, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warmStat.ModTime().Equal(coldStat.ModTime()) || warmStat.Size() != coldStat.Size() {
+		t.Error("warm run rewrote the snapshot file")
+	}
+
+	// The snapshot covers the Android-only dataset; a warm bundle has it
+	// preloaded and equal to what the cold run generated.
+	if warm.androidRecs == nil {
+		t.Fatal("warm bundle did not preload the android dataset")
+	}
+	if !reflect.DeepEqual(cold.androidRecs, warm.androidRecs) {
+		t.Error("android records: warm differs from cold")
+	}
+
+	// Corrupting the cache entry falls back to regeneration (and a fresh
+	// atomic rewrite) rather than failing the build.
+	if err := os.WriteFile(path, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rebuilt := build(dir)
+	if !reflect.DeepEqual(plain.Ookla, rebuilt.Ookla) {
+		t.Error("rebuild after corruption differs")
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() == int64(len("not a snapshot")) {
+		t.Error("corrupt cache entry was not rewritten")
+	}
+}

@@ -17,8 +17,11 @@ exec awk '
 }
 END {
 	print "{"
-	for (i = 1; i <= n; i++)
-		printf "  \"%s\": %d%s\n", order[i], best[order[i]], i < n ? "," : ""
+	# %.0f, not %d: the %d of mawk saturates at 2^31-1, corrupting any
+	# benchmark slower than ~2.1 s/op.
+	for (i = 1; i <= n; i++) {
+		printf "  \"%s\": %.0f%s\n", order[i], best[order[i]], i < n ? "," : ""
+	}
 	print "}"
 }
 '
