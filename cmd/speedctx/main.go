@@ -8,6 +8,7 @@
 //	speedctx generate -city A -out DIR [flags]
 //	speedctx bst -city A [flags]
 //	speedctx all [flags]
+//	speedctx load [-addr HOST:PORT] [-rows N] [-conns N] [-batch N] [-min-rate R]
 //
 // Common flags: -scale (fraction of the paper's dataset sizes, default
 // 0.02), -seed, -ascii (render figures as terminal charts), -par (worker
@@ -51,6 +52,11 @@ func run(args []string, out io.Writer) error {
 		return usageError()
 	}
 	cmd, rest := args[0], args[1:]
+	if cmd == "load" {
+		// The load generator has its own flag surface (connections,
+		// batch size, rate floor) — dispatch before the common flags.
+		return runLoad(rest, out)
+	}
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	scale := fs.Float64("scale", 0.02, "fraction of the paper's dataset sizes")
 	seed := fs.Int64("seed", 2021, "generation seed")
@@ -102,7 +108,7 @@ func run(args []string, out io.Writer) error {
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: speedctx <table|figure|generate|bst|challenge|all> [args] [flags]")
+	return fmt.Errorf("usage: speedctx <table|figure|generate|bst|challenge|all|load> [args] [flags]")
 }
 
 // challengeFile runs the FCC challenge-evidence screen over an Ookla CSV

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"speedctx/internal/dataset"
+	"speedctx/internal/ingest"
+	"speedctx/internal/ndt7"
+	"speedctx/internal/speedtest"
+)
+
+// startDaemon runs the daemon on ephemeral ports with the given extra args
+// and returns the bound addresses plus a shutdown func that cancels the
+// run context and reports run's error.
+func startDaemon(t *testing.T, extra ...string) (Addrs, func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	addrCh := make(chan Addrs, 1)
+	oldStarted := started
+	started = func(a Addrs) { addrCh <- a }
+	t.Cleanup(func() { started = oldStarted })
+
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	errCh := make(chan error, 1)
+	go func() { errCh <- run(ctx, args, io.Discard) }()
+
+	select {
+	case a := <-addrCh:
+		return a, func() error {
+			cancel()
+			select {
+			case err := <-errCh:
+				return err
+			case <-time.After(10 * time.Second):
+				t.Fatal("daemon did not shut down after context cancel")
+				return nil
+			}
+		}
+	case err := <-errCh:
+		cancel()
+		t.Fatalf("daemon exited before start: %v", err)
+		return Addrs{}, nil
+	case <-time.After(30 * time.Second):
+		cancel()
+		t.Fatal("daemon never reported started")
+		return Addrs{}, nil
+	}
+}
+
+// TestDaemonSmoke boots the full daemon on ephemeral ports, runs one
+// raw-TCP test and one NDT7 test against it, and checks context cancel
+// shuts it down cleanly.
+func TestDaemonSmoke(t *testing.T) {
+	addrs, shutdown := startDaemon(t,
+		"-ndt7", "127.0.0.1:0",
+		"-rate", "80", "-perconn", "40",
+	)
+	if addrs.Raw == "" || addrs.NDT7 == "" {
+		t.Fatalf("missing bound addresses: %+v", addrs)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	if _, err := speedtest.Ping(ctx, addrs.Raw); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	spec := speedtest.ClientSpec{Connections: 2, Duration: 400 * time.Millisecond}
+	res, err := speedtest.Download(ctx, addrs.Raw, spec)
+	if err != nil {
+		t.Fatalf("raw download: %v", err)
+	}
+	if res.Bytes <= 0 || res.Throughput <= 0 {
+		t.Fatalf("raw download measured nothing: %+v", res)
+	}
+
+	nres, err := ndt7.Download(ctx, addrs.NDT7, 400*time.Millisecond)
+	if err != nil {
+		t.Fatalf("ndt7 download: %v", err)
+	}
+	if nres.Bytes <= 0 {
+		t.Fatalf("ndt7 download measured nothing: %+v", nres)
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestDaemonIngestMode boots the daemon with -ingest, posts results, and
+// checks shutdown seals and compacts the snapshot.
+func TestDaemonIngestMode(t *testing.T) {
+	dir := t.TempDir()
+	addrs, shutdown := startDaemon(t,
+		"-ingest", "127.0.0.1:0",
+		"-ingest-cities", "A",
+		"-ingest-dir", dir,
+		"-ingest-scale", "0.001",
+	)
+	if addrs.Ingest == "" {
+		t.Fatal("ingest address not bound")
+	}
+	base := "http://" + addrs.Ingest
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	row := dataset.IngestRow{
+		TestID: 1, UserID: 2, City: "A", ISP: "ISP-A",
+		Timestamp:    time.Unix(1609459200, 0).UTC(),
+		DownloadMbps: 412.5, UploadMbps: 18.2, LatencyMs: 11.3,
+	}
+	for i := 0; i < 5; i++ {
+		row.TestID = i
+		resp, err := http.Post(base+"/v1/ingest", "application/json",
+			bytes.NewReader(ingest.AppendSubmission(nil, &row)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest POST = %d: %s", resp.StatusCode, body)
+		}
+		var ack struct {
+			Tier       int     `json:"tier"`
+			UploadTier int     `json:"upload_tier"`
+			Confidence float64 `json:"confidence"`
+		}
+		if err := json.Unmarshal(body, &ack); err != nil {
+			t.Fatalf("ack: %v: %s", err, body)
+		}
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, ingest.CompactedName))
+	if err != nil {
+		t.Fatalf("compacted snapshot missing: %v", err)
+	}
+	cols, err := dataset.DecodeIngestSegment(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols.Len() != 5 {
+		t.Fatalf("snapshot rows = %d, want 5", cols.Len())
+	}
+	for i := 0; i < cols.Len(); i++ {
+		if cols.City[i] != "A" || !strings.HasPrefix(cols.ISP[i], "ISP-") {
+			t.Fatalf("row %d mangled: %q %q", i, cols.City[i], cols.ISP[i])
+		}
+	}
+}

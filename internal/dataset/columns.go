@@ -1,6 +1,8 @@
 package dataset
 
 import (
+	"math"
+	"sort"
 	"time"
 
 	"speedctx/internal/device"
@@ -51,8 +53,8 @@ func ColumnizeOokla(recs []OoklaRecord) *OoklaColumns {
 		UserID:         make([]int, n), TruthTier: make([]int, n),
 		KernelMemMB: make([]int, n),
 		City:        make([]string, n), ISP: make([]string, n),
-		Platform: make([]device.Platform, n),
-		Access:   make([]AccessType, n),
+		Platform:     make([]device.Platform, n),
+		Access:       make([]AccessType, n),
 		HasRadioInfo: make([]bool, n), Band: make([]wifi.Band, n),
 		Timestamp: make([]time.Time, n),
 	}
@@ -174,6 +176,122 @@ func (c *MLabRowColumns) Records() []MLabRow {
 			Timestamp: c.Timestamp[i], Direction: c.Direction[i],
 			SpeedMbps: c.Speed[i], MinRTTMs: c.MinRTT[i],
 			TruthTier: c.TruthTier[i],
+		}
+	}
+	return rows
+}
+
+// IngestRow is one contextualized live measurement: the <download, upload>
+// tuple a speed-test client reported to the ingest service, plus the BST
+// verdict (upload tier, plan tier, confidence) assigned at ingest time.
+// These are the rows the internal/ingest write-behind batcher seals into
+// .sxc segments — the production form of the paper's "contextualize every
+// raw tuple" loop.
+type IngestRow struct {
+	TestID, UserID int
+	City, ISP      string
+	Timestamp      time.Time
+	DownloadMbps   float64
+	UploadMbps     float64
+	LatencyMs      float64
+	UploadTier     int // index into the catalog's upload tiers; -1 = off catalog
+	Tier           int // 1-based plan tier; 0 = unassigned
+	Confidence     float64
+}
+
+// ingestRowLess is the stable seal/compaction order of ingest rows: a total
+// order over every field, so sorting any permutation of the same rows
+// yields the same sequence — the property that makes sealed snapshot bytes
+// independent of arrival interleaving and worker count. Float fields
+// compare by IEEE-754 bit pattern: not numeric order, but a deterministic
+// tiebreak that (unlike <) also totally orders NaNs and signed zeros.
+func ingestRowLess(a, b *IngestRow) bool {
+	if a.City != b.City {
+		return a.City < b.City
+	}
+	if a.TestID != b.TestID {
+		return a.TestID < b.TestID
+	}
+	if a.UserID != b.UserID {
+		return a.UserID < b.UserID
+	}
+	if an, bn := a.Timestamp.UnixNano(), b.Timestamp.UnixNano(); an != bn {
+		return an < bn
+	}
+	for _, p := range [...][2]float64{
+		{a.DownloadMbps, b.DownloadMbps},
+		{a.UploadMbps, b.UploadMbps},
+		{a.LatencyMs, b.LatencyMs},
+		{a.Confidence, b.Confidence},
+	} {
+		if ab, bb := math.Float64bits(p[0]), math.Float64bits(p[1]); ab != bb {
+			return ab < bb
+		}
+	}
+	if a.UploadTier != b.UploadTier {
+		return a.UploadTier < b.UploadTier
+	}
+	if a.Tier != b.Tier {
+		return a.Tier < b.Tier
+	}
+	return a.ISP < b.ISP
+}
+
+// SortIngestRows sorts rows into the stable seal/compaction order.
+func SortIngestRows(rows []IngestRow) {
+	sort.Slice(rows, func(i, j int) bool { return ingestRowLess(&rows[i], &rows[j]) })
+}
+
+// IngestColumns is the column-oriented view of contextualized ingest rows,
+// the form the .sxc ingest-section codec transports.
+type IngestColumns struct {
+	Download, Upload, Latency []float64
+	Confidence                []float64
+	TestID, UserID            []int
+	UploadTier, Tier          []int
+	City, ISP                 []string
+	Timestamp                 []time.Time
+}
+
+// ColumnizeIngest extracts every column in one pass over the rows.
+func ColumnizeIngest(rows []IngestRow) *IngestColumns {
+	n := len(rows)
+	c := &IngestColumns{
+		Download: make([]float64, n), Upload: make([]float64, n),
+		Latency: make([]float64, n), Confidence: make([]float64, n),
+		TestID: make([]int, n), UserID: make([]int, n),
+		UploadTier: make([]int, n), Tier: make([]int, n),
+		City: make([]string, n), ISP: make([]string, n),
+		Timestamp: make([]time.Time, n),
+	}
+	for i := range rows {
+		r := &rows[i]
+		c.Download[i], c.Upload[i], c.Latency[i] = r.DownloadMbps, r.UploadMbps, r.LatencyMs
+		c.Confidence[i] = r.Confidence
+		c.TestID[i], c.UserID[i] = r.TestID, r.UserID
+		c.UploadTier[i], c.Tier[i] = r.UploadTier, r.Tier
+		c.City[i], c.ISP[i] = r.City, r.ISP
+		c.Timestamp[i] = r.Timestamp
+	}
+	return c
+}
+
+// Len returns the row count.
+func (c *IngestColumns) Len() int { return len(c.Download) }
+
+// Rows materializes the row-struct view — the inverse of ColumnizeIngest,
+// field-for-field.
+func (c *IngestColumns) Rows() []IngestRow {
+	rows := make([]IngestRow, c.Len())
+	for i := range rows {
+		rows[i] = IngestRow{
+			TestID: c.TestID[i], UserID: c.UserID[i],
+			City: c.City[i], ISP: c.ISP[i],
+			Timestamp:    c.Timestamp[i],
+			DownloadMbps: c.Download[i], UploadMbps: c.Upload[i],
+			LatencyMs:  c.Latency[i],
+			UploadTier: c.UploadTier[i], Tier: c.Tier[i],
+			Confidence: c.Confidence[i],
 		}
 	}
 	return rows

@@ -70,12 +70,15 @@ var ErrSnapshotStale = errors.New("dataset: stale snapshot version")
 // sections are simply absent from the encoded file. Android is the
 // Android-only Ookla dataset the paper's radio/memory analyses use
 // (experiments.CityBundle.AndroidAnalysis); it shares the Ookla section
-// codec under its own section kind.
+// codec under its own section kind. Ingest carries live contextualized
+// measurements (internal/ingest segments, PR 6) rather than generated data;
+// segment files hold exactly that one section.
 type CitySnapshot struct {
 	Ookla    *OoklaColumns
 	MLabRows *MLabRowColumns
 	MBA      *MBAColumns
 	Android  *OoklaColumns
+	Ingest   *IngestColumns
 }
 
 const (
@@ -83,6 +86,7 @@ const (
 	snapKindMLab    = 2
 	snapKindMBA     = 3
 	snapKindAndroid = 4
+	snapKindIngest  = 5
 )
 
 // WriteCitySnapshot encodes the snapshot to w under the current format and
@@ -140,6 +144,8 @@ func DecodeCitySnapshot(data []byte) (*CitySnapshot, error) {
 			snap.MBA = decodeMBASection(d, rows)
 		case snapKindAndroid:
 			snap.Android = decodeOoklaSection(d, rows)
+		case snapKindIngest:
+			snap.Ingest = decodeIngestSection(d, rows)
 		default:
 			d.fail("unknown section kind %d", kind)
 		}
@@ -161,7 +167,7 @@ func encodeCitySnapshot(snap *CitySnapshot, dataVersion uint64) ([]byte, error) 
 	e.buf = binary.LittleEndian.AppendUint16(e.buf, SnapshotFormatVersion)
 	e.buf = binary.AppendUvarint(e.buf, dataVersion)
 	sections := 0
-	for _, present := range []bool{snap.Ookla != nil, snap.MLabRows != nil, snap.MBA != nil, snap.Android != nil} {
+	for _, present := range []bool{snap.Ookla != nil, snap.MLabRows != nil, snap.MBA != nil, snap.Android != nil, snap.Ingest != nil} {
 		if present {
 			sections++
 		}
@@ -184,6 +190,11 @@ func encodeCitySnapshot(snap *CitySnapshot, dataVersion uint64) ([]byte, error) 
 	}
 	if snap.Android != nil {
 		if err := encodeOoklaSection(e, snapKindAndroid, snap.Android); err != nil {
+			return nil, err
+		}
+	}
+	if snap.Ingest != nil {
+		if err := encodeIngestSection(e, snap.Ingest); err != nil {
 			return nil, err
 		}
 	}
@@ -725,6 +736,68 @@ func encodeMBASection(e *snapEnc, c *MBAColumns) error {
 	e.column(9, appendFloats(e.scratch[:0], c.PlanUp))
 	e.column(10, appendDeltaInts(e.scratch[:0], c.Tier))
 	return nil
+}
+
+func encodeIngestSection(e *snapEnc, c *IngestColumns) error {
+	n := c.Len()
+	if err := checkLens("ingest", n, len(c.TestID), len(c.UserID), len(c.City),
+		len(c.ISP), len(c.Timestamp), len(c.Upload), len(c.Latency),
+		len(c.UploadTier), len(c.Tier), len(c.Confidence)); err != nil {
+		return err
+	}
+	e.section(snapKindIngest, n)
+	e.column(1, appendDeltaInts(e.scratch[:0], c.TestID))
+	e.column(2, appendDeltaInts(e.scratch[:0], c.UserID))
+	e.column(3, appendStrings(e.scratch[:0], c.City))
+	e.column(4, appendStrings(e.scratch[:0], c.ISP))
+	ts, err := appendTimes(e.scratch[:0], c.Timestamp)
+	if err != nil {
+		return err
+	}
+	e.column(5, ts)
+	e.column(6, appendFloats(e.scratch[:0], c.Download))
+	e.column(7, appendFloats(e.scratch[:0], c.Upload))
+	e.column(8, appendFloats(e.scratch[:0], c.Latency))
+	e.column(9, appendDeltaInts(e.scratch[:0], c.UploadTier))
+	e.column(10, appendDeltaInts(e.scratch[:0], c.Tier))
+	e.column(11, appendFloats(e.scratch[:0], c.Confidence))
+	return nil
+}
+
+func decodeIngestSection(d *snapDec, n int) *IngestColumns {
+	c := &IngestColumns{}
+	c.TestID = decodeDeltaInts(d, 1, n)
+	c.UserID = decodeDeltaInts(d, 2, n)
+	c.City = decodeStrings[string](d, 3, n)
+	c.ISP = decodeStrings[string](d, 4, n)
+	c.Timestamp = decodeTimes(d, 5, n)
+	c.Download = decodeFloats(d, 6, n)
+	c.Upload = decodeFloats(d, 7, n)
+	c.Latency = decodeFloats(d, 8, n)
+	c.UploadTier = decodeDeltaInts(d, 9, n)
+	c.Tier = decodeDeltaInts(d, 10, n)
+	c.Confidence = decodeFloats(d, 11, n)
+	return c
+}
+
+// EncodeIngestSegment renders a standalone .sxc file image holding one
+// ingest section — the unit the write-behind batcher seals. Segments share
+// the city-snapshot envelope (magic, versions, checksum), so every .sxc
+// reader/fuzzer covers them too.
+func EncodeIngestSegment(c *IngestColumns) ([]byte, error) {
+	return encodeCitySnapshot(&CitySnapshot{Ingest: c}, DataVersion)
+}
+
+// DecodeIngestSegment decodes a sealed ingest segment image.
+func DecodeIngestSegment(data []byte) (*IngestColumns, error) {
+	snap, err := DecodeCitySnapshot(data)
+	if err != nil {
+		return nil, err
+	}
+	if snap.Ingest == nil {
+		return nil, errors.New("dataset: snapshot carries no ingest section")
+	}
+	return snap.Ingest, nil
 }
 
 func decodeMBASection(d *snapDec, n int) *MBAColumns {

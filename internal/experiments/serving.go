@@ -1,0 +1,23 @@
+package experiments
+
+import (
+	"speedctx/internal/core"
+)
+
+// CityClassifier fits (or reuses the memoized fit of) the city's Ookla
+// dataset and wraps it in the single-sample ingest fast path. This is the
+// model the serving mode (cmd/speedtestd -ingest, speedctx load) loads at
+// startup: ingest-time contextualization classifies each arriving test
+// against the same fitted BST the offline tables use, so online tiers are
+// bit-compatible with batch reruns over the captured rows.
+func (s *Suite) CityClassifier(id string) (*core.Classifier, error) {
+	b, err := s.City(id)
+	if err != nil {
+		return nil, err
+	}
+	a, err := b.OoklaAnalysis()
+	if err != nil {
+		return nil, err
+	}
+	return core.NewClassifier(a.Result, s.BSTConfig()), nil
+}

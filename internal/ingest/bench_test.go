@@ -1,0 +1,117 @@
+package ingest
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"sort"
+	"testing"
+	"time"
+)
+
+// percentile reads the q-quantile (0..1) from a sorted latency slice.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func reportLatencies(b *testing.B, lat []float64) {
+	sort.Float64s(lat)
+	b.ReportMetric(percentile(lat, 0.50), "p50-lat-ns")
+	b.ReportMetric(percentile(lat, 0.95), "p95-lat-ns")
+	b.ReportMetric(percentile(lat, 0.99), "p99-lat-ns")
+	b.ReportMetric(percentile(lat, 0.999), "p999-lat-ns")
+}
+
+// benchIngestHTTP drives the full server path — HTTP, parse, classify,
+// submit — with `batch` rows per request, reporting row throughput and
+// request-latency percentiles. batch=1 posts to /v1/ingest; larger batches
+// post NDJSON to /v1/ingest/batch.
+func benchIngestHTTP(b *testing.B, batch int) {
+	cls, rows := loadClassifiers(b)
+	ts, _, p := startServer(b, b.TempDir(), PipelineConfig{BatchRows: 1 << 16}, cls)
+	defer ts.Close()
+	defer p.Close()
+	client := ts.Client()
+
+	url := ts.URL + "/v1/ingest"
+	if batch > 1 {
+		url = ts.URL + "/v1/ingest/batch"
+	}
+	// Pre-render the request bodies outside the timer.
+	bodies := make([][]byte, 0, (len(rows)+batch-1)/batch)
+	for at := 0; at < len(rows); at += batch {
+		var buf []byte
+		for j := at; j < at+batch && j < len(rows); j++ {
+			buf = AppendSubmission(buf, &rows[j])
+			if batch > 1 {
+				buf = append(buf, '\n')
+			}
+		}
+		bodies = append(bodies, buf)
+	}
+
+	lat := make([]float64, 0, b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		body := bodies[i%len(bodies)]
+		t0 := time.Now()
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		lat = append(lat, float64(time.Since(t0).Nanoseconds()))
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	b.StopTimer()
+	reportLatencies(b, lat)
+	b.ReportMetric(float64(b.N*batch)/elapsed, "rows/s")
+}
+
+func BenchmarkIngestHTTPSingle(b *testing.B)  { benchIngestHTTP(b, 1) }
+func BenchmarkIngestHTTPBatch64(b *testing.B) { benchIngestHTTP(b, 64) }
+
+// BenchmarkIngestPipelineSubmit isolates the post-classification path:
+// Submit through the sharded queues into the write-behind batcher.
+func BenchmarkIngestPipelineSubmit(b *testing.B) {
+	rows := testRows(4096, 9)
+	p, err := NewPipeline(PipelineConfig{Dir: b.TempDir(), BatchRows: 1 << 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Submit(rows[i%len(rows)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParseSubmission measures the hand-rolled wire decode alone.
+func BenchmarkParseSubmission(b *testing.B) {
+	rows := testRows(256, 10)
+	bodies := make([][]byte, len(rows))
+	for i := range rows {
+		bodies[i] = AppendSubmission(nil, &rows[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var row = rows[0]
+		if err := parseSubmission(bodies[i%len(bodies)], &row); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

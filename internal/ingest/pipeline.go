@@ -1,0 +1,369 @@
+// Package ingest closes the paper's production loop: a high-concurrency
+// HTTP service that accepts completed speed-test results, contextualizes
+// each <download, upload> tuple against the fitted per-city BST model at
+// ingest time (core.Classifier — no refit, no per-request allocation), and
+// persists the accepted rows into the PR 5 .sxc snapshot store through an
+// asynchronous write-behind batcher.
+//
+// Architecture (DESIGN.md §11):
+//
+//	HTTP handlers ──► sharded bounded queues ──► batcher ──► sealed .sxc segments
+//	 (classify)          (backpressure)        (write-behind)   (sort-on-seal)
+//
+// Queues are bounded channels: when the batcher falls behind, producers
+// block — backpressure, never drops — which surfaces to clients as slower
+// acks, exactly like a loaded collector should behave. Sealed segments are
+// written with the store's atomic tempfile+rename discipline and are
+// internally sorted by a stable total key; Compact merges every segment
+// into one canonical snapshot whose bytes depend only on the ingested row
+// set — not on worker count, shard count, queue depth, or arrival
+// interleaving.
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"speedctx/internal/dataset"
+)
+
+// PipelineConfig tunes the write-behind path. The zero value selects the
+// defaults noted on each field.
+type PipelineConfig struct {
+	// Dir is the segment directory. Required.
+	Dir string
+	// BatchRows seals a segment once this many rows are pending.
+	// Default 65536.
+	BatchRows int
+	// MaxBatchAge seals a partial segment once its oldest row has waited
+	// this long, bounding ingest-to-durable latency under a trickle.
+	// Default 2s; negative disables age-based sealing.
+	MaxBatchAge time.Duration
+	// QueueShards is the number of bounded queues between the handlers
+	// and the batcher. Default 4.
+	QueueShards int
+	// QueueDepth is each shard's capacity in rows. Default 4096.
+	QueueDepth int
+}
+
+func (c *PipelineConfig) defaults() {
+	if c.BatchRows <= 0 {
+		c.BatchRows = 65536
+	}
+	if c.MaxBatchAge == 0 {
+		c.MaxBatchAge = 2 * time.Second
+	}
+	if c.QueueShards <= 0 {
+		c.QueueShards = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4096
+	}
+}
+
+// ErrClosed is returned by Submit after Close has begun.
+var ErrClosed = errors.New("ingest: pipeline closed")
+
+// Pipeline is the accepted-row path: sharded bounded queues feeding a
+// write-behind batcher that seals sorted .sxc segments.
+type Pipeline struct {
+	cfg    PipelineConfig
+	queues []chan dataset.IngestRow
+	rr     atomic.Uint64 // round-robin enqueue cursor
+
+	// closeMu serializes Submit against Close: Submits hold it shared, so
+	// Close's exclusive acquire waits for in-flight enqueues before the
+	// channels close.
+	closeMu sync.RWMutex
+	closed  bool
+
+	mu       sync.Mutex // guards pending, oldest, segSeq, firstErr
+	pending  []dataset.IngestRow
+	oldest   time.Time
+	segSeq   int
+	firstErr error
+
+	drainers sync.WaitGroup
+	ageStop  chan struct{}
+	ageDone  chan struct{}
+
+	rows   atomic.Uint64 // rows handed to the batcher
+	seals  atomic.Uint64 // segments sealed
+	sealed atomic.Uint64 // rows sealed to disk
+}
+
+// NewPipeline starts the shard drainers and the age flusher.
+func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
+	p, err := newPipeline(cfg, true)
+	return p, err
+}
+
+// newPipeline is NewPipeline with a test seam: startDrain=false builds the
+// queues but leaves them undrained, so tests can observe backpressure.
+// Such a pipeline must have startDrain called exactly once before Close.
+func newPipeline(cfg PipelineConfig, startDrain bool) (*Pipeline, error) {
+	cfg.defaults()
+	if cfg.Dir == "" {
+		return nil, errors.New("ingest: PipelineConfig.Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	p := &Pipeline{
+		cfg:     cfg,
+		queues:  make([]chan dataset.IngestRow, cfg.QueueShards),
+		ageStop: make(chan struct{}),
+		ageDone: make(chan struct{}),
+	}
+	for i := range p.queues {
+		p.queues[i] = make(chan dataset.IngestRow, cfg.QueueDepth)
+	}
+	if startDrain {
+		p.startDrain()
+	}
+	return p, nil
+}
+
+// startDrain launches one drainer per shard plus the age flusher.
+func (p *Pipeline) startDrain() {
+	for _, q := range p.queues {
+		p.drainers.Add(1)
+		go func(q chan dataset.IngestRow) {
+			defer p.drainers.Done()
+			for row := range q {
+				p.add(row)
+			}
+		}(q)
+	}
+	go p.ageFlusher()
+}
+
+// Submit hands one classified row to the write-behind path. It blocks while
+// the row's shard queue is full (backpressure) and returns ErrClosed once
+// Close has begun.
+func (p *Pipeline) Submit(row dataset.IngestRow) error {
+	p.closeMu.RLock()
+	defer p.closeMu.RUnlock()
+	if p.closed {
+		return ErrClosed
+	}
+	shard := p.rr.Add(1) % uint64(len(p.queues))
+	p.queues[shard] <- row
+	return nil
+}
+
+// add appends one row to the pending batch, sealing when the size
+// threshold is reached. The seal's encode+write runs outside the lock, so
+// other shards keep batching while a segment is written behind.
+func (p *Pipeline) add(row dataset.IngestRow) {
+	p.rows.Add(1)
+	p.mu.Lock()
+	if len(p.pending) == 0 {
+		p.oldest = time.Now()
+	}
+	p.pending = append(p.pending, row)
+	if len(p.pending) < p.cfg.BatchRows {
+		p.mu.Unlock()
+		return
+	}
+	batch, seq := p.takeLocked()
+	p.mu.Unlock()
+	p.seal(batch, seq)
+}
+
+// takeLocked detaches the pending batch and claims the next segment number.
+// Callers hold p.mu.
+func (p *Pipeline) takeLocked() ([]dataset.IngestRow, int) {
+	batch := p.pending
+	p.pending = make([]dataset.IngestRow, 0, p.cfg.BatchRows)
+	seq := p.segSeq
+	p.segSeq++
+	return batch, seq
+}
+
+// ageFlusher seals partial batches whose oldest row exceeds MaxBatchAge.
+func (p *Pipeline) ageFlusher() {
+	defer close(p.ageDone)
+	if p.cfg.MaxBatchAge < 0 {
+		<-p.ageStop
+		return
+	}
+	tick := p.cfg.MaxBatchAge / 4
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.ageStop:
+			return
+		case <-t.C:
+			p.mu.Lock()
+			if len(p.pending) == 0 || time.Since(p.oldest) < p.cfg.MaxBatchAge {
+				p.mu.Unlock()
+				continue
+			}
+			batch, seq := p.takeLocked()
+			p.mu.Unlock()
+			p.seal(batch, seq)
+		}
+	}
+}
+
+// seal sorts a batch into the stable key order, encodes it as a one-section
+// .sxc image, and atomically writes segment file seq. Errors latch into
+// firstErr and surface from Close.
+func (p *Pipeline) seal(batch []dataset.IngestRow, seq int) {
+	if len(batch) == 0 {
+		return
+	}
+	dataset.SortIngestRows(batch)
+	buf, err := dataset.EncodeIngestSegment(dataset.ColumnizeIngest(batch))
+	if err == nil {
+		err = writeAtomic(p.segmentPath(seq), buf)
+	}
+	if err != nil {
+		p.mu.Lock()
+		if p.firstErr == nil {
+			p.firstErr = fmt.Errorf("ingest: seal segment %d: %w", seq, err)
+		}
+		p.mu.Unlock()
+		return
+	}
+	p.seals.Add(1)
+	p.sealed.Add(uint64(len(batch)))
+}
+
+func (p *Pipeline) segmentPath(seq int) string {
+	return filepath.Join(p.cfg.Dir, fmt.Sprintf("seg-%08d%s", seq, segmentSuffix))
+}
+
+// writeAtomic is the store's tempfile+rename discipline: readers never see
+// a partial segment, and crashed writers leave only removable temp files.
+func writeAtomic(path string, buf []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// Close drains and seals everything: it stops intake (subsequent Submits
+// return ErrClosed), waits for the queues to empty, seals the final partial
+// batch, and returns the first seal error, if any.
+func (p *Pipeline) Close() error {
+	p.closeMu.Lock()
+	alreadyClosed := p.closed
+	p.closed = true
+	if !alreadyClosed {
+		for _, q := range p.queues {
+			close(q)
+		}
+	}
+	p.closeMu.Unlock()
+	if alreadyClosed {
+		<-p.ageDone
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return p.firstErr
+	}
+	p.drainers.Wait()
+	select {
+	case <-p.ageDone:
+	default:
+		close(p.ageStop)
+		<-p.ageDone
+	}
+	p.mu.Lock()
+	batch, seq := p.takeLocked()
+	p.mu.Unlock()
+	p.seal(batch, seq)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.firstErr
+}
+
+// Stats reports the pipeline's row accounting.
+func (p *Pipeline) Stats() (queued, sealedRows, segments uint64) {
+	return p.rows.Load(), p.sealed.Load(), p.seals.Load()
+}
+
+const (
+	segmentSuffix = ".sxc"
+	// CompactedName is the canonical snapshot Compact writes.
+	CompactedName = "ingest.sxc"
+)
+
+// Compact merges every sealed segment in dir (and any previous compacted
+// snapshot) into the single canonical snapshot CompactedName, sorted by the
+// stable row key, then removes the merged segments. The result's bytes are
+// a function of the ingested row set alone: any worker count, shard count,
+// or arrival interleaving that drained the same rows compacts to the same
+// file — the determinism contract the tests gate.
+func Compact(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.Type().IsRegular() && strings.HasSuffix(name, segmentSuffix) {
+			files = append(files, name)
+		}
+	}
+	sort.Strings(files)
+	var rows []dataset.IngestRow
+	for _, name := range files {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return "", err
+		}
+		cols, err := dataset.DecodeIngestSegment(data)
+		if err != nil {
+			return "", fmt.Errorf("ingest: compact %s: %w", name, err)
+		}
+		rows = append(rows, cols.Rows()...)
+	}
+	dataset.SortIngestRows(rows)
+	buf, err := dataset.EncodeIngestSegment(dataset.ColumnizeIngest(rows))
+	if err != nil {
+		return "", err
+	}
+	out := filepath.Join(dir, CompactedName)
+	if err := writeAtomic(out, buf); err != nil {
+		return "", err
+	}
+	for _, name := range files {
+		if name == CompactedName {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			return "", err
+		}
+	}
+	return out, nil
+}

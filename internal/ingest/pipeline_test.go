@@ -1,0 +1,239 @@
+package ingest
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"speedctx/internal/dataset"
+)
+
+func testRows(n int, seed int64) []dataset.IngestRow {
+	rng := rand.New(rand.NewSource(seed))
+	base := time.Unix(1609459200, 0).UTC()
+	rows := make([]dataset.IngestRow, n)
+	for i := range rows {
+		rows[i] = dataset.IngestRow{
+			TestID:       i,
+			UserID:       rng.Intn(n/4 + 1),
+			City:         string(rune('A' + i%4)),
+			ISP:          "ISP-" + string(rune('A'+i%4)),
+			Timestamp:    base.Add(time.Duration(i) * time.Second),
+			DownloadMbps: rng.Float64() * 1000,
+			UploadMbps:   rng.Float64() * 35,
+			LatencyMs:    rng.Float64() * 50,
+			UploadTier:   rng.Intn(5) - 1,
+			Tier:         rng.Intn(7),
+			Confidence:   rng.Float64(),
+		}
+	}
+	return rows
+}
+
+// compactBytes drains rows through a pipeline with the given shape, closes
+// it, compacts, and returns the canonical snapshot bytes.
+func compactBytes(t *testing.T, rows []dataset.IngestRow, cfg PipelineConfig, producers int) []byte {
+	t.Helper()
+	cfg.Dir = t.TempDir()
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(rows); i += producers {
+				if err := p.Submit(rows[i]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	queued, sealed, _ := p.Stats()
+	if queued != uint64(len(rows)) || sealed != uint64(len(rows)) {
+		t.Fatalf("queued=%d sealed=%d, want %d rows (no drops)", queued, sealed, len(rows))
+	}
+	out, err := Compact(cfg.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// TestPipelineDeterministicSnapshot is the tentpole contract: draining the
+// same N rows yields a byte-identical compacted snapshot regardless of
+// shard count, queue depth, batch size, producer count, or interleaving.
+func TestPipelineDeterministicSnapshot(t *testing.T) {
+	rows := testRows(2000, 1)
+	want := compactBytes(t, rows, PipelineConfig{
+		QueueShards: 1, BatchRows: 1 << 20, MaxBatchAge: -1,
+	}, 1)
+	variants := []struct {
+		name      string
+		cfg       PipelineConfig
+		producers int
+	}{
+		{"shards4-small-batches", PipelineConfig{QueueShards: 4, QueueDepth: 16, BatchRows: 64, MaxBatchAge: -1}, 8},
+		{"shards2-age-flush", PipelineConfig{QueueShards: 2, BatchRows: 1 << 20, MaxBatchAge: time.Millisecond}, 4},
+		{"shards8-deep", PipelineConfig{QueueShards: 8, QueueDepth: 1, BatchRows: 100, MaxBatchAge: -1}, 16},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			// Shuffle the submission order too: arrival order must not
+			// leak into the snapshot.
+			shuffled := append([]dataset.IngestRow(nil), rows...)
+			rand.New(rand.NewSource(99)).Shuffle(len(shuffled), func(i, j int) {
+				shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+			})
+			got := compactBytes(t, shuffled, v.cfg, v.producers)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("compacted snapshot differs from serial reference (%d vs %d bytes)", len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestPipelineBackpressure pins the no-drop contract: with the drainers
+// parked, Submit blocks once the shard queue is full — it neither drops
+// nor errors — and completes when draining starts.
+func TestPipelineBackpressure(t *testing.T) {
+	p, err := newPipeline(PipelineConfig{
+		Dir: t.TempDir(), QueueShards: 1, QueueDepth: 2, BatchRows: 1 << 20, MaxBatchAge: -1,
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := testRows(4, 2)
+	for i := 0; i < 2; i++ {
+		if err := p.Submit(rows[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blocked := make(chan error, 1)
+	go func() { blocked <- p.Submit(rows[2]) }()
+	select {
+	case err := <-blocked:
+		t.Fatalf("Submit on a full queue returned (%v); want it to block", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	p.startDrain()
+	select {
+	case err := <-blocked:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked Submit never completed after drain started")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, sealed, _ := p.Stats(); sealed != 3 {
+		t.Fatalf("sealed %d rows, want 3 (backpressure must not drop)", sealed)
+	}
+}
+
+func TestPipelineSubmitAfterClose(t *testing.T) {
+	p, err := NewPipeline(PipelineConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Submit(testRows(1, 3)[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("second Close = %v", err)
+	}
+}
+
+// TestPipelineAgeFlush verifies a trickle seals without reaching BatchRows.
+func TestPipelineAgeFlush(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NewPipeline(PipelineConfig{
+		Dir: dir, BatchRows: 1 << 20, MaxBatchAge: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.Submit(testRows(1, 4)[0]); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, _, segs := p.Stats(); segs >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("age flusher never sealed the partial batch")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*"+segmentSuffix))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no sealed segment on disk (err=%v)", err)
+	}
+}
+
+// TestCompactIsIdempotent re-compacts a compacted directory and also folds
+// in late segments, checking the snapshot stays canonical.
+func TestCompactIsIdempotent(t *testing.T) {
+	rows := testRows(300, 5)
+	dir := t.TempDir()
+	cfg := PipelineConfig{Dir: dir, BatchRows: 50, MaxBatchAge: -1}
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if err := p.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compact(dir); err != nil {
+		t.Fatal(err)
+	}
+	first, err := os.ReadFile(filepath.Join(dir, CompactedName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compact(dir); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(filepath.Join(dir, CompactedName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("re-compacting a compacted directory changed the snapshot")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("compacted dir has %d entries, want just %s", len(entries), CompactedName)
+	}
+}

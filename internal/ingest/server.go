@@ -1,0 +1,231 @@
+package ingest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"speedctx/internal/core"
+	"speedctx/internal/dataset"
+)
+
+// Server is the ingest HTTP surface. Each accepted submission is
+// classified synchronously against its city's fitted BST model (the ack
+// carries tier, upload tier and confidence) and then handed to the
+// write-behind Pipeline.
+//
+// Endpoints:
+//
+//	POST /v1/ingest        one submission object; ack is one JSON object
+//	POST /v1/ingest/batch  NDJSON, one submission per line; ack is NDJSON
+//	                       of per-line results in input order
+//	GET  /healthz          liveness
+//	GET  /statsz           accepted/rejected/sealed counters as JSON
+//
+// The batch endpoint exists for throughput: it runs the exact same
+// parse → classify → Submit path per line, but amortizes the HTTP and
+// syscall overhead that dominates single-POST ingest on small machines.
+type Server struct {
+	pipe        *Pipeline
+	classifiers map[string]*core.Classifier
+
+	accepted atomic.Uint64
+	rejected atomic.Uint64
+
+	bufPool sync.Pool // *[]byte request/response scratch
+}
+
+// NewServer wires the per-city classifiers in front of a pipeline. The
+// classifier map's keys are the city IDs submissions name in their "city"
+// field; a submission for an absent city is rejected, not guessed.
+func NewServer(pipe *Pipeline, classifiers map[string]*core.Classifier) *Server {
+	return &Server{
+		pipe:        pipe,
+		classifiers: classifiers,
+		bufPool: sync.Pool{New: func() any {
+			b := make([]byte, 0, 4096)
+			return &b
+		}},
+	}
+}
+
+// Handler returns the route mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/ingest", s.handleOne)
+	mux.HandleFunc("/v1/ingest/batch", s.handleBatch)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/statsz", s.handleStats)
+	return mux
+}
+
+// maxBodyBytes bounds a request body; large enough for a ~64k-row batch.
+const maxBodyBytes = 32 << 20
+
+// readBody slurps the request body into pooled scratch. The returned
+// release func must be called after the bytes are no longer referenced.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, func(), error) {
+	bp := s.bufPool.Get().(*[]byte)
+	buf := bytes.NewBuffer((*bp)[:0])
+	_, err := io.Copy(buf, io.LimitReader(r.Body, maxBodyBytes+1))
+	release := func() {
+		b := buf.Bytes()
+		*bp = b[:0]
+		s.bufPool.Put(bp)
+	}
+	if err != nil {
+		release()
+		return nil, nil, err
+	}
+	if buf.Len() > maxBodyBytes {
+		release()
+		return nil, nil, errors.New("ingest: request body too large")
+	}
+	return buf.Bytes(), release, nil
+}
+
+// classify validates one parsed row against its city model and stamps the
+// assignment fields. It is the single accept/reject decision point for
+// both endpoints.
+func (s *Server) classify(row *dataset.IngestRow) error {
+	cl, ok := s.classifiers[row.City]
+	if !ok {
+		return fmt.Errorf("ingest: unknown city %q", row.City)
+	}
+	a := cl.ClassifyOne(row.DownloadMbps, row.UploadMbps)
+	row.UploadTier = a.UploadTier
+	row.Tier = a.Tier
+	row.Confidence = a.Confidence
+	return nil
+}
+
+func (s *Server) handleOne(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, release, err := s.readBody(w, r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	defer release()
+	var row dataset.IngestRow
+	if err := parseSubmission(body, &row); err != nil {
+		s.rejected.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.classify(&row); err != nil {
+		s.rejected.Add(1)
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	if err := s.pipe.Submit(row); err != nil {
+		s.rejected.Add(1)
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	s.accepted.Add(1)
+	ack := s.bufPool.Get().(*[]byte)
+	out := appendAck((*ack)[:0], core.Assignment{
+		UploadTier: row.UploadTier, Tier: row.Tier, Confidence: row.Confidence,
+	})
+	out = append(out, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(out)
+	*ack = out[:0]
+	s.bufPool.Put(ack)
+}
+
+// handleBatch ingests NDJSON. Every line gets a same-position NDJSON
+// response line — an ack for accepted rows, {"error":...} for rejected
+// ones — so a client can pair results without ids. A full queue still
+// blocks (backpressure through the batch too); only a closed pipeline
+// fails the request.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, release, err := s.readBody(w, r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	defer release()
+	ack := s.bufPool.Get().(*[]byte)
+	out := (*ack)[:0]
+	for len(body) > 0 {
+		line := body
+		if nl := bytes.IndexByte(body, '\n'); nl >= 0 {
+			line, body = body[:nl], body[nl+1:]
+		} else {
+			body = nil
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var row dataset.IngestRow
+		err := parseSubmission(line, &row)
+		if err == nil {
+			err = s.classify(&row)
+		}
+		if err == nil {
+			err = s.pipe.Submit(row)
+			if err != nil {
+				// Closed pipeline: nothing later can be accepted either.
+				s.rejected.Add(1)
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				*ack = out[:0]
+				s.bufPool.Put(ack)
+				return
+			}
+		}
+		if err != nil {
+			s.rejected.Add(1)
+			out = appendError(out, err)
+		} else {
+			s.accepted.Add(1)
+			out = appendAck(out, core.Assignment{
+				UploadTier: row.UploadTier, Tier: row.Tier, Confidence: row.Confidence,
+			})
+		}
+		out = append(out, '\n')
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Write(out)
+	*ack = out[:0]
+	s.bufPool.Put(ack)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	queued, sealedRows, segments := s.pipe.Stats()
+	var out []byte
+	out = append(out, `{"accepted":`...)
+	out = strconv.AppendUint(out, s.accepted.Load(), 10)
+	out = append(out, `,"rejected":`...)
+	out = strconv.AppendUint(out, s.rejected.Load(), 10)
+	out = append(out, `,"queued":`...)
+	out = strconv.AppendUint(out, queued, 10)
+	out = append(out, `,"sealed_rows":`...)
+	out = strconv.AppendUint(out, sealedRows, 10)
+	out = append(out, `,"segments":`...)
+	out = strconv.AppendUint(out, segments, 10)
+	out = append(out, '}', '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(out)
+}
+
+// Counts reports the server's accept/reject totals.
+func (s *Server) Counts() (accepted, rejected uint64) {
+	return s.accepted.Load(), s.rejected.Load()
+}

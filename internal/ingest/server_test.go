@@ -1,0 +1,360 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"speedctx/internal/core"
+	"speedctx/internal/dataset"
+	"speedctx/internal/experiments"
+)
+
+// testClassifiers fits the suite's city models once per test binary; the
+// suite's fit cache makes repeat calls cheap.
+var (
+	classifierOnce sync.Once
+	classifierMap  map[string]*core.Classifier
+	classifierErr  error
+	classifierRows []dataset.IngestRow
+)
+
+func loadClassifiers(t testing.TB) (map[string]*core.Classifier, []dataset.IngestRow) {
+	classifierOnce.Do(func() {
+		s := experiments.NewSuite(0.001, 2021)
+		s.FastFit = true
+		classifierMap = map[string]*core.Classifier{}
+		base := time.Unix(1609459200, 0).UTC()
+		for _, id := range []string{"A", "B"} {
+			cl, err := s.CityClassifier(id)
+			if err != nil {
+				classifierErr = err
+				return
+			}
+			classifierMap[id] = cl
+			b, err := s.City(id)
+			if err != nil {
+				classifierErr = err
+				return
+			}
+			samples := b.OoklaSampleView()
+			for j := 0; j < 300; j++ {
+				sm := samples[j%len(samples)]
+				classifierRows = append(classifierRows, dataset.IngestRow{
+					TestID:       len(classifierRows),
+					UserID:       j % 50,
+					City:         id,
+					ISP:          "ISP-" + id,
+					Timestamp:    base.Add(time.Duration(len(classifierRows)) * time.Second),
+					DownloadMbps: sm.Download,
+					UploadMbps:   sm.Upload,
+					LatencyMs:    float64(j%40) + 0.5,
+				})
+			}
+		}
+	})
+	if classifierErr != nil {
+		t.Fatal(classifierErr)
+	}
+	return classifierMap, classifierRows
+}
+
+// startServer spins up a Server over a fresh pipeline in dir.
+func startServer(t testing.TB, dir string, cfg PipelineConfig, cls map[string]*core.Classifier) (*httptest.Server, *Server, *Pipeline) {
+	t.Helper()
+	cfg.Dir = dir
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(p, cls)
+	ts := httptest.NewServer(srv.Handler())
+	return ts, srv, p
+}
+
+func postOne(t testing.TB, client *http.Client, url string, row *dataset.IngestRow) []byte {
+	t.Helper()
+	resp, err := client.Post(url+"/v1/ingest", "application/json",
+		bytes.NewReader(AppendSubmission(nil, row)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/ingest = %d: %s", resp.StatusCode, body)
+	}
+	return body
+}
+
+type ack struct {
+	Tier       int     `json:"tier"`
+	UploadTier int     `json:"upload_tier"`
+	Confidence float64 `json:"confidence"`
+	Error      string  `json:"error"`
+}
+
+// TestServerAckMatchesClassifier checks the HTTP ack carries exactly the
+// assignment ClassifyOne computes for the same tuple.
+func TestServerAckMatchesClassifier(t *testing.T) {
+	cls, rows := loadClassifiers(t)
+	ts, _, p := startServer(t, t.TempDir(), PipelineConfig{}, cls)
+	defer ts.Close()
+	defer p.Close()
+	for _, i := range []int{0, 1, 17, 299, 300, 599} {
+		row := rows[i]
+		var got ack
+		if err := json.Unmarshal(postOne(t, ts.Client(), ts.URL, &row), &got); err != nil {
+			t.Fatal(err)
+		}
+		want := cls[row.City].ClassifyOne(row.DownloadMbps, row.UploadMbps)
+		if got.Tier != want.Tier || got.UploadTier != want.UploadTier ||
+			math.Float64bits(got.Confidence) != math.Float64bits(want.Confidence) {
+			t.Fatalf("row %d ack = %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+// serveAndCompact drives rows through a server (single or batch endpoint,
+// any number of connections), shuts down, compacts, and returns the
+// canonical snapshot bytes.
+func serveAndCompact(t *testing.T, rows []dataset.IngestRow, cfg PipelineConfig, cls map[string]*core.Classifier, conns, batch int) []byte {
+	t.Helper()
+	dir := t.TempDir()
+	ts, srv, p := startServer(t, dir, cfg, cls)
+	var wg sync.WaitGroup
+	for w := 0; w < conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := ts.Client()
+			if batch <= 1 {
+				for i := w; i < len(rows); i += conns {
+					postOne(t, client, ts.URL, &rows[i])
+				}
+				return
+			}
+			var buf []byte
+			flush := func() {
+				if len(buf) == 0 {
+					return
+				}
+				resp, err := client.Post(ts.URL+"/v1/ingest/batch", "application/x-ndjson", bytes.NewReader(buf))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("batch POST = %d: %s", resp.StatusCode, body)
+				}
+				buf = buf[:0]
+			}
+			n := 0
+			for i := w; i < len(rows); i += conns {
+				buf = AppendSubmission(buf, &rows[i])
+				buf = append(buf, '\n')
+				if n++; n%batch == 0 {
+					flush()
+				}
+			}
+			flush()
+		}(w)
+	}
+	wg.Wait()
+	ts.Close()
+	if acc, rej := srv.Counts(); acc != uint64(len(rows)) || rej != 0 {
+		t.Fatalf("accepted=%d rejected=%d, want %d/0", acc, rej, len(rows))
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Compact(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// TestServerDeterministicSnapshot is the end-to-end determinism gate: the
+// compacted snapshot after draining N results through the full HTTP path
+// is byte-identical to a serial drain, at every combination of shard
+// count, connection count, and endpoint.
+func TestServerDeterministicSnapshot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end determinism matrix")
+	}
+	cls, rows := loadClassifiers(t)
+	want := serveAndCompact(t, rows, PipelineConfig{QueueShards: 1, MaxBatchAge: -1}, cls, 1, 1)
+	variants := []struct {
+		name  string
+		cfg   PipelineConfig
+		conns int
+		batch int
+	}{
+		{"shards4-conns8-single", PipelineConfig{QueueShards: 4, QueueDepth: 32, BatchRows: 64, MaxBatchAge: -1}, 8, 1},
+		{"shards2-conns8-batch64", PipelineConfig{QueueShards: 2, BatchRows: 100, MaxBatchAge: -1}, 8, 64},
+		{"shards8-conns4-batch7", PipelineConfig{QueueShards: 8, QueueDepth: 8, BatchRows: 33, MaxBatchAge: -1}, 4, 7},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			got := serveAndCompact(t, rows, v.cfg, cls, v.conns, v.batch)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("snapshot differs from serial reference (%d vs %d bytes)", len(got), len(want))
+			}
+		})
+	}
+}
+
+func TestServerRejections(t *testing.T) {
+	cls, rows := loadClassifiers(t)
+	ts, srv, p := startServer(t, t.TempDir(), PipelineConfig{}, cls)
+	defer ts.Close()
+	defer p.Close()
+
+	// Unknown city → 422.
+	bad := rows[0]
+	bad.City = "Z"
+	resp, err := ts.Client().Post(ts.URL+"/v1/ingest", "application/json",
+		bytes.NewReader(AppendSubmission(nil, &bad)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown city status = %d, want 422", resp.StatusCode)
+	}
+
+	// Malformed body → 400.
+	resp, err = ts.Client().Post(ts.URL+"/v1/ingest", "application/json",
+		strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed status = %d, want 400", resp.StatusCode)
+	}
+
+	// Batch: bad line gets an error ack in position, good lines proceed.
+	var buf []byte
+	buf = AppendSubmission(buf, &rows[1])
+	buf = append(buf, '\n')
+	buf = append(buf, "{broken}\n"...)
+	buf = AppendSubmission(buf, &bad)
+	buf = append(buf, '\n')
+	buf = AppendSubmission(buf, &rows[2])
+	buf = append(buf, '\n')
+	resp, err = ts.Client().Post(ts.URL+"/v1/ingest/batch", "application/x-ndjson", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d: %s", resp.StatusCode, body)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("batch acks = %d lines, want 4:\n%s", len(lines), body)
+	}
+	for i, wantErr := range []bool{false, true, true, false} {
+		var a ack
+		if err := json.Unmarshal([]byte(lines[i]), &a); err != nil {
+			t.Fatalf("ack line %d: %v", i, err)
+		}
+		if (a.Error != "") != wantErr {
+			t.Fatalf("ack line %d = %s, wantErr=%v", i, lines[i], wantErr)
+		}
+	}
+
+	if acc, rej := srv.Counts(); acc != 2 || rej != 4 {
+		t.Fatalf("counts = %d/%d, want accepted 2, rejected 4", acc, rej)
+	}
+
+	// statsz reflects the counters.
+	resp, err = ts.Client().Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var stats struct {
+		Accepted uint64 `json:"accepted"`
+		Rejected uint64 `json:"rejected"`
+	}
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatalf("statsz: %v: %s", err, body)
+	}
+	if stats.Accepted != 2 || stats.Rejected != 4 {
+		t.Fatalf("statsz = %s, want accepted 2, rejected 4", body)
+	}
+
+	// healthz answers.
+	resp, err = ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+}
+
+// TestServerSnapshotLoadsAsCitySnapshot checks the compacted ingest
+// snapshot decodes through the standard store codec and carries the
+// classification stamped at ingest time.
+func TestServerSnapshotLoadsAsCitySnapshot(t *testing.T) {
+	cls, rows := loadClassifiers(t)
+	dir := t.TempDir()
+	ts, _, p := startServer(t, dir, PipelineConfig{}, cls)
+	for i := range rows[:50] {
+		postOne(t, ts.Client(), ts.URL, &rows[i])
+	}
+	ts.Close()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Compact(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, err := dataset.DecodeIngestSegment(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols.Len() != 50 {
+		t.Fatalf("snapshot rows = %d, want 50", cols.Len())
+	}
+	for i := 0; i < cols.Len(); i++ {
+		want := cls[cols.City[i]].ClassifyOne(cols.Download[i], cols.Upload[i])
+		if cols.Tier[i] != want.Tier || cols.UploadTier[i] != want.UploadTier ||
+			math.Float64bits(cols.Confidence[i]) != math.Float64bits(want.Confidence) {
+			t.Fatalf("row %d: stored assignment (%d,%d,%v) != recomputed %+v",
+				i, cols.Tier[i], cols.UploadTier[i], cols.Confidence[i], want)
+		}
+	}
+}

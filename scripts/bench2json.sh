@@ -1,19 +1,34 @@
 #!/bin/sh
 # bench2json.sh — convert `go test -bench` output on stdin to a flat JSON
-# object mapping benchmark name -> ns/op, for the committed BENCH_pr*.json
-# perf-trajectory files.
+# object for the committed BENCH_pr*.json perf-trajectory files. Each
+# benchmark contributes its ns/op under its name, plus one
+# "name:unit" entry per custom metric it reports (b.ReportMetric): the
+# ingest benches emit request-latency percentiles (`p99-lat-ns` etc.) and
+# sustained `rows/s`.
 #
 # When the input carries repeated measurements of the same benchmark
-# (`go test -count N`), the MINIMUM ns/op is kept: scheduler preemption,
-# noisy neighbors on shared VMs, and frequency scaling only ever inflate a
-# wall-clock sample, so the smallest of N runs is the least-contaminated
-# estimate of what the code actually costs.
+# (`go test -count N`), the MINIMUM is kept for time-like metrics:
+# scheduler preemption, noisy neighbors on shared VMs, and frequency
+# scaling only ever inflate a wall-clock sample, so the smallest of N runs
+# is the least-contaminated estimate of what the code actually costs. For
+# rate metrics (rows/s), where contamination deflates, the MAXIMUM is kept
+# by the same logic.
 exec awk '
 /^Benchmark/ {
-	gsub(/,/, "", $3)
-	v = $3 + 0
-	if (!($1 in best) || v < best[$1]) best[$1] = v
-	if (!($1 in seen)) { order[++n] = $1; seen[$1] = 1 }
+	# Fields: name iters v1 u1 v2 u2 ... — walk the value/unit pairs.
+	for (f = 3; f + 1 <= NF; f += 2) {
+		v = $f; gsub(/,/, "", v); v = v + 0
+		u = $(f + 1)
+		if (u == "ns/op") key = $1
+		else if (u ~ /-lat-ns$/ || u == "rows/s") key = $1 ":" u
+		else continue
+		if (u == "rows/s") {
+			if (!(key in best) || v > best[key]) best[key] = v
+		} else {
+			if (!(key in best) || v < best[key]) best[key] = v
+		}
+		if (!(key in seen)) { order[++n] = key; seen[key] = 1 }
+	}
 }
 END {
 	print "{"

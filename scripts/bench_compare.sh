@@ -65,9 +65,15 @@ BEGIN {
 	parse(oldfile, old)
 	nshared = 0
 	for (name in new) {
-		if (!(name in old) || old[name] <= 0) continue
+		if (!(name in old) || old[name] <= 0 || new[name] <= 0) continue
 		shared[++nshared] = name
-		ratio[nshared] = new[name] / old[name]
+		# Time-like entries (ns/op, latency percentiles): new/old, so >1 is
+		# worse. Rate entries (":rows/s" from the ingest benches) invert —
+		# old/new — keeping "ratio > 1 means regression" uniform below.
+		if (name ~ /:rows\/s$/)
+			ratio[nshared] = old[name] / new[name]
+		else
+			ratio[nshared] = new[name] / old[name]
 	}
 	if (nshared == 0) {
 		printf "bench_compare: no shared entries between %s and %s\n", newfile, oldfile
