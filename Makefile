@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-smoke bench-baseline bench-compare snapshot-verify load-smoke
+.PHONY: check vet build test race bench bench-smoke bench-baseline bench-compare snapshot-verify sketch-verify load-smoke
 
-check: vet build race bench-smoke bench-compare snapshot-verify load-smoke
+check: vet build race bench-smoke bench-compare snapshot-verify sketch-verify load-smoke
 
 vet:
 	$(GO) vet ./...
@@ -24,19 +24,19 @@ race:
 # generation benchmarks — enough to catch a broken benchmark without paying
 # for a full measurement run.
 bench-smoke:
-	$(GO) test -run NONE -bench 'KDEGrid|FitGMM' -benchtime 1x ./internal/stats/
+	$(GO) test -run NONE -bench 'KDEGrid|FitGMM|SketchMerge' -benchtime 1x ./internal/stats/
 	$(GO) test -run NONE -bench 'GenerateOokla/n=10000$$|WriteOoklaCSV|ReadOoklaCSV/n=100000|OoklaIngest/n=100000/src=(csv|snapshot)' -benchtime 1x ./internal/dataset/
-	$(GO) test -run NONE -bench 'ClassifyOne' -benchtime 1x ./internal/core/
-	$(GO) test -run NONE -bench 'IngestHTTPBatch64|ParseSubmission' -benchtime 1x ./internal/ingest/
+	$(GO) test -run NONE -bench 'ClassifyOne|FitFromSketches' -benchtime 1x ./internal/core/
+	$(GO) test -run NONE -bench 'IngestHTTPBatch64|ParseSubmission|ServerWarmRefresh' -benchtime 1x ./internal/ingest/
 
 # bench runs the full stats + generation benchmark suite with memory stats.
 # The n=1000000 generation sizes need more than go test's default 10m.
 bench:
-	$(GO) test -run NONE -bench 'KDEGrid|KDEPeaks|FitGMM' -benchmem ./internal/stats/
+	$(GO) test -run NONE -bench 'KDEGrid|KDEPeaks|FitGMM|SketchMerge' -benchmem ./internal/stats/
 	$(GO) test -run NONE -bench 'GenerateOokla|GenerateMLab|WriteOoklaCSV|ReadOoklaCSV|OoklaIngest' -benchmem -timeout 60m ./internal/dataset/
 	$(GO) test -run NONE -bench 'AllSnapshot' -benchmem -timeout 60m ./cmd/speedctx/
-	$(GO) test -run NONE -bench 'ClassifyOne' -benchmem ./internal/core/
-	$(GO) test -run NONE -bench 'IngestHTTP|IngestPipelineSubmit|ParseSubmission' -benchmem ./internal/ingest/
+	$(GO) test -run NONE -bench 'ClassifyOne|FitFromSketches' -benchmem ./internal/core/
+	$(GO) test -run NONE -bench 'IngestHTTP|IngestPipelineSubmit|ParseSubmission|ServerWarmRefresh' -benchmem ./internal/ingest/
 
 # bench-baseline records the perf trajectory file for this PR series:
 # benchmark name -> ns/op. Compare future PRs against the committed
@@ -46,23 +46,25 @@ bench:
 # large-n throughput, are stable run-to-run, and exist for the trajectory,
 # not statistical precision.
 bench-baseline:
-	( $(GO) test -run NONE -bench 'KDEGrid|KDEPeaks|FitGMM' -benchtime 2x -count 5 ./internal/stats/ ; \
+	( $(GO) test -run NONE -bench 'KDEGrid|KDEPeaks|FitGMM|SketchMerge' -benchtime 2x -count 5 ./internal/stats/ ; \
 	  $(GO) test -run NONE -bench 'GenerateOokla|GenerateMLab|WriteOoklaCSV' -benchtime 1x -timeout 60m ./internal/dataset/ ; \
 	  $(GO) test -run NONE -bench 'ReadOoklaCSV|OoklaIngest' -benchtime 1x -count 3 -timeout 60m ./internal/dataset/ ; \
 	  $(GO) test -run NONE -bench 'AllSnapshot' -benchtime 1x -count 2 -timeout 60m ./cmd/speedctx/ ; \
 	  $(GO) test -run NONE -bench 'ClassifyOne' -benchtime 200000x -count 5 ./internal/core/ ; \
+	  $(GO) test -run NONE -bench 'FitFromSketches' -benchtime 20x -count 5 ./internal/core/ ; \
 	  $(GO) test -run NONE -bench 'IngestPipelineSubmit|ParseSubmission' -benchtime 200000x -count 3 ./internal/ingest/ ; \
+	  $(GO) test -run NONE -bench 'ServerWarmRefresh' -benchtime 20x -count 5 ./internal/ingest/ ; \
 	  $(GO) test -run NONE -bench 'IngestHTTP' -benchtime 3000x -count 3 ./internal/ingest/ ) \
-		| scripts/bench2json.sh > BENCH_pr6.json
-	@cat BENCH_pr6.json
+		| scripts/bench2json.sh > BENCH_pr7.json
+	@cat BENCH_pr7.json
 
 # bench-compare gates the committed perf trajectory: fail if any benchmark
 # shared with an earlier baseline regressed >10% (machine-normalized; see
-# scripts/bench_compare.sh). The serving-path entries (ClassifyOne, the
-# Ingest* HTTP/pipeline benches and their latency-percentile and rows/s
-# metrics) are new in BENCH_pr6 — future PRs gate against them.
+# scripts/bench_compare.sh). The sketch entries (SketchMerge, FitGMMSketch,
+# FitFromSketches, ServerWarmRefresh — the live-refresh refit path) are new
+# in BENCH_pr7 — future PRs gate against them.
 bench-compare:
-	scripts/bench_compare.sh BENCH_pr6.json BENCH_pr5.json BENCH_pr4.json BENCH_pr3.json BENCH_pr1.json
+	scripts/bench_compare.sh BENCH_pr7.json BENCH_pr6.json BENCH_pr5.json BENCH_pr4.json BENCH_pr3.json BENCH_pr1.json
 
 # snapshot-verify is the end-to-end identity gate for the snapshot store
 # (DESIGN.md §10): a no-snapshot run, a cold-cache run (generate + write
@@ -76,6 +78,14 @@ snapshot-verify:
 	$(GO) run ./cmd/speedctx all -scale 0.005 -snapshot-dir $$dir/snaps > $$dir/warm.txt && \
 	cmp $$dir/plain.txt $$dir/cold.txt && cmp $$dir/plain.txt $$dir/warm.txt && \
 	rm -rf $$dir && echo "snapshot-verify: cold and warm snapshot runs byte-identical"
+
+# sketch-verify is the end-to-end determinism gate for mergeable sketches
+# (DESIGN.md §12): a BST refit from bin-mass sketches sharded across
+# {1,7,64} holders and merged in several orders must be byte-identical to
+# the single-pass fast fit over the raw samples — the property the ingest
+# refresh loop's correctness rests on.
+sketch-verify:
+	$(GO) run ./cmd/speedctx sketch-verify
 
 # load-smoke is the serving-path gate: a bounded self-hosted run of the
 # load generator through the real HTTP ingest server must complete with

@@ -138,7 +138,7 @@ func runLoad(args []string, out io.Writer) error {
 			pipe.Close()
 			return err
 		}
-		httpSrv = &http.Server{Handler: ingest.NewServer(pipe, classifiers).Handler()}
+		httpSrv = &http.Server{Handler: ingest.NewServer(pipe, ingest.StaticModels(classifiers), ingest.ServerConfig{}).Handler()}
 		go httpSrv.Serve(ln)
 		target = ln.Addr().String()
 	}

@@ -57,6 +57,10 @@ func run(args []string, out io.Writer) error {
 		// batch size, rate floor) — dispatch before the common flags.
 		return runLoad(rest, out)
 	}
+	if cmd == "sketch-verify" {
+		// The determinism gate likewise owns its flags (shard counts).
+		return runSketchVerify(rest, out)
+	}
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	scale := fs.Float64("scale", 0.02, "fraction of the paper's dataset sizes")
 	seed := fs.Int64("seed", 2021, "generation seed")
@@ -108,7 +112,7 @@ func run(args []string, out io.Writer) error {
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: speedctx <table|figure|generate|bst|challenge|all|load> [args] [flags]")
+	return fmt.Errorf("usage: speedctx <table|figure|generate|bst|challenge|all|load|sketch-verify> [args] [flags]")
 }
 
 // challengeFile runs the FCC challenge-evidence screen over an Ookla CSV

@@ -1,0 +1,210 @@
+// The sketch-verify subcommand is the CI gate for the sketch determinism
+// contract (DESIGN.md §12):
+//
+//	speedctx sketch-verify [-city A] [-scale 0.002] [-seed 2021] [-shards 1,7,64]
+//
+// It fits a city's BST twice at every shard count — once single-pass over
+// the raw samples (-fast path), once from sketches sharded round-robin and
+// merged in several orders — and fails unless the fits are byte-identical
+// (every float compared by bit pattern via reflect.DeepEqual). This is the
+// property the ingest refresh loop relies on: a refit over merged segment
+// sketches must equal the refit a single holder of all rows would produce.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"reflect"
+	"strconv"
+	"strings"
+
+	"speedctx/internal/core"
+	"speedctx/internal/experiments"
+	"speedctx/internal/stats"
+)
+
+func runSketchVerify(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sketch-verify", flag.ContinueOnError)
+	city := fs.String("city", "A", "city identifier (A-D)")
+	scale := fs.Float64("scale", 0.02, "dataset scale for the verification fit (must yield >= 4096 uploads so the single-pass -fast path engages)")
+	seed := fs.Int64("seed", 2021, "generation seed")
+	shardsFlag := fs.String("shards", "1,7,64", "comma-separated shard counts to sweep")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var shardCounts []int
+	for _, f := range strings.Split(*shardsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return fmt.Errorf("sketch-verify: bad shard count %q", f)
+		}
+		shardCounts = append(shardCounts, n)
+	}
+
+	s := experiments.NewSuite(*scale, *seed)
+	s.FastFit = true
+	b, err := s.City(*city)
+	if err != nil {
+		return err
+	}
+	samples := b.OoklaSampleView()
+	cfg := s.BSTConfig()
+
+	// Reference: the raw-sample fit (engages the single-pass -fast sketch
+	// path internally) and its sketch-world restatement.
+	res, err := core.Fit(samples, b.Catalog, cfg)
+	if err != nil {
+		return err
+	}
+	spec := s.CitySketchSpec(b.Catalog)
+	single, err := core.SketchesFromResult(res, samples, spec)
+	if err != nil {
+		return err
+	}
+	want, err := core.FitFromSketches(single, b.Catalog, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "sketch-verify: city %s, %d samples, %d upload tiers, grid %d bins\n",
+		*city, len(samples), len(single.Downloads), spec.Upload.Bins)
+
+	// Stage-level contract: the stats fast path over raw uploads equals the
+	// sketch fit over the merged upload sketch on the same grid.
+	ups := make([]float64, len(samples))
+	for i, sm := range samples {
+		ups[i] = sm.Upload
+	}
+	if err := verifyStatsLevel(out, ups, cfg.FastFitBins, shardCounts); err != nil {
+		return err
+	}
+
+	tiers := len(b.Catalog.UploadTiers())
+	checks := 0
+	for _, shards := range shardCounts {
+		parts := make([]*core.TierSketches, shards)
+		for i := range parts {
+			if parts[i], err = core.NewTierSketches(spec, tiers); err != nil {
+				return err
+			}
+		}
+		for i, sm := range samples {
+			parts[i%shards].AddSample(res.Assignments[i].UploadTier, sm.Download, sm.Upload)
+		}
+		for oi, order := range mergeOrders(shards) {
+			merged, err := core.NewTierSketches(spec, tiers)
+			if err != nil {
+				return err
+			}
+			for _, pi := range order {
+				if err := merged.Merge(parts[pi]); err != nil {
+					return err
+				}
+			}
+			got, err := core.FitFromSketches(merged, b.Catalog, cfg)
+			if err != nil {
+				return err
+			}
+			if !reflect.DeepEqual(got, want) {
+				return fmt.Errorf("sketch-verify: FAIL: shards=%d order=%d: merged fit differs from single-sketch fit", shards, oi)
+			}
+			checks++
+		}
+		fmt.Fprintf(out, "sketch-verify: shards=%-3d OK (%d merge orders, fit byte-identical)\n",
+			shards, len(mergeOrders(shards)))
+	}
+	fmt.Fprintf(out, "sketch-verify: OK (%d merged fits byte-identical to the single-pass fit)\n", checks)
+	return nil
+}
+
+// verifyStatsLevel checks the stats-layer half of the contract: FitGMM's
+// single-pass fast path and FitGMMSketch over sharded-merged masses on the
+// identical grid.
+func verifyStatsLevel(out io.Writer, xs []float64, bins int, shardCounts []int) error {
+	// Below stats' fast-fit threshold FitGMM takes the exact path and the
+	// raw-vs-sketch comparison is vacuous — the caller must supply enough
+	// samples for the contract under test to engage.
+	const fastFitMinN = 4096
+	if len(xs) < fastFitMinN {
+		return fmt.Errorf("sketch-verify: only %d upload samples; need >= %d for the -fast path (raise -scale)", len(xs), fastFitMinN)
+	}
+	gcfg := stats.GMMConfig{FastFit: true, Bins: bins}
+	const k = 3
+	want, err := stats.FitGMM(xs, k, gcfg)
+	if err != nil {
+		return err
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if bins <= 0 {
+		bins = stats.DefaultSketchBins
+	}
+	for _, shards := range shardCounts {
+		parts := make([]*stats.Sketch, shards)
+		for i := range parts {
+			if parts[i], err = stats.NewSketch(lo, hi, bins); err != nil {
+				return err
+			}
+		}
+		for i, x := range xs {
+			parts[i%shards].Observe(x)
+		}
+		for oi, order := range mergeOrders(shards) {
+			merged, err := stats.NewSketch(lo, hi, bins)
+			if err != nil {
+				return err
+			}
+			for _, pi := range order {
+				if err := merged.Merge(parts[pi]); err != nil {
+					return err
+				}
+			}
+			got, err := stats.FitGMMSketch(merged, k, gcfg)
+			if err != nil {
+				return err
+			}
+			if !reflect.DeepEqual(got, want) {
+				return fmt.Errorf("sketch-verify: FAIL: stats level: shards=%d order=%d: sketch GMM differs from single-pass -fast GMM", shards, oi)
+			}
+		}
+	}
+	fmt.Fprintf(out, "sketch-verify: stats level OK (FitGMM -fast ≡ FitGMMSketch at every shard count)\n")
+	return nil
+}
+
+// mergeOrders returns deterministic permutations of 0..n-1: identity,
+// reversed, and an odd-stride interleave.
+func mergeOrders(n int) [][]int {
+	id := make([]int, n)
+	rev := make([]int, n)
+	for i := 0; i < n; i++ {
+		id[i] = i
+		rev[i] = n - 1 - i
+	}
+	if n == 1 {
+		return [][]int{id}
+	}
+	step := 5
+	for step%n == 0 {
+		step++
+	}
+	stride := make([]int, 0, n)
+	seen := make([]bool, n)
+	at := 0
+	for len(stride) < n {
+		for seen[at] {
+			at = (at + 1) % n
+		}
+		stride = append(stride, at)
+		seen[at] = true
+		at = (at + step) % n
+	}
+	return [][]int{id, rev, stride}
+}

@@ -76,6 +76,8 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	ingestShards := fs.Int("ingest-shards", 0, "ingest queue shards (0 = default 4)")
 	ingestDepth := fs.Int("ingest-depth", 0, "per-shard queue depth in rows (0 = default 4096)")
 	ingestCompact := fs.Bool("ingest-compact", true, "compact segments into one canonical snapshot at shutdown")
+	refitRows := fs.Int("ingest-refit-rows", 0, "refit a city's model once this many sealed rows await folding (0 = no row trigger)")
+	refitAge := fs.Duration("ingest-refit-age", 0, "refit a city's model once it is this old and sealed rows await folding (0 = no age trigger)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -98,12 +100,13 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	}
 
 	var (
-		pipe    *ingest.Pipeline
-		httpSrv *http.Server
-		httpErr = make(chan error, 1)
+		pipe      *ingest.Pipeline
+		ingestSrv *ingest.Server
+		httpSrv   *http.Server
+		httpErr   = make(chan error, 1)
 	)
 	if *ingestAddr != "" {
-		classifiers, err := loadIngestModels(*ingestCities, *ingestScale, *ingestSeed, *ingestFast, logf)
+		models, specs, fitCfg, err := loadIngestModels(*ingestCities, *ingestScale, *ingestSeed, *ingestFast, logf)
 		if err != nil {
 			return err
 		}
@@ -113,6 +116,7 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 			MaxBatchAge: *ingestAge,
 			QueueShards: *ingestShards,
 			QueueDepth:  *ingestDepth,
+			Sketches:    specs,
 		})
 		if err != nil {
 			return err
@@ -122,9 +126,15 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 			pipe.Close()
 			return fmt.Errorf("ingest: listen: %w", err)
 		}
-		httpSrv = &http.Server{Handler: ingest.NewServer(pipe, classifiers).Handler()}
+		ingestSrv = ingest.NewServer(pipe, models, ingest.ServerConfig{
+			RefitRows: *refitRows,
+			RefitAge:  *refitAge,
+			FitConfig: fitCfg,
+			Logf:      logf,
+		})
+		httpSrv = &http.Server{Handler: ingestSrv.Handler()}
 		bound.Ingest = ln.Addr().String()
-		logf("ingest listening on %s (%d city models, dir %s)", bound.Ingest, len(classifiers), *ingestDir)
+		logf("ingest listening on %s (%d city models, dir %s)", bound.Ingest, len(models), *ingestDir)
 		go func() { httpErr <- httpSrv.Serve(ln) }()
 	}
 
@@ -160,6 +170,9 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		}
 		cancel()
 	}
+	if ingestSrv != nil {
+		ingestSrv.Close()
+	}
 	if pipe != nil {
 		if err := pipe.Close(); err != nil && firstErr == nil {
 			firstErr = err
@@ -178,27 +191,31 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	return firstErr
 }
 
-// loadIngestModels fits (or loads via the suite's caches) one classifier
-// per requested city.
-func loadIngestModels(cities string, scale float64, seed int64, fast bool, logf func(string, ...any)) (map[string]*core.Classifier, error) {
+// loadIngestModels fits (or loads via the suite's caches) one serving
+// model per requested city: the startup classifier plus the base tier
+// sketches live refresh refits from, and the matching per-city sketch
+// specs the pipeline stamps into sealed segments.
+func loadIngestModels(cities string, scale float64, seed int64, fast bool, logf func(string, ...any)) (map[string]*ingest.CityModel, map[string]ingest.CitySketchSpec, core.Config, error) {
 	s := experiments.NewSuite(scale, seed)
 	s.FastFit = fast
-	out := map[string]*core.Classifier{}
+	models := map[string]*ingest.CityModel{}
+	specs := map[string]ingest.CitySketchSpec{}
 	for _, id := range strings.Split(cities, ",") {
 		id = strings.TrimSpace(id)
 		if id == "" {
 			continue
 		}
 		t0 := time.Now()
-		cl, err := s.CityClassifier(id)
+		cl, base, spec, err := s.CityServingModel(id)
 		if err != nil {
-			return nil, fmt.Errorf("ingest: city %s model: %w", id, err)
+			return nil, nil, core.Config{}, fmt.Errorf("ingest: city %s model: %w", id, err)
 		}
-		out[id] = cl
+		models[id] = &ingest.CityModel{Classifier: cl, Base: base}
+		specs[id] = ingest.CitySketchSpec{Spec: spec, Tiers: len(base.Downloads)}
 		logf("ingest model for city %s ready in %v", id, time.Since(t0).Round(time.Millisecond))
 	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("ingest: no cities configured")
+	if len(models) == 0 {
+		return nil, nil, core.Config{}, fmt.Errorf("ingest: no cities configured")
 	}
-	return out, nil
+	return models, specs, s.BSTConfig(), nil
 }

@@ -168,3 +168,128 @@ func TestDaemonIngestMode(t *testing.T) {
 		}
 	}
 }
+
+// refreshStatsz decodes the /statsz model block for one city.
+func refreshStatsz(t *testing.T, base, city string) (generation, rowsSince uint64, sealedRows uint64) {
+	t.Helper()
+	resp, err := http.Get(base + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var st struct {
+		SealedRows uint64 `json:"sealed_rows"`
+		Models     map[string]struct {
+			Generation     uint64 `json:"generation"`
+			RowsSinceRefit uint64 `json:"rows_since_refit"`
+		} `json:"models"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("statsz: %v: %s", err, body)
+	}
+	m, ok := st.Models[city]
+	if !ok {
+		t.Fatalf("statsz missing model for %s: %s", city, body)
+	}
+	return m.Generation, m.RowsSinceRefit, st.SealedRows
+}
+
+// TestDaemonLiveRefreshMatchesColdRestart is the end-to-end refresh gate
+// (ISSUE 7): boot the daemon with refresh triggers, ingest a workload while
+// the per-city model refits live (no request may drop or error), probe
+// /v1/classify, then cold-restart the daemon on the same segment directory
+// and check the probes classify byte-identically — a restart reconstructs
+// exactly the model the live refreshes converged to.
+func TestDaemonLiveRefreshMatchesColdRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots the daemon twice")
+	}
+	dir := t.TempDir()
+	daemonArgs := []string{
+		"-ingest", "127.0.0.1:0",
+		"-ingest-cities", "A",
+		"-ingest-dir", dir,
+		"-ingest-scale", "0.001",
+		"-ingest-batch-rows", "25",
+		"-ingest-refit-rows", "1",
+	}
+	addrs, shutdown := startDaemon(t, daemonArgs...)
+	base := "http://" + addrs.Ingest
+
+	// Replay a deterministic workload; every POST must succeed even as the
+	// model refits underneath.
+	rows := make([]dataset.IngestRow, 100)
+	tbase := time.Unix(1609459200, 0).UTC()
+	for i := range rows {
+		rows[i] = dataset.IngestRow{
+			TestID: i, UserID: i % 10, City: "A", ISP: "ISP-A",
+			Timestamp:    tbase.Add(time.Duration(i) * time.Second),
+			DownloadMbps: 30 + float64(i%12)*40,
+			UploadMbps:   2 + float64(i%9)*5,
+			LatencyMs:    8,
+		}
+	}
+	for i := range rows {
+		resp, err := http.Post(base+"/v1/ingest", "application/json",
+			bytes.NewReader(ingest.AppendSubmission(nil, &rows[i])))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest POST %d = %d: %s", i, resp.StatusCode, body)
+		}
+	}
+
+	// Wait until every row is sealed and folded (rows_since_refit drains).
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		gen, pending, sealed := refreshStatsz(t, base, "A")
+		if sealed == uint64(len(rows)) && pending == 0 && gen >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("refresh never converged: gen=%d pending=%d sealed=%d", gen, pending, sealed)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	probe := func(base string, row *dataset.IngestRow) []byte {
+		resp, err := http.Post(base+"/v1/classify", "application/json",
+			bytes.NewReader(ingest.AppendSubmission(nil, row)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("classify = %d: %s", resp.StatusCode, body)
+		}
+		return body
+	}
+	liveAcks := make([][]byte, 20)
+	for i := range liveAcks {
+		liveAcks[i] = probe(base, &rows[i])
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// Cold restart over the same (now compacted) directory: the startup
+	// fold must rebuild the exact serving model.
+	addrs2, shutdown2 := startDaemon(t, daemonArgs...)
+	base2 := "http://" + addrs2.Ingest
+	if gen, _, _ := refreshStatsz(t, base2, "A"); gen != 1 {
+		t.Fatalf("cold-restart generation = %d, want 1 (startup fold)", gen)
+	}
+	for i := range liveAcks {
+		if cold := probe(base2, &rows[i]); !bytes.Equal(cold, liveAcks[i]) {
+			t.Fatalf("probe %d: cold ack %s != live ack %s", i, cold, liveAcks[i])
+		}
+	}
+	if err := shutdown2(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}

@@ -23,7 +23,7 @@ var mbaPanel struct {
 // large enough for the fast paths to engage on stage 1 (n well above the
 // binning threshold), generated via the netsim-backed generator — the same
 // distributions the paper's validation runs on.
-func mbaSamples(t *testing.T, n int) ([]Sample, []int, *plans.Catalog) {
+func mbaSamples(t testing.TB, n int) ([]Sample, []int, *plans.Catalog) {
 	t.Helper()
 	mbaPanel.once.Do(func() {
 		cat, ok := plans.ByCity("A")

@@ -1,0 +1,156 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"speedctx/internal/stats"
+)
+
+func synthSketch(t *testing.T, lo, hi float64, bins, n int, seed int64) *stats.Sketch {
+	t.Helper()
+	s, err := stats.NewSketch(lo, hi, bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		s.Observe(lo + rng.Float64()*(hi-lo)*1.1) // some clamped tail mass
+	}
+	return s
+}
+
+func TestSketchSectionRoundTrip(t *testing.T) {
+	bundles := []SketchBundle{
+		{City: "A", Tier: UploadSketchTier, Sketch: synthSketch(t, 0, 140, 512, 900, 1)},
+		{City: "A", Tier: 0, Sketch: synthSketch(t, 0, 4800, 512, 500, 2)},
+		{City: "A", Tier: 1, Sketch: synthSketch(t, 0, 4800, 512, 0, 3)}, // empty sketch persists too
+		{City: "B", Tier: UploadSketchTier, Sketch: synthSketch(t, 0, 170, 256, 300, 4)},
+	}
+	rows := synthIngestRows(50, 9)
+	buf, err := EncodeIngestSegmentSketches(ColumnizeIngest(rows), bundles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Byte determinism: re-encoding the same snapshot is identical.
+	buf2, err := EncodeIngestSegmentSketches(ColumnizeIngest(rows), bundles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, buf2) {
+		t.Fatal("sketch segment encoding is not deterministic")
+	}
+
+	snap, err := DecodeCitySnapshot(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Ingest == nil || snap.Ingest.Len() != len(rows) {
+		t.Fatal("ingest section lost alongside sketches")
+	}
+	if len(snap.Sketches) != len(bundles) {
+		t.Fatalf("decoded %d bundles, want %d", len(snap.Sketches), len(bundles))
+	}
+	for i, got := range snap.Sketches {
+		want := bundles[i]
+		if got.City != want.City || got.Tier != want.Tier {
+			t.Fatalf("bundle %d = (%s,%d), want (%s,%d)", i, got.City, got.Tier, want.City, want.Tier)
+		}
+		if got.Sketch.Count() != want.Sketch.Count() ||
+			got.Sketch.Lo() != want.Sketch.Lo() || got.Sketch.Hi() != want.Sketch.Hi() ||
+			!reflect.DeepEqual(got.Sketch.MassView(), want.Sketch.MassView()) {
+			t.Fatalf("bundle %d sketch does not round-trip", i)
+		}
+		// The decoded sketch is live: merging it back into a clone of the
+		// original doubles the mass exactly.
+		m := want.Sketch.Clone()
+		if err := m.Merge(got.Sketch); err != nil {
+			t.Fatal(err)
+		}
+		if m.Count() != 2*want.Sketch.Count() {
+			t.Fatalf("bundle %d merge count = %d", i, m.Count())
+		}
+	}
+
+	// A plain segment (no sketches) still decodes with an empty bundle list.
+	plain, err := EncodeIngestSegment(ColumnizeIngest(rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err = DecodeCitySnapshot(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Sketches) != 0 {
+		t.Fatalf("plain segment decoded %d sketch bundles", len(snap.Sketches))
+	}
+}
+
+// TestSketchSectionStaleVersion fabricates a snapshot whose sketch rows
+// carry a foreign SketchVersion and checks decoding reports staleness (the
+// recoverable cache-miss error), not corruption.
+func TestSketchSectionStaleVersion(t *testing.T) {
+	sk := synthSketch(t, 0, 100, 64, 40, 5)
+	e := &snapEnc{}
+	e.buf = append(e.buf, snapshotMagic[:]...)
+	e.buf = binary.LittleEndian.AppendUint16(e.buf, SnapshotFormatVersion)
+	e.buf = binary.AppendUvarint(e.buf, DataVersion)
+	e.buf = append(e.buf, 1) // one section
+	e.section(snapKindSketch, 1)
+	e.column(1, appendStrings(e.scratch[:0], []string{"A"}))
+	e.column(2, appendDeltaInts(e.scratch[:0], []int{UploadSketchTier}))
+	e.column(3, appendDeltaInts(e.scratch[:0], []int{stats.SketchVersion + 1}))
+	e.column(4, appendDeltaInts(e.scratch[:0], []int{sk.Count()}))
+	e.column(5, appendDeltaInts(e.scratch[:0], []int{sk.Bins()}))
+	e.column(6, appendFloats(e.scratch[:0], []float64{sk.Lo()}))
+	e.column(7, appendFloats(e.scratch[:0], []float64{sk.Hi()}))
+	masses := e.scratch[:0]
+	for _, u := range sk.MassView() {
+		masses = binary.AppendUvarint(masses, u)
+	}
+	e.column(8, masses)
+	img := binary.LittleEndian.AppendUint64(e.buf, snapshotChecksum(e.buf))
+
+	_, err := DecodeCitySnapshot(img)
+	if !errors.Is(err, ErrSnapshotStale) {
+		t.Fatalf("foreign sketch version error = %v, want ErrSnapshotStale", err)
+	}
+}
+
+// TestSketchSectionRejectsCorruption checks the defensive decode paths: a
+// bin count that cannot fit the payload, and trailing mass bytes.
+func TestSketchSectionRejectsCorruption(t *testing.T) {
+	sk := synthSketch(t, 0, 100, 64, 40, 6)
+	encode := func(bins int, extraMass []byte) []byte {
+		e := &snapEnc{}
+		e.buf = append(e.buf, snapshotMagic[:]...)
+		e.buf = binary.LittleEndian.AppendUint16(e.buf, SnapshotFormatVersion)
+		e.buf = binary.AppendUvarint(e.buf, DataVersion)
+		e.buf = append(e.buf, 1)
+		e.section(snapKindSketch, 1)
+		e.column(1, appendStrings(e.scratch[:0], []string{"A"}))
+		e.column(2, appendDeltaInts(e.scratch[:0], []int{UploadSketchTier}))
+		e.column(3, appendDeltaInts(e.scratch[:0], []int{stats.SketchVersion}))
+		e.column(4, appendDeltaInts(e.scratch[:0], []int{sk.Count()}))
+		e.column(5, appendDeltaInts(e.scratch[:0], []int{bins}))
+		e.column(6, appendFloats(e.scratch[:0], []float64{sk.Lo()}))
+		e.column(7, appendFloats(e.scratch[:0], []float64{sk.Hi()}))
+		masses := e.scratch[:0]
+		for _, u := range sk.MassView() {
+			masses = binary.AppendUvarint(masses, u)
+		}
+		masses = append(masses, extraMass...)
+		e.column(8, masses)
+		return binary.LittleEndian.AppendUint64(e.buf, snapshotChecksum(e.buf))
+	}
+	if _, err := DecodeCitySnapshot(encode(1<<30, nil)); err == nil {
+		t.Fatal("oversized bin count accepted")
+	}
+	if _, err := DecodeCitySnapshot(encode(sk.Bins(), []byte{7})); err == nil {
+		t.Fatal("trailing mass bytes accepted")
+	}
+}

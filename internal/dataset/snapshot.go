@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"speedctx/internal/device"
+	"speedctx/internal/stats"
 	"speedctx/internal/wifi"
 )
 
@@ -79,6 +80,13 @@ type CitySnapshot struct {
 	MBA      *MBAColumns
 	Android  *OoklaColumns
 	Ingest   *IngestColumns
+	// Sketches carries serialized bin-mass sketches (DESIGN.md §12):
+	// per-city/per-tier mergeable mass grids that let a reader refit BST
+	// models without re-reading the raw measurement columns. The section
+	// kind is additive — snapshots without it decode as before, and readers
+	// that predate it reject files carrying it (a SnapshotStore miss), so
+	// DataVersion is unchanged.
+	Sketches []SketchBundle
 }
 
 const (
@@ -87,7 +95,20 @@ const (
 	snapKindMBA     = 3
 	snapKindAndroid = 4
 	snapKindIngest  = 5
+	snapKindSketch  = 6
 )
+
+// SketchBundle names one persisted sketch: the city it belongs to and the
+// upload-tier index of a per-tier download sketch, or UploadSketchTier for
+// the city's upload-speed sketch.
+type SketchBundle struct {
+	City   string
+	Tier   int
+	Sketch *stats.Sketch
+}
+
+// UploadSketchTier is the Tier value marking a city's upload-speed sketch.
+const UploadSketchTier = -1
 
 // WriteCitySnapshot encodes the snapshot to w under the current format and
 // data versions.
@@ -146,6 +167,8 @@ func DecodeCitySnapshot(data []byte) (*CitySnapshot, error) {
 			snap.Android = decodeOoklaSection(d, rows)
 		case snapKindIngest:
 			snap.Ingest = decodeIngestSection(d, rows)
+		case snapKindSketch:
+			snap.Sketches = decodeSketchSection(d, rows)
 		default:
 			d.fail("unknown section kind %d", kind)
 		}
@@ -167,7 +190,7 @@ func encodeCitySnapshot(snap *CitySnapshot, dataVersion uint64) ([]byte, error) 
 	e.buf = binary.LittleEndian.AppendUint16(e.buf, SnapshotFormatVersion)
 	e.buf = binary.AppendUvarint(e.buf, dataVersion)
 	sections := 0
-	for _, present := range []bool{snap.Ookla != nil, snap.MLabRows != nil, snap.MBA != nil, snap.Android != nil, snap.Ingest != nil} {
+	for _, present := range []bool{snap.Ookla != nil, snap.MLabRows != nil, snap.MBA != nil, snap.Android != nil, snap.Ingest != nil, len(snap.Sketches) > 0} {
 		if present {
 			sections++
 		}
@@ -195,6 +218,11 @@ func encodeCitySnapshot(snap *CitySnapshot, dataVersion uint64) ([]byte, error) 
 	}
 	if snap.Ingest != nil {
 		if err := encodeIngestSection(e, snap.Ingest); err != nil {
+			return nil, err
+		}
+	}
+	if len(snap.Sketches) > 0 {
+		if err := encodeSketchSection(e, snap.Sketches); err != nil {
 			return nil, err
 		}
 	}
@@ -780,12 +808,130 @@ func decodeIngestSection(d *snapDec, n int) *IngestColumns {
 	return c
 }
 
+// encodeSketchSection renders the sketch section: one row per bundle, with
+// the grid headers in parallel columns and every sketch's fixed-point bin
+// masses varint-packed into one shared payload (empty bins — the common
+// case in the tails — cost a single byte). The per-row sketch version lets
+// a future quantization change invalidate persisted sketches without
+// touching DataVersion.
+func encodeSketchSection(e *snapEnc, bundles []SketchBundle) error {
+	n := len(bundles)
+	cities := make([]string, n)
+	tiers := make([]int, n)
+	versions := make([]int, n)
+	counts := make([]int, n)
+	bins := make([]int, n)
+	lows := make([]float64, n)
+	highs := make([]float64, n)
+	for i, b := range bundles {
+		if b.Sketch == nil {
+			return fmt.Errorf("dataset: sketch bundle %d (%s tier %d) carries no sketch", i, b.City, b.Tier)
+		}
+		cities[i] = b.City
+		tiers[i] = b.Tier
+		versions[i] = stats.SketchVersion
+		counts[i] = b.Sketch.Count()
+		bins[i] = b.Sketch.Bins()
+		lows[i] = b.Sketch.Lo()
+		highs[i] = b.Sketch.Hi()
+	}
+	e.section(snapKindSketch, n)
+	e.column(1, appendStrings(e.scratch[:0], cities))
+	e.column(2, appendDeltaInts(e.scratch[:0], tiers))
+	e.column(3, appendDeltaInts(e.scratch[:0], versions))
+	e.column(4, appendDeltaInts(e.scratch[:0], counts))
+	e.column(5, appendDeltaInts(e.scratch[:0], bins))
+	e.column(6, appendFloats(e.scratch[:0], lows))
+	e.column(7, appendFloats(e.scratch[:0], highs))
+	masses := e.scratch[:0]
+	for _, b := range bundles {
+		for _, u := range b.Sketch.MassView() {
+			masses = binary.AppendUvarint(masses, u)
+		}
+	}
+	e.column(8, masses)
+	return nil
+}
+
+func decodeSketchSection(d *snapDec, n int) []SketchBundle {
+	cities := decodeStrings[string](d, 1, n)
+	tiers := decodeDeltaInts(d, 2, n)
+	versions := decodeDeltaInts(d, 3, n)
+	counts := decodeDeltaInts(d, 4, n)
+	bins := decodeDeltaInts(d, 5, n)
+	lows := decodeFloats(d, 6, n)
+	highs := decodeFloats(d, 7, n)
+	p := d.column(8)
+	if d.err != nil {
+		return nil
+	}
+	out := make([]SketchBundle, 0, n)
+	pos := 0
+	for i := 0; i < n; i++ {
+		nb := bins[i]
+		// Every mass is at least one byte, so the remaining payload bounds
+		// the bin count before any allocation.
+		if nb < 2 || nb > len(p)-pos {
+			d.fail("sketch %d: %d bins cannot fit %d payload bytes", i, nb, len(p)-pos)
+			return nil
+		}
+		mass := make([]uint64, nb)
+		for j := range mass {
+			if pos >= len(p) {
+				d.fail("sketch %d: truncated masses", i)
+				return nil
+			}
+			u, w := uint64(p[pos]), 1
+			if u >= 0x80 {
+				u, w = binary.Uvarint(p[pos:])
+				if w <= 0 {
+					d.fail("sketch %d: bad mass varint at bin %d", i, j)
+					return nil
+				}
+			}
+			pos += w
+			mass[j] = u
+		}
+		if counts[i] < 0 {
+			d.fail("sketch %d: negative count", i)
+			return nil
+		}
+		s, err := stats.SketchFromParts(lows[i], highs[i], mass, uint64(counts[i]), versions[i])
+		if err != nil {
+			if errors.Is(err, stats.ErrSketchVersion) {
+				// A foreign quantization scheme is staleness, not
+				// corruption: stores treat it as a cache miss.
+				if d.err == nil {
+					d.err = fmt.Errorf("%w: sketch %d: %v", ErrSnapshotStale, i, err)
+				}
+			} else {
+				d.fail("sketch %d (%s tier %d): %v", i, cities[i], tiers[i], err)
+			}
+			return nil
+		}
+		out = append(out, SketchBundle{City: cities[i], Tier: tiers[i], Sketch: s})
+	}
+	if pos != len(p) {
+		d.fail("sketch section: %d trailing mass bytes", len(p)-pos)
+		return nil
+	}
+	return out
+}
+
 // EncodeIngestSegment renders a standalone .sxc file image holding one
 // ingest section — the unit the write-behind batcher seals. Segments share
 // the city-snapshot envelope (magic, versions, checksum), so every .sxc
 // reader/fuzzer covers them too.
 func EncodeIngestSegment(c *IngestColumns) ([]byte, error) {
 	return encodeCitySnapshot(&CitySnapshot{Ingest: c}, DataVersion)
+}
+
+// EncodeIngestSegmentSketches is EncodeIngestSegment with the segment's
+// per-city tier sketches alongside the rows, so readers (the ingest refresh
+// loop, Compact) can merge the segment's mass contribution without
+// re-binning the raw columns.
+func EncodeIngestSegmentSketches(c *IngestColumns, sketches []SketchBundle) ([]byte, error) {
+	return encodeCitySnapshot(&CitySnapshot{Ingest: c, Sketches: sketches}, DataVersion)
 }
 
 // DecodeIngestSegment decodes a sealed ingest segment image.

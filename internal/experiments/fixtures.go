@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"os"
+	"strings"
+
+	"speedctx/internal/plans"
+)
+
+// FixtureCitiesEnv selects which city fixtures tests and benches seed.
+// Suite build time (dataset generation + model fits) is the dominant test
+// cost, so packages that don't assert cross-city behavior should honor the
+// variable and build only what a run asks for:
+//
+//	SPEEDCTX_TEST_CITIES=A go test ./internal/ingest/
+//
+// Unset or empty keeps each call site's own default (usually the cities the
+// test was written against); a comma-separated list narrows every honoring
+// call site to the listed cities. Unknown IDs are dropped, and a list that
+// names no known city falls back to the default rather than seeding
+// nothing — a typo should not silently turn a test suite into a no-op.
+const FixtureCitiesEnv = "SPEEDCTX_TEST_CITIES"
+
+// FixtureCities resolves the city fixtures a test should seed: the
+// FixtureCitiesEnv selection when set, def otherwise (or every study city
+// when def is empty).
+func FixtureCities(def ...string) []string {
+	if len(def) == 0 {
+		def = CityIDs()
+	}
+	raw, ok := os.LookupEnv(FixtureCitiesEnv)
+	if !ok || strings.TrimSpace(raw) == "" {
+		return def
+	}
+	var out []string
+	for _, id := range strings.Split(raw, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		if _, known := plans.ByCity(id); !known {
+			continue
+		}
+		out = append(out, id)
+	}
+	if len(out) == 0 {
+		return def
+	}
+	return out
+}

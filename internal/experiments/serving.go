@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"speedctx/internal/core"
+	"speedctx/internal/plans"
 )
 
 // CityClassifier fits (or reuses the memoized fit of) the city's Ookla
@@ -20,4 +21,34 @@ func (s *Suite) CityClassifier(id string) (*core.Classifier, error) {
 		return nil, err
 	}
 	return core.NewClassifier(a.Result, s.BSTConfig()), nil
+}
+
+// CityServingModel is CityClassifier plus the sketch state live refresh
+// needs (DESIGN.md §12): the base tier sketches deposit every startup
+// sample under its fitted upload-tier assignment, so a refresh loop can
+// refit the BST from base ⊕ sealed-segment sketches. The returned spec is
+// the city's catalog-derived grid — the one ingest segments must share for
+// their sketches to merge with the base.
+func (s *Suite) CityServingModel(id string) (*core.Classifier, *core.TierSketches, core.SketchSpec, error) {
+	b, err := s.City(id)
+	if err != nil {
+		return nil, nil, core.SketchSpec{}, err
+	}
+	a, err := b.OoklaAnalysis()
+	if err != nil {
+		return nil, nil, core.SketchSpec{}, err
+	}
+	spec := s.CitySketchSpec(b.Catalog)
+	base, err := core.SketchesFromResult(a.Result, b.OoklaSampleView(), spec)
+	if err != nil {
+		return nil, nil, core.SketchSpec{}, err
+	}
+	return core.NewClassifier(a.Result, s.BSTConfig()), base, spec, nil
+}
+
+// CitySketchSpec derives the sketch grid the suite's serving models use
+// for a catalog: the catalog-scaled span at the suite's fast-fit bin
+// resolution.
+func (s *Suite) CitySketchSpec(cat *plans.Catalog) core.SketchSpec {
+	return core.SketchSpecFor(cat, s.FastFitBins)
 }

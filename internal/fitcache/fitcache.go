@@ -73,6 +73,17 @@ func (h *Hasher) Float64s(xs []float64) *Hasher {
 	return h
 }
 
+// Uint64s folds a word slice into the hash: its length followed by every
+// element, in order. Sketch mass vectors hash through this — one
+// xor-multiply per bin, the same cost profile as Float64s.
+func (h *Hasher) Uint64s(vs []uint64) *Hasher {
+	h.Uint64(uint64(len(vs)))
+	for _, v := range vs {
+		h.sum = (h.sum ^ v) * fnvPrime64
+	}
+	return h
+}
+
 // String folds a short tag (e.g. the fit kind) into the hash byte-wise.
 func (h *Hasher) String(s string) *Hasher {
 	h.Uint64(uint64(len(s)))

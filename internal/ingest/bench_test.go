@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"sort"
 	"testing"
 	"time"
@@ -96,6 +97,50 @@ func BenchmarkIngestPipelineSubmit(b *testing.B) {
 		if err := p.Submit(rows[i%len(rows)]); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkServerWarmRefresh measures one full warm refresh sweep on a
+// live server: read the sealed per-city sketch fold, clone + merge the
+// base tier sketches, refit the BST from the merged sketches, and publish
+// the new classifier through the RCU pointer swap. The sweep runs with the
+// background loop disabled and every sealed row marked unfolded again per
+// iteration, so each iteration pays the whole refit the refresh loop pays
+// when a trigger fires.
+func BenchmarkServerWarmRefresh(b *testing.B) {
+	city, models, specs, fitCfg, rows := refreshFixture(b)
+	p, err := NewPipeline(PipelineConfig{Dir: b.TempDir(), BatchRows: 25, MaxBatchAge: -1, Sketches: specs})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	srv := NewServer(p, models, ServerConfig{FitConfig: fitCfg})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for i := range rows {
+		postOne(b, ts.Client(), ts.URL, &rows[i])
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if sk, ok := p.SealedSketchesFor(city); ok && sk.Count() == len(rows) {
+			break
+		}
+		if time.Now().After(deadline) {
+			b.Fatalf("sealed sketches never reached %d rows: %v", len(rows), p.SketchCounts())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := srv.cities[city]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.folded.Store(0) // every sealed row counts as unfolded again
+		srv.refreshOnce(true)
+	}
+	b.StopTimer()
+	if gen, _ := srv.Generation(city); gen < uint64(b.N) {
+		b.Fatalf("refits published = %d, want >= %d", gen, b.N)
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"speedctx/internal/core"
 	"speedctx/internal/dataset"
 )
 
@@ -51,6 +52,22 @@ type PipelineConfig struct {
 	QueueShards int
 	// QueueDepth is each shard's capacity in rows. Default 4096.
 	QueueDepth int
+	// Sketches declares the per-city sketch grids (DESIGN.md §12). For
+	// each listed city the pipeline accumulates mergeable tier sketches:
+	// every sealed segment embeds the sketches of its own rows (bucketed
+	// by the persisted UploadTier verdicts), and the pipeline maintains
+	// the running merge of all sealed segments in memory — primed from
+	// the directory's existing segments at startup, so a restart observes
+	// exactly the sketch state a live run would hold. Empty disables
+	// sketch accumulation (segments then carry rows only).
+	Sketches map[string]CitySketchSpec
+}
+
+// CitySketchSpec declares one city's sketch shape: the grid spec plus the
+// number of catalog upload tiers (one download sketch each).
+type CitySketchSpec struct {
+	Spec  core.SketchSpec
+	Tiers int
 }
 
 func (c *PipelineConfig) defaults() {
@@ -90,6 +107,11 @@ type Pipeline struct {
 	segSeq   int
 	firstErr error
 
+	// sketchMu guards sealedSk, the running merge of every sealed
+	// segment's sketches (only cities listed in cfg.Sketches).
+	sketchMu sync.Mutex
+	sealedSk map[string]*core.TierSketches
+
 	drainers sync.WaitGroup
 	ageStop  chan struct{}
 	ageDone  chan struct{}
@@ -125,10 +147,121 @@ func newPipeline(cfg PipelineConfig, startDrain bool) (*Pipeline, error) {
 	for i := range p.queues {
 		p.queues[i] = make(chan dataset.IngestRow, cfg.QueueDepth)
 	}
+	if err := p.primeSketches(); err != nil {
+		return nil, err
+	}
 	if startDrain {
 		p.startDrain()
 	}
 	return p, nil
+}
+
+// primeSketches rebuilds the running sealed-sketch merge from the segments
+// already in the directory, so a restarted pipeline holds exactly the
+// sketch state the previous process accumulated — the foundation of the
+// cold-restart ≡ live-refresh property. Each segment contributes its
+// persisted sketch bundles when they match the configured grids, and is
+// re-binned from its rows otherwise (legacy segments, or a changed spec).
+func (p *Pipeline) primeSketches() error {
+	if len(p.cfg.Sketches) == 0 {
+		return nil
+	}
+	p.sealedSk = make(map[string]*core.TierSketches, len(p.cfg.Sketches))
+	for city, spec := range p.cfg.Sketches {
+		ts, err := core.NewTierSketches(spec.Spec, spec.Tiers)
+		if err != nil {
+			return fmt.Errorf("ingest: sketch spec for %q: %w", city, err)
+		}
+		p.sealedSk[city] = ts
+	}
+	entries, err := os.ReadDir(p.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	var files []string
+	for _, e := range entries {
+		if name := e.Name(); e.Type().IsRegular() && strings.HasSuffix(name, segmentSuffix) {
+			files = append(files, name)
+		}
+	}
+	sort.Strings(files)
+	for _, name := range files {
+		data, err := os.ReadFile(filepath.Join(p.cfg.Dir, name))
+		if err != nil {
+			return err
+		}
+		snap, err := dataset.DecodeCitySnapshot(data)
+		if err != nil {
+			return fmt.Errorf("ingest: prime sketches from %s: %w", name, err)
+		}
+		if err := p.foldSnapshot(snap); err != nil {
+			return fmt.Errorf("ingest: prime sketches from %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// foldSnapshot merges one decoded segment into the running sealed-sketch
+// state. The segment's contribution is first assembled into fresh
+// spec-shaped sketches (from its persisted bundles, or its rows when a
+// bundle is absent or on a foreign grid), then folded in — so a partially
+// bad segment never half-merges.
+func (p *Pipeline) foldSnapshot(snap *dataset.CitySnapshot) error {
+	byCity := make(map[string][]dataset.SketchBundle)
+	for _, b := range snap.Sketches {
+		byCity[b.City] = append(byCity[b.City], b)
+	}
+	for city, spec := range p.cfg.Sketches {
+		seg, err := segmentSketches(spec, byCity[city])
+		if err != nil {
+			// Absent bundles or a foreign grid: rebuild this city's
+			// contribution by re-binning the segment's raw rows.
+			if seg, err = core.NewTierSketches(spec.Spec, spec.Tiers); err != nil {
+				return err
+			}
+			if snap.Ingest != nil {
+				for _, row := range snap.Ingest.Rows() {
+					if row.City == city {
+						seg.AddSample(row.UploadTier, row.DownloadMbps, row.UploadMbps)
+					}
+				}
+			}
+		}
+		if seg.Count() == 0 {
+			continue
+		}
+		if err := p.sealedSk[city].Merge(seg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// segmentSketches assembles one city's persisted bundles into spec-shaped
+// tier sketches, failing when no bundle exists or a bundle's grid disagrees
+// with the spec.
+func segmentSketches(spec CitySketchSpec, bundles []dataset.SketchBundle) (*core.TierSketches, error) {
+	if len(bundles) == 0 {
+		return nil, errors.New("ingest: no sketch bundles for city")
+	}
+	seg, err := core.NewTierSketches(spec.Spec, spec.Tiers)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range bundles {
+		switch {
+		case b.Tier == dataset.UploadSketchTier:
+			err = seg.Upload.Merge(b.Sketch)
+		case b.Tier >= 0 && b.Tier < len(seg.Downloads):
+			err = seg.Downloads[b.Tier].Merge(b.Sketch)
+		default:
+			err = fmt.Errorf("ingest: sketch tier %d out of range", b.Tier)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return seg, nil
 }
 
 // startDrain launches one drainer per shard plus the age flusher.
@@ -219,14 +352,21 @@ func (p *Pipeline) ageFlusher() {
 }
 
 // seal sorts a batch into the stable key order, encodes it as a one-section
-// .sxc image, and atomically writes segment file seq. Errors latch into
+// .sxc image (plus the batch's sketch bundles when sketches are configured),
+// and atomically writes segment file seq. Once the segment is durable, its
+// sketches fold into the running sealed-sketch merge — so SealedSketches
+// only ever describes rows a restart would also recover. Errors latch into
 // firstErr and surface from Close.
 func (p *Pipeline) seal(batch []dataset.IngestRow, seq int) {
 	if len(batch) == 0 {
 		return
 	}
 	dataset.SortIngestRows(batch)
-	buf, err := dataset.EncodeIngestSegment(dataset.ColumnizeIngest(batch))
+	sketches, bundles, err := p.batchSketches(batch)
+	var buf []byte
+	if err == nil {
+		buf, err = dataset.EncodeIngestSegmentSketches(dataset.ColumnizeIngest(batch), bundles)
+	}
 	if err == nil {
 		err = writeAtomic(p.segmentPath(seq), buf)
 	}
@@ -238,8 +378,94 @@ func (p *Pipeline) seal(batch []dataset.IngestRow, seq int) {
 		p.mu.Unlock()
 		return
 	}
+	if len(sketches) > 0 {
+		p.sketchMu.Lock()
+		for city, seg := range sketches {
+			if mergeErr := p.sealedSk[city].Merge(seg); mergeErr != nil && err == nil {
+				err = mergeErr
+			}
+		}
+		p.sketchMu.Unlock()
+		if err != nil {
+			p.mu.Lock()
+			if p.firstErr == nil {
+				p.firstErr = fmt.Errorf("ingest: merge segment %d sketches: %w", seq, err)
+			}
+			p.mu.Unlock()
+		}
+	}
 	p.seals.Add(1)
 	p.sealed.Add(uint64(len(batch)))
+}
+
+// batchSketches bins one sorted batch into per-city tier sketches (cities
+// with a configured spec and at least one row in the batch) and renders the
+// matching persisted bundles, ordered by city then tier so segment bytes
+// stay a pure function of the row set.
+func (p *Pipeline) batchSketches(batch []dataset.IngestRow) (map[string]*core.TierSketches, []dataset.SketchBundle, error) {
+	if len(p.cfg.Sketches) == 0 {
+		return nil, nil, nil
+	}
+	sketches := make(map[string]*core.TierSketches)
+	for _, row := range batch {
+		ts, ok := sketches[row.City]
+		if !ok {
+			spec, configured := p.cfg.Sketches[row.City]
+			if !configured {
+				continue
+			}
+			var err error
+			if ts, err = core.NewTierSketches(spec.Spec, spec.Tiers); err != nil {
+				return nil, nil, err
+			}
+			sketches[row.City] = ts
+		}
+		ts.AddSample(row.UploadTier, row.DownloadMbps, row.UploadMbps)
+	}
+	cities := make([]string, 0, len(sketches))
+	for city := range sketches {
+		cities = append(cities, city)
+	}
+	sort.Strings(cities)
+	var bundles []dataset.SketchBundle
+	for _, city := range cities {
+		ts := sketches[city]
+		bundles = append(bundles, dataset.SketchBundle{City: city, Tier: dataset.UploadSketchTier, Sketch: ts.Upload})
+		for ti, d := range ts.Downloads {
+			bundles = append(bundles, dataset.SketchBundle{City: city, Tier: ti, Sketch: d})
+		}
+	}
+	return sketches, bundles, nil
+}
+
+// SealedSketchesFor returns an independent copy of the running merged
+// sketches of every sealed segment for one city, with ok=false when the
+// city has no configured sketch spec. The copy is safe to merge and fit
+// from while sealing continues.
+func (p *Pipeline) SealedSketchesFor(city string) (*core.TierSketches, bool) {
+	p.sketchMu.Lock()
+	defer p.sketchMu.Unlock()
+	ts, ok := p.sealedSk[city]
+	if !ok {
+		return nil, false
+	}
+	return ts.Clone(), true
+}
+
+// SketchCounts reports the sealed-row count per sketch-configured city —
+// the cheap staleness probe the refresh loop polls before paying for a
+// clone and refit.
+func (p *Pipeline) SketchCounts() map[string]int {
+	p.sketchMu.Lock()
+	defer p.sketchMu.Unlock()
+	if p.sealedSk == nil {
+		return nil
+	}
+	out := make(map[string]int, len(p.sealedSk))
+	for city, ts := range p.sealedSk {
+		out[city] = ts.Count()
+	}
+	return out
 }
 
 func (p *Pipeline) segmentPath(seq int) string {
@@ -337,19 +563,54 @@ func Compact(dir string) (string, error) {
 	}
 	sort.Strings(files)
 	var rows []dataset.IngestRow
+	type sketchKey struct {
+		city string
+		tier int
+	}
+	merged := make(map[sketchKey]*dataset.SketchBundle)
 	for _, name := range files {
 		data, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
 			return "", err
 		}
-		cols, err := dataset.DecodeIngestSegment(data)
+		snap, err := dataset.DecodeCitySnapshot(data)
 		if err != nil {
 			return "", fmt.Errorf("ingest: compact %s: %w", name, err)
 		}
-		rows = append(rows, cols.Rows()...)
+		if snap.Ingest == nil {
+			return "", fmt.Errorf("ingest: compact %s: snapshot carries no ingest section", name)
+		}
+		rows = append(rows, snap.Ingest.Rows()...)
+		for _, b := range snap.Sketches {
+			k := sketchKey{b.City, b.Tier}
+			if m, ok := merged[k]; ok {
+				if err := m.Sketch.Merge(b.Sketch); err != nil {
+					return "", fmt.Errorf("ingest: compact %s: sketch %s/%d: %w", name, b.City, b.Tier, err)
+				}
+			} else {
+				merged[k] = &dataset.SketchBundle{City: b.City, Tier: b.Tier, Sketch: b.Sketch.Clone()}
+			}
+		}
 	}
 	dataset.SortIngestRows(rows)
-	buf, err := dataset.EncodeIngestSegment(dataset.ColumnizeIngest(rows))
+	// Bundle order (city, then tier) is part of the byte-determinism
+	// contract: any segment partition of the same rows compacts to the
+	// same file.
+	keys := make([]sketchKey, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].city != keys[b].city {
+			return keys[a].city < keys[b].city
+		}
+		return keys[a].tier < keys[b].tier
+	})
+	var bundles []dataset.SketchBundle
+	for _, k := range keys {
+		bundles = append(bundles, *merged[k])
+	}
+	buf, err := dataset.EncodeIngestSegmentSketches(dataset.ColumnizeIngest(rows), bundles)
 	if err != nil {
 		return "", err
 	}

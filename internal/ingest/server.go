@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"speedctx/internal/core"
 	"speedctx/internal/dataset"
@@ -24,34 +26,229 @@ import (
 //	POST /v1/ingest        one submission object; ack is one JSON object
 //	POST /v1/ingest/batch  NDJSON, one submission per line; ack is NDJSON
 //	                       of per-line results in input order
+//	POST /v1/classify      classify one submission WITHOUT ingesting it —
+//	                       a read-only probe of the serving model
 //	GET  /healthz          liveness
-//	GET  /statsz           accepted/rejected/sealed counters as JSON
+//	GET  /statsz           accepted/rejected/sealed counters plus per-city
+//	                       model generation and staleness as JSON
 //
 // The batch endpoint exists for throughput: it runs the exact same
 // parse → classify → Submit path per line, but amortizes the HTTP and
 // syscall overhead that dominates single-POST ingest on small machines.
+//
+// Live refresh (DESIGN.md §12): when a city model carries its base tier
+// sketches and a refresh trigger is configured, a background loop watches
+// the pipeline's sealed-sketch counters and refits that city's BST from
+// base + sealed-segment sketches (core.FitFromSketches), then publishes the
+// new classifier with an atomic pointer swap — RCU-style: requests in
+// flight finish against the model they loaded, new requests observe the new
+// one, and no request ever blocks on a refit.
 type Server struct {
-	pipe        *Pipeline
-	classifiers map[string]*core.Classifier
+	pipe   *Pipeline
+	cfg    ServerConfig
+	cities map[string]*cityState
 
 	accepted atomic.Uint64
 	rejected atomic.Uint64
 
 	bufPool sync.Pool // *[]byte request/response scratch
+
+	// refitMu serializes refresh sweeps: the startup fold, the loop's
+	// ticks, and any test-driven forced sweep must not interleave their
+	// read-folded/refit/publish sequences on one city.
+	refitMu sync.Mutex
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
 }
 
-// NewServer wires the per-city classifiers in front of a pipeline. The
-// classifier map's keys are the city IDs submissions name in their "city"
-// field; a submission for an absent city is rejected, not guessed.
-func NewServer(pipe *Pipeline, classifiers map[string]*core.Classifier) *Server {
-	return &Server{
-		pipe:        pipe,
-		classifiers: classifiers,
+// CityModel is one city's serving state at startup: the fitted classifier,
+// plus (optionally) the tier sketches of the rows that classifier was fit
+// from. A nil Base disables live refresh for the city — the classifier then
+// serves frozen, exactly as before sketch refresh existed.
+type CityModel struct {
+	Classifier *core.Classifier
+	Base       *core.TierSketches
+}
+
+// StaticModels wraps bare classifiers as refresh-less city models — the
+// PR 6 serving behavior, used by callers that don't accumulate sketches.
+func StaticModels(classifiers map[string]*core.Classifier) map[string]*CityModel {
+	out := make(map[string]*CityModel, len(classifiers))
+	for city, cl := range classifiers {
+		out[city] = &CityModel{Classifier: cl}
+	}
+	return out
+}
+
+// ServerConfig tunes the refresh loop. The zero value disables refresh
+// entirely (frozen startup models).
+type ServerConfig struct {
+	// RefitRows triggers a city's refit once at least this many sealed
+	// rows are not yet folded into its serving model. 0 disables the
+	// row trigger.
+	RefitRows int
+	// RefitAge triggers a refit once the serving model is at least this
+	// old AND at least one unfolded sealed row exists. 0 disables the
+	// age trigger.
+	RefitAge time.Duration
+	// Poll is the refresh loop's check interval. Default 250ms; the
+	// check is two mutex-guarded map reads per tick, refits only run
+	// when a trigger fires.
+	Poll time.Duration
+	// FitConfig is the BST configuration refits run under. Use the same
+	// config the startup models were fit with, so refreshed and cold-start
+	// models are directly comparable.
+	FitConfig core.Config
+	// Logf, when non-nil, receives one line per refit and per refit
+	// failure.
+	Logf func(format string, args ...any)
+}
+
+func (c *ServerConfig) defaults() {
+	if c.Poll <= 0 {
+		c.Poll = 250 * time.Millisecond
+	}
+}
+
+// enabled reports whether any refresh trigger is configured.
+func (c *ServerConfig) enabled() bool { return c.RefitRows > 0 || c.RefitAge > 0 }
+
+func (c *ServerConfig) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// cityState is one city's live serving state. The classifier pointer is the
+// RCU-published value; everything else is refresh bookkeeping.
+type cityState struct {
+	cl   atomic.Pointer[core.Classifier]
+	base *core.TierSketches
+
+	generation atomic.Uint64 // refits published (startup model = 0)
+	folded     atomic.Uint64 // sealed rows folded into the serving model
+	refitNanos atomic.Int64  // wall clock of the last publish
+}
+
+// NewServer wires the per-city models in front of a pipeline. The model
+// map's keys are the city IDs submissions name in their "city" field; a
+// submission for an absent city is rejected, not guessed.
+//
+// When refresh is enabled, cities whose pipeline already holds sealed
+// sketches (primed from the segment directory) are refit synchronously
+// before the server is returned — a restarted server immediately serves
+// the models its sealed history implies, which is what makes a cold
+// restart indistinguishable from an uninterrupted run's live refreshes.
+func NewServer(pipe *Pipeline, models map[string]*CityModel, cfg ServerConfig) *Server {
+	cfg.defaults()
+	s := &Server{
+		pipe:   pipe,
+		cfg:    cfg,
+		cities: make(map[string]*cityState, len(models)),
 		bufPool: sync.Pool{New: func() any {
 			b := make([]byte, 0, 4096)
 			return &b
 		}},
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
 	}
+	now := time.Now().UnixNano()
+	for city, m := range models {
+		st := &cityState{base: m.Base}
+		st.cl.Store(m.Classifier)
+		st.refitNanos.Store(now)
+		s.cities[city] = st
+	}
+	if cfg.enabled() {
+		s.refreshOnce(true)
+		go s.refreshLoop()
+	} else {
+		close(s.done)
+	}
+	return s
+}
+
+// Close stops the refresh loop. It never touches the pipeline — the caller
+// owns pipeline shutdown ordering.
+func (s *Server) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+func (s *Server) refreshLoop() {
+	defer close(s.done)
+	t := time.NewTicker(s.cfg.Poll)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.refreshOnce(false)
+		}
+	}
+}
+
+// refreshOnce refits every refresh-eligible city whose trigger fired (or
+// every city with unfolded sealed rows, when force is set — the startup
+// fold). Refits run serially: a refit is milliseconds of histogram EM, and
+// serializing keeps the loop's memory peak at one merged sketch set.
+func (s *Server) refreshOnce(force bool) {
+	s.refitMu.Lock()
+	defer s.refitMu.Unlock()
+	counts := s.pipe.SketchCounts()
+	if len(counts) == 0 {
+		return
+	}
+	for city, st := range s.cities {
+		if st.base == nil {
+			continue
+		}
+		sealed, ok := counts[city]
+		if !ok || uint64(sealed) <= st.folded.Load() {
+			continue
+		}
+		pendingRows := uint64(sealed) - st.folded.Load()
+		trigger := force
+		if !trigger && s.cfg.RefitRows > 0 && pendingRows >= uint64(s.cfg.RefitRows) {
+			trigger = true
+		}
+		if !trigger && s.cfg.RefitAge > 0 &&
+			time.Since(time.Unix(0, st.refitNanos.Load())) >= s.cfg.RefitAge {
+			trigger = true
+		}
+		if !trigger {
+			continue
+		}
+		s.refitCity(city, st)
+	}
+}
+
+// refitCity merges base + sealed-segment sketches, refits the BST, and
+// atomically publishes the new classifier.
+func (s *Server) refitCity(city string, st *cityState) {
+	sealedSk, ok := s.pipe.SealedSketchesFor(city)
+	if !ok {
+		return
+	}
+	merged := st.base.Clone()
+	if err := merged.Merge(sealedSk); err != nil {
+		s.cfg.logf("ingest: refit %s: merge sketches: %v", city, err)
+		return
+	}
+	cat := st.cl.Load().Result().Catalog
+	res, err := core.FitFromSketches(merged, cat, s.cfg.FitConfig)
+	if err != nil {
+		s.cfg.logf("ingest: refit %s: %v", city, err)
+		return
+	}
+	st.cl.Store(core.NewClassifier(res, s.cfg.FitConfig))
+	st.folded.Store(uint64(sealedSk.Count()))
+	gen := st.generation.Add(1)
+	st.refitNanos.Store(time.Now().UnixNano())
+	s.cfg.logf("ingest: refit %s: generation %d over %d sealed rows", city, gen, sealedSk.Count())
 }
 
 // Handler returns the route mux.
@@ -59,6 +256,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/ingest", s.handleOne)
 	mux.HandleFunc("/v1/ingest/batch", s.handleBatch)
+	mux.HandleFunc("/v1/classify", s.handleClassify)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		io.WriteString(w, "ok\n")
@@ -92,15 +290,17 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, func(
 	return buf.Bytes(), release, nil
 }
 
-// classify validates one parsed row against its city model and stamps the
-// assignment fields. It is the single accept/reject decision point for
-// both endpoints.
+// classify validates one parsed row against its city's serving model and
+// stamps the assignment fields. It is the single accept/reject decision
+// point for both ingest endpoints and the probe. The classifier is loaded
+// once per row; a concurrent refresh swap simply means the next row sees
+// the newer model.
 func (s *Server) classify(row *dataset.IngestRow) error {
-	cl, ok := s.classifiers[row.City]
+	st, ok := s.cities[row.City]
 	if !ok {
 		return fmt.Errorf("ingest: unknown city %q", row.City)
 	}
-	a := cl.ClassifyOne(row.DownloadMbps, row.UploadMbps)
+	a := st.cl.Load().ClassifyOne(row.DownloadMbps, row.UploadMbps)
 	row.UploadTier = a.UploadTier
 	row.Tier = a.Tier
 	row.Confidence = a.Confidence
@@ -135,6 +335,37 @@ func (s *Server) handleOne(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.accepted.Add(1)
+	s.writeAck(w, row)
+}
+
+// handleClassify is the read-only probe: parse and classify exactly like
+// /v1/ingest, but never submit the row, so probing a model does not feed
+// the very sketches the model refreshes from.
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, release, err := s.readBody(w, r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	defer release()
+	var row dataset.IngestRow
+	if err := parseSubmission(body, &row); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.classify(&row); err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	s.writeAck(w, row)
+}
+
+// writeAck renders one classified row's ack object through the buffer pool.
+func (s *Server) writeAck(w http.ResponseWriter, row dataset.IngestRow) {
 	ack := s.bufPool.Get().(*[]byte)
 	out := appendAck((*ack)[:0], core.Assignment{
 		UploadTier: row.UploadTier, Tier: row.Tier, Confidence: row.Confidence,
@@ -209,6 +440,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	queued, sealedRows, segments := s.pipe.Stats()
+	counts := s.pipe.SketchCounts()
+	now := time.Now()
 	var out []byte
 	out = append(out, `{"accepted":`...)
 	out = strconv.AppendUint(out, s.accepted.Load(), 10)
@@ -220,7 +453,31 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	out = strconv.AppendUint(out, sealedRows, 10)
 	out = append(out, `,"segments":`...)
 	out = strconv.AppendUint(out, segments, 10)
-	out = append(out, '}', '\n')
+	out = append(out, `,"models":{`...)
+	cities := make([]string, 0, len(s.cities))
+	for city := range s.cities {
+		cities = append(cities, city)
+	}
+	sort.Strings(cities)
+	for i, city := range cities {
+		st := s.cities[city]
+		if i > 0 {
+			out = append(out, ',')
+		}
+		out = strconv.AppendQuote(out, city)
+		out = append(out, `:{"generation":`...)
+		out = strconv.AppendUint(out, st.generation.Load(), 10)
+		out = append(out, `,"rows_since_refit":`...)
+		pending := uint64(0)
+		if sealed := uint64(counts[city]); sealed > st.folded.Load() {
+			pending = sealed - st.folded.Load()
+		}
+		out = strconv.AppendUint(out, pending, 10)
+		out = append(out, `,"seconds_since_refit":`...)
+		out = strconv.AppendFloat(out, now.Sub(time.Unix(0, st.refitNanos.Load())).Seconds(), 'f', 3, 64)
+		out = append(out, '}')
+	}
+	out = append(out, '}', '}', '\n')
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(out)
 }
@@ -228,4 +485,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // Counts reports the server's accept/reject totals.
 func (s *Server) Counts() (accepted, rejected uint64) {
 	return s.accepted.Load(), s.rejected.Load()
+}
+
+// Generation reports how many refits city has published (0 = startup
+// model), with ok=false for an unknown city.
+func (s *Server) Generation(city string) (gen uint64, ok bool) {
+	st, ok := s.cities[city]
+	if !ok {
+		return 0, false
+	}
+	return st.generation.Load(), true
 }

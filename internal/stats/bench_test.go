@@ -169,6 +169,90 @@ func BenchmarkFitGMMCached(b *testing.B) {
 	}
 }
 
+// BenchmarkSketchMerge measures the shard-fold cost the ingest refresh
+// loop pays per refit: merging `shards` per-shard bin-mass sketches (built
+// from n samples round-robin) into one fresh sketch. Merges are integer
+// adds over the mass array, so this is memory-bandwidth bound and
+// independent of n once the shards exist.
+func BenchmarkSketchMerge(b *testing.B) {
+	xs := benchSample(1_000_000)
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	for _, shards := range []int{8, 64} {
+		parts := make([]*Sketch, shards)
+		for i := range parts {
+			sk, err := NewSketch(lo, hi, DefaultSketchBins)
+			if err != nil {
+				b.Fatal(err)
+			}
+			parts[i] = sk
+		}
+		for i, x := range xs {
+			parts[i%shards].Observe(x)
+		}
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				merged, err := NewSketch(lo, hi, DefaultSketchBins)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, p := range parts {
+					if err := merged.Merge(p); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if merged.Count() != len(xs) {
+					b.Fatal("lost mass")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFitGMMSketch is the stats-level refit latency: histogram EM
+// straight off an existing merged sketch, with no per-sample pass at all.
+// Compare against BenchmarkFitGMM/.../fast, which pays the O(n) binning of
+// the raw samples first.
+func BenchmarkFitGMMSketch(b *testing.B) {
+	for _, n := range []int{100_000, 1_000_000} {
+		xs := benchSample(n)
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs[1:] {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		sk, err := SketchFromSamples(xs, lo, hi, DefaultSketchBins)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			cfg := GMMConfig{MaxIter: 25, Parallelism: 1, FastFit: true}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m, err := FitGMMSketch(sk, 3, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if m.K() != 3 {
+					b.Fatal("bad fit")
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkFitGMMInit(b *testing.B) {
 	xs := benchSample(100_000)
 	for _, p := range parallelismLevels() {

@@ -4,12 +4,15 @@ import (
 	"math"
 )
 
-// This file implements the binned fast paths (DESIGN.md §8): a linear
-// binning of the sample onto a uniform grid, shared by the binned-KDE
-// evaluator and the histogram-EM fit. Binning once costs O(n); every
-// downstream pass then runs over the B bin weights instead of the n raw
-// samples, turning the O(n·g) KDE grid sweep into O(B·w + n) and the
-// O(n·k) EM iteration into O(B·k).
+// This file implements the binned fast paths (DESIGN.md §8) over the
+// mergeable Sketch (sketch.go, DESIGN.md §12): a linear binning of the
+// sample onto a uniform grid, shared by the binned-KDE evaluator and the
+// histogram-EM fit. Binning once costs O(n); every downstream pass then
+// runs over the B bin weights instead of the n raw samples, turning the
+// O(n·g) KDE grid sweep into O(B·w + n) and the O(n·k) EM iteration into
+// O(B·k). Because the single-pass fast fits and the fit-from-sketch API
+// route through the same sketch type, a fit over a merged sketch is
+// bit-identical to the single-pass fast fit on the same grid.
 
 // fastFitMinN is the sample-size threshold below which the fast paths fall
 // back to the exact algorithms even when FastFit is requested: under ~one
@@ -24,79 +27,16 @@ const fastFitMinN = 4096
 // a single fixed reduction chunk.
 const gmmDefaultBins = 4096
 
+// DefaultSketchBins is the exported alias of the histogram-EM default
+// resolution: pre-declared sketch grids (plan-catalog spans, ingest
+// segments) use it so their fits match the single-pass -fast defaults.
+const DefaultSketchBins = gmmDefaultBins
+
 // Bounds of the automatic binned-KDE resolution (see autoKDEBins).
 const (
 	minKDEBins = 512
 	maxKDEBins = 1 << 17
 )
-
-// binGrid is a linear binning of a sample: bin j sits at center
-// lo + j·step and carries the fractional sample mass deposited on it.
-// Linear binning splits each observation between its two bracketing bin
-// centers in proportion to proximity, which preserves the sample's first
-// moment exactly and keeps the density approximation error second order in
-// the bin spacing (O((step/h)²); DESIGN.md §8 derives the bound).
-type binGrid struct {
-	lo   float64   // center of bin 0 (== sample minimum)
-	step float64   // spacing between adjacent bin centers
-	w    []float64 // per-bin mass; sums to the sample size
-}
-
-// linearBin deposits xs onto a bins-point grid spanning [lo, hi]. The
-// deposit loop is serial on purpose: it is O(n) with two additions per
-// sample, and a single fixed visit order makes the weights — and therefore
-// everything computed from them — bit-identical run-to-run with no merge
-// machinery. Callers guarantee hi > lo, bins >= 2 and lo <= x <= hi for
-// every sample.
-func linearBin(xs []float64, lo, hi float64, bins int) *binGrid {
-	g := &binGrid{lo: lo, step: (hi - lo) / float64(bins-1), w: make([]float64, bins)}
-	inv := 1 / g.step
-	for _, x := range xs {
-		pos := (x - lo) * inv
-		j := int(pos)
-		if j >= bins-1 {
-			// x == hi (or a rounding hair past it): all mass on the
-			// last bin.
-			g.w[bins-1]++
-			continue
-		}
-		if j < 0 {
-			j = 0 // rounding guard; cannot occur for lo == min(xs)
-		}
-		frac := pos - float64(j)
-		g.w[j] += 1 - frac
-		g.w[j+1] += frac
-	}
-	return g
-}
-
-// center returns the coordinate of bin j.
-func (g *binGrid) center(j int) float64 { return g.lo + float64(j)*g.step }
-
-// kdeAt evaluates the binned density estimate at x for bandwidth h and
-// sample size n: the convolution of the bin masses with the Gaussian
-// kernel, truncated at the same 6h window the exact evaluator uses. Cost is
-// O(w) with w = 12h/step bins, independent of n. The function is pure —
-// concurrent grid evaluation stays bit-identical at every parallelism
-// level.
-func (g *binGrid) kdeAt(x, h float64, n int) float64 {
-	lo := int(math.Ceil((x - 6*h - g.lo) / g.step))
-	hi := int(math.Floor((x + 6*h - g.lo) / g.step))
-	if lo < 0 {
-		lo = 0
-	}
-	if hi > len(g.w)-1 {
-		hi = len(g.w) - 1
-	}
-	sum := 0.0
-	for j := lo; j <= hi; j++ {
-		if wj := g.w[j]; wj != 0 {
-			u := (x - g.center(j)) / h
-			sum += wj * math.Exp(-0.5*u*u)
-		}
-	}
-	return sum * invSqrt2Pi / (float64(n) * h)
-}
 
 // autoKDEBins picks the binned-KDE resolution from the kernel bandwidth:
 // a bin spacing of at most h/16 keeps the worst-case linear-binning error,
@@ -129,10 +69,11 @@ func (c *GMMConfig) emBins() int {
 	return gmmDefaultBins
 }
 
-// binForEM builds the histogram the EM fast path runs over, or reports
+// sketchForEM builds the sketch the EM fast path runs over, or reports
 // ok=false when the sample cannot support it (degenerate span, or fewer
-// requested bins than components). The grid spans [min(xs), max(xs)].
-func binForEM(xs []float64, k int, cfg GMMConfig) (g *binGrid, ok bool) {
+// requested bins than components). The grid spans [min(xs), max(xs)], so
+// the single-pass fast fit and a fit from the same sketch share a grid key.
+func sketchForEM(xs []float64, k int, cfg GMMConfig) (s *Sketch, ok bool) {
 	bins := cfg.emBins()
 	if bins < 2 || bins < k {
 		return nil, false
@@ -149,7 +90,11 @@ func binForEM(xs []float64, k int, cfg GMMConfig) (g *binGrid, ok bool) {
 	if hi <= lo {
 		return nil, false
 	}
-	return linearBin(xs, lo, hi, bins), true
+	s, err := SketchFromSamples(xs, lo, hi, bins)
+	if err != nil {
+		return nil, false
+	}
+	return s, true
 }
 
 // kmeansBinned1D is the histogram analogue of KMeans1D: Lloyd's algorithm
@@ -157,25 +102,23 @@ func binForEM(xs []float64, k int, cfg GMMConfig) (g *binGrid, ok bool) {
 // sorted, initialization reads the weighted quantiles straight off the
 // cumulative mass. It returns the cluster centers (ascending) and the
 // cluster index owning each bin.
-func kmeansBinned1D(g *binGrid, k, maxIter int) (centers []float64, assign []int) {
-	nb := len(g.w)
-	total := 0.0
-	for _, w := range g.w {
-		total += w
-	}
+func kmeansBinned1D(s *Sketch, k, maxIter int) (centers []float64, assign []int) {
+	w, binCenters := s.views()
+	nb := len(w)
+	total := s.Weight()
 	centers = make([]float64, k)
 	// Weighted-quantile seeding at (i+0.5)/k, mirroring KMeans1D's
 	// evenly spaced sample quantiles.
 	ci, cum := 0, 0.0
 	for j := 0; j < nb && ci < k; j++ {
-		cum += g.w[j]
+		cum += w[j]
 		for ci < k && cum >= (float64(ci)+0.5)/float64(k)*total {
-			centers[ci] = g.center(j)
+			centers[ci] = binCenters[j]
 			ci++
 		}
 	}
 	for ; ci < k; ci++ {
-		centers[ci] = g.center(nb - 1)
+		centers[ci] = binCenters[nb-1]
 	}
 
 	assign = make([]int, nb)
@@ -187,7 +130,7 @@ func kmeansBinned1D(g *binGrid, k, maxIter int) (centers []float64, assign []int
 	for iter := 0; iter < maxIter; iter++ {
 		changed := false
 		for j := 0; j < nb; j++ {
-			x := g.center(j)
+			x := binCenters[j]
 			best, bestD := 0, math.Inf(1)
 			for c, ctr := range centers {
 				d := math.Abs(x - ctr)
@@ -203,9 +146,9 @@ func kmeansBinned1D(g *binGrid, k, maxIter int) (centers []float64, assign []int
 		for c := range sums {
 			sums[c], masses[c] = 0, 0
 		}
-		for j, w := range g.w {
-			sums[assign[j]] += w * g.center(j)
-			masses[assign[j]] += w
+		for j, wj := range w {
+			sums[assign[j]] += wj * binCenters[j]
+			masses[assign[j]] += wj
 		}
 		for c := range centers {
 			if masses[c] > 0 {
@@ -252,20 +195,22 @@ func sortCentersAndRemap(centers []float64, assign []int) {
 	}
 }
 
-// fitGMMBinned is FitGMM's histogram fast path: weighted k-means over the
-// bins for initialization, then histogram-EM. The caller has validated k
-// and n.
-func fitGMMBinned(xs []float64, g *binGrid, k int, cfg GMMConfig) (*GMM, error) {
-	centers, assign := kmeansBinned1D(g, k, 50)
+// fitGMMSketched is the histogram-EM fit over a sketch — the shared engine
+// behind both FitGMM's fast path and FitGMMSketch: weighted k-means over
+// the bins for initialization, then histogram-EM over (bin center, bin
+// mass) pairs. The caller has validated k against the sketch count.
+func fitGMMSketched(s *Sketch, k int, cfg GMMConfig) (*GMM, error) {
+	centers, assign := kmeansBinned1D(s, k, 50)
+	w, binCenters := s.views()
 	comps := make([]Component, k)
 	masses := make([]float64, k)
 	total := 0.0
-	for j, w := range g.w {
+	for j, wj := range w {
 		c := assign[j]
-		d := g.center(j) - centers[c]
-		comps[c].Variance += w * d * d
-		masses[c] += w
-		total += w
+		d := binCenters[j] - centers[c]
+		comps[c].Variance += wj * d * d
+		masses[c] += wj
+		total += wj
 	}
 	for c := range comps {
 		comps[c].Mean = centers[c]
@@ -279,17 +224,16 @@ func fitGMMBinned(xs []float64, g *binGrid, k int, cfg GMMConfig) (*GMM, error) 
 			comps[c].Variance = cfg.MinVariance
 		}
 	}
-	return runEM(binnedSample{g}.xs(), g.w, len(xs), comps, cfg)
+	return runEM(binCenters, w, s.Count(), comps, cfg)
 }
 
-// binnedSample adapts a binGrid to the (values, weights) pair runEM
-// consumes: the values are the bin centers, materialized once.
-type binnedSample struct{ g *binGrid }
-
-func (b binnedSample) xs() []float64 {
-	out := make([]float64, len(b.g.w))
-	for j := range out {
-		out[j] = b.g.center(j)
-	}
-	return out
+// fitGMMInitSketched is the histogram-EM fit over a sketch from explicit
+// initial means — the shared engine behind FitGMMInit's fast path and
+// FitGMMInitSketch. The degenerate-spacing fallback derives its scale from
+// the sketch's own mass moments, so the fit is a pure function of (sketch,
+// initMeans, config).
+func fitGMMInitSketched(s *Sketch, initMeans []float64, cfg GMMConfig) (*GMM, error) {
+	comps := initComponents(initMeans, func() float64 { return math.Max(s.StdDev(), 1) }, cfg)
+	w, binCenters := s.views()
+	return runEM(binCenters, w, s.Count(), comps, cfg)
 }

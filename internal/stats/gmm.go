@@ -114,8 +114,8 @@ func (m *GMM) clone() *GMM {
 	return &c
 }
 
-// gmmCacheKey builds the content-addressed cache key of one fit: a
-// version/kind tag, the effective configuration, and every sample byte, in
+// gmmCacheKey builds the content-addressed cache key of one exact-path fit:
+// a version/kind tag, the effective configuration, and every sample byte, in
 // order. Parallelism is deliberately excluded — the fixed-chunk reductions
 // make the fit bit-identical at every setting, so a fit computed at one
 // worker count may serve requests at any other. Sample order is included
@@ -126,12 +126,23 @@ func gmmCacheKey(kind string, xs, initMeans []float64, k int, cfg GMMConfig) fit
 	h.String("stats.gmm/v1").String(kind)
 	h.Int(k).Float64s(initMeans)
 	h.Int(cfg.MaxIter).Float64(cfg.Tol).Float64(cfg.MinVariance)
-	fast := cfg.useFast(len(xs))
-	h.Bool(fast)
-	if fast {
-		h.Int(cfg.emBins())
-	}
 	h.Float64s(xs)
+	return h.Sum()
+}
+
+// gmmSketchCacheKey is the cache key of a histogram-EM fit: the sketch's
+// grid key, sample count and per-bin masses stand in for the raw sample.
+// Hashing the masses costs O(bins) instead of O(n), and — because the
+// masses are merge-order- and shard-independent — a fit cached by one
+// single-pass fast fit is served verbatim to a fit from the equivalent
+// merged sketch, and to any sample permutation that bins identically.
+func gmmSketchCacheKey(kind string, s *Sketch, initMeans []float64, k int, cfg GMMConfig) fitcache.Key {
+	h := fitcache.NewHasher()
+	h.String("stats.gmm/sketch/v1").String(kind)
+	h.Int(k).Float64s(initMeans)
+	h.Int(cfg.MaxIter).Float64(cfg.Tol).Float64(cfg.MinVariance)
+	h.Float64(s.lo).Float64(s.hi).Int(len(s.mass)).Uint64(s.count)
+	h.Uint64s(s.mass)
 	return h.Sum()
 }
 
@@ -154,6 +165,10 @@ func cachedFit(cfg GMMConfig, key func() fitcache.Key, fit func() (*GMM, error))
 
 // FitGMM fits a k-component 1-D Gaussian mixture to xs with EM, initialized
 // by deterministic 1-D k-means. Components in the result are sorted by mean.
+// When the fast path engages (FastFit and n >= fastFitMinN), the sample is
+// binned into a Sketch over [min(xs), max(xs)] and the fit runs through the
+// identical code path as FitGMMSketch — so a single-pass fast fit and a fit
+// from the equivalent (possibly merged) sketch are the same computation.
 func FitGMM(xs []float64, k int, cfg GMMConfig) (*GMM, error) {
 	cfg.defaults()
 	n := len(xs)
@@ -163,20 +178,63 @@ func FitGMM(xs []float64, k int, cfg GMMConfig) (*GMM, error) {
 	if n < k {
 		return nil, ErrTooFewPoints
 	}
-	return cachedFit(cfg,
-		func() fitcache.Key { return gmmCacheKey("FitGMM", xs, nil, k, cfg) },
-		func() (*GMM, error) { return fitGMM(xs, k, cfg) })
-}
-
-// fitGMM is FitGMM past validation and caching.
-func fitGMM(xs []float64, k int, cfg GMMConfig) (*GMM, error) {
-	n := len(xs)
 	if cfg.useFast(n) {
-		if g, ok := binForEM(xs, k, cfg); ok {
-			return fitGMMBinned(xs, g, k, cfg)
+		if s, ok := sketchForEM(xs, k, cfg); ok {
+			return fitGMMSketchCached("FitGMM", s, nil, k, cfg)
 		}
 	}
+	return cachedFit(cfg,
+		func() fitcache.Key { return gmmCacheKey("FitGMM", xs, nil, k, cfg) },
+		func() (*GMM, error) { return fitGMMExact(xs, k, cfg) })
+}
 
+// FitGMMSketch fits a k-component mixture from a bin-mass sketch: weighted
+// k-means over the bins for initialization, then histogram-EM over
+// (bin center, bin mass) pairs — the same engine as FitGMM's fast path, so
+// the result over a merged sketch is bit-identical to the single-pass fast
+// fit of the concatenated sample on the same grid.
+func FitGMMSketch(s *Sketch, k int, cfg GMMConfig) (*GMM, error) {
+	cfg.defaults()
+	if k <= 0 {
+		return nil, errors.New("stats: non-positive component count")
+	}
+	if s.Count() < k || s.Bins() < k {
+		return nil, ErrTooFewPoints
+	}
+	return fitGMMSketchCached("FitGMM", s, nil, k, cfg)
+}
+
+// FitGMMInitSketch is FitGMMInit from a bin-mass sketch: EM initialized at
+// the given means, run over the sketch's (bin center, bin mass) pairs.
+func FitGMMInitSketch(s *Sketch, initMeans []float64, cfg GMMConfig) (*GMM, error) {
+	cfg.defaults()
+	k := len(initMeans)
+	if k == 0 {
+		return nil, errors.New("stats: empty init means")
+	}
+	if s.Count() < k {
+		return nil, ErrTooFewPoints
+	}
+	return fitGMMSketchCached("FitGMMInit", s, initMeans, k, cfg)
+}
+
+// fitGMMSketchCached dispatches a sketch fit through the content cache.
+// A nil initMeans selects the k-means-seeded fit, otherwise the
+// explicit-means fit.
+func fitGMMSketchCached(kind string, s *Sketch, initMeans []float64, k int, cfg GMMConfig) (*GMM, error) {
+	return cachedFit(cfg,
+		func() fitcache.Key { return gmmSketchCacheKey(kind, s, initMeans, k, cfg) },
+		func() (*GMM, error) {
+			if initMeans != nil {
+				return fitGMMInitSketched(s, initMeans, cfg)
+			}
+			return fitGMMSketched(s, k, cfg)
+		})
+}
+
+// fitGMMExact is FitGMM past validation, caching and the fast-path branch.
+func fitGMMExact(xs []float64, k int, cfg GMMConfig) (*GMM, error) {
+	n := len(xs)
 	// Initialization from k-means: means are the centers, variances the
 	// within-cluster variances, weights the cluster fractions.
 	centers, assign := KMeans1D(xs, k, 50)
@@ -217,13 +275,26 @@ func FitGMMInit(xs []float64, initMeans []float64, cfg GMMConfig) (*GMM, error) 
 	if len(xs) < k {
 		return nil, ErrTooFewPoints
 	}
+	if cfg.useFast(len(xs)) {
+		if s, ok := sketchForEM(xs, k, cfg); ok {
+			return fitGMMSketchCached("FitGMMInit", s, initMeans, k, cfg)
+		}
+	}
 	return cachedFit(cfg,
 		func() fitcache.Key { return gmmCacheKey("FitGMMInit", xs, initMeans, k, cfg) },
-		func() (*GMM, error) { return fitGMMInit(xs, initMeans, cfg) })
+		func() (*GMM, error) {
+			comps := initComponents(initMeans, func() float64 { return math.Max(StdDev(xs), 1) }, cfg)
+			return runEM(xs, nil, len(xs), comps, cfg)
+		})
 }
 
-// fitGMMInit is FitGMMInit past validation and caching.
-func fitGMMInit(xs []float64, initMeans []float64, cfg GMMConfig) (*GMM, error) {
+// initComponents builds the EM starting components for an explicit-means
+// fit: uniform weights, means sorted ascending, and a shared standard
+// deviation of a quarter of the smallest spacing between adjacent means.
+// fallbackSD supplies the scale when the spacing is degenerate (a single
+// mean, or duplicates); it is a closure so the exact path can read the raw
+// sample and the sketch path its mass moments, each lazily.
+func initComponents(initMeans []float64, fallbackSD func() float64, cfg GMMConfig) []Component {
 	k := len(initMeans)
 	means := make([]float64, k)
 	copy(means, initMeans)
@@ -235,7 +306,7 @@ func fitGMMInit(xs []float64, initMeans []float64, cfg GMMConfig) (*GMM, error) 
 		}
 	}
 	if math.IsInf(minGap, 1) || minGap <= 0 {
-		minGap = math.Max(StdDev(xs), 1)
+		minGap = fallbackSD()
 	}
 	sigma := minGap / 4
 	comps := make([]Component, k)
@@ -246,12 +317,7 @@ func fitGMMInit(xs []float64, initMeans []float64, cfg GMMConfig) (*GMM, error) 
 			Variance: math.Max(sigma*sigma, cfg.MinVariance),
 		}
 	}
-	if cfg.useFast(len(xs)) {
-		if g, ok := binForEM(xs, k, cfg); ok {
-			return runEM(binnedSample{g}.xs(), g.w, len(xs), comps, cfg)
-		}
-	}
-	return runEM(xs, nil, len(xs), comps, cfg)
+	return comps
 }
 
 // emChunk is the fixed number of samples per EM work chunk. It is a

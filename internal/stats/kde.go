@@ -49,7 +49,7 @@ type KDE struct {
 	Bins int
 
 	binOnce sync.Once
-	bin     *binGrid // non-nil once the fast path has engaged
+	bin     *Sketch // non-nil once the fast path has engaged
 }
 
 // newKDESorted is the shared constructor core: one defensive copy + sort of
@@ -121,7 +121,7 @@ func (k *KDE) Len() int { return len(k.xs) }
 // sample below the threshold, or a degenerate span/bandwidth). The build is
 // serial and happens exactly once, so concurrent evaluators — including the
 // parallel grid workers — observe one deterministic grid.
-func (k *KDE) binned() *binGrid {
+func (k *KDE) binned() *Sketch {
 	k.binOnce.Do(func() {
 		n := len(k.xs)
 		if !k.FastFit || n < fastFitMinN || k.bandwidth <= 0 {
@@ -138,7 +138,12 @@ func (k *KDE) binned() *binGrid {
 		if b < 2 {
 			b = 2
 		}
-		k.bin = linearBin(k.xs, k.xs[0], k.xs[n-1], b)
+		s, err := SketchFromSamples(k.xs, k.xs[0], k.xs[n-1], b)
+		if err != nil {
+			return // degenerate span; stay exact
+		}
+		s.views() // materialize before the parallel grid workers fan out
+		k.bin = s
 	})
 	return k.bin
 }
@@ -154,7 +159,7 @@ func (k *KDE) At(x float64) float64 {
 		return 0
 	}
 	if g := k.binned(); g != nil {
-		return g.kdeAt(x, k.bandwidth, n)
+		return g.kdeAt(x, k.bandwidth)
 	}
 	h := k.bandwidth
 	lo := sort.SearchFloat64s(k.xs, x-6*h)
@@ -199,12 +204,20 @@ func (k *KDE) GridRange(lo, hi float64, n int) []Point {
 // fixed chunks of grid indices. Each point is a pure function of the sorted
 // sample, so parallel evaluation is exact, not approximate.
 func (k *KDE) gridOver(lo, hi float64, n int) []Point {
+	return kdeGridOver(k.Parallelism, lo, hi, n, k.At)
+}
+
+// kdeGridOver is the shared grid sweep of KDE and SketchKDE: n evenly spaced
+// evaluations of at, fanned out over fixed chunks of grid indices. Each
+// point writes its own slot, so the sweep is bit-identical at every
+// parallelism level.
+func kdeGridOver(par int, lo, hi float64, n int, at func(float64) float64) []Point {
 	pts := make([]Point, n)
 	step := (hi - lo) / float64(n-1)
-	parallel.ForChunks(k.Parallelism, n, kdeGridChunk, func(_, from, to int) {
+	parallel.ForChunks(par, n, kdeGridChunk, func(_, from, to int) {
 		for i := from; i < to; i++ {
 			x := lo + float64(i)*step
-			pts[i] = Point{X: x, Y: k.At(x)}
+			pts[i] = Point{X: x, Y: at(x)}
 		}
 	})
 	return pts
@@ -224,6 +237,70 @@ type Peak struct {
 func (k *KDE) Peaks(gridN int, minRel float64) []Peak {
 	grid := k.Grid(gridN)
 	return PeaksOf(grid, minRel)
+}
+
+// SketchKDE is a Gaussian kernel density estimate evaluated from a bin-mass
+// Sketch instead of a raw sample: the sketch-native analogue of KDE with
+// FastFit, for callers (the sketch-refit pipeline) that no longer hold the
+// samples at all. Its bandwidth rules read the sketch's mass moments, so
+// the whole estimate — bandwidth, grid span, densities, peaks — is a pure
+// function of the sketch content and therefore identical for a merged
+// sketch and the single-pass sketch of the same rows.
+type SketchKDE struct {
+	s         *Sketch
+	bandwidth float64
+
+	// Parallelism bounds the worker count of Grid, GridRange and Peaks,
+	// exactly as for KDE.
+	Parallelism int
+}
+
+// NewKDESketch builds a sketch-backed KDE with the given bandwidth rule.
+// The sketch must not be mutated afterwards (Add/Merge) while the estimate
+// is in use.
+func NewKDESketch(s *Sketch, rule BandwidthRule) *SketchKDE {
+	k := &SketchKDE{s: s, bandwidth: s.bandwidth(rule)}
+	s.views() // materialize before the parallel grid workers fan out
+	return k
+}
+
+// Bandwidth reports the bandwidth in use.
+func (k *SketchKDE) Bandwidth() float64 { return k.bandwidth }
+
+// Len reports the number of samples deposited in the backing sketch.
+func (k *SketchKDE) Len() int { return k.s.Count() }
+
+// At evaluates the density estimate at x.
+func (k *SketchKDE) At(x float64) float64 {
+	if k.s.Count() == 0 || k.bandwidth <= 0 {
+		return 0
+	}
+	return k.s.kdeAt(x, k.bandwidth)
+}
+
+// Grid evaluates the density on n evenly spaced points covering the
+// occupied bin range padded by 3 bandwidths on each side — the sketch
+// analogue of KDE.Grid's sample-range span.
+func (k *SketchKDE) Grid(n int) []Point {
+	lo, hi, ok := k.s.massBounds()
+	if !ok || n <= 1 {
+		return nil
+	}
+	return kdeGridOver(k.Parallelism, k.s.center(lo)-3*k.bandwidth, k.s.center(hi)+3*k.bandwidth, n, k.At)
+}
+
+// GridRange evaluates the density on n points over [lo, hi].
+func (k *SketchKDE) GridRange(lo, hi float64, n int) []Point {
+	if n <= 1 || hi <= lo {
+		return nil
+	}
+	return kdeGridOver(k.Parallelism, lo, hi, n, k.At)
+}
+
+// Peaks finds local maxima of the estimate on a gridN-point grid, with the
+// same strict-neighbour and minRel rules as KDE.Peaks.
+func (k *SketchKDE) Peaks(gridN int, minRel float64) []Peak {
+	return PeaksOf(k.Grid(gridN), minRel)
 }
 
 // PeaksOf finds local maxima in an arbitrary curve. minRel filters peaks
