@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-smoke bench-baseline bench-compare snapshot-verify sketch-verify load-smoke
+.PHONY: check vet build test race bench bench-smoke bench-baseline bench-compare snapshot-verify sketch-verify tiles-verify load-smoke
 
-check: vet build race bench-smoke bench-compare snapshot-verify sketch-verify load-smoke
+check: vet build race bench-smoke bench-compare snapshot-verify sketch-verify tiles-verify load-smoke
 
 vet:
 	$(GO) vet ./...
@@ -27,7 +27,8 @@ bench-smoke:
 	$(GO) test -run NONE -bench 'KDEGrid|FitGMM|SketchMerge' -benchtime 1x ./internal/stats/
 	$(GO) test -run NONE -bench 'GenerateOokla/n=10000$$|WriteOoklaCSV|ReadOoklaCSV/n=100000|OoklaIngest/n=100000/src=(csv|snapshot)' -benchtime 1x ./internal/dataset/
 	$(GO) test -run NONE -bench 'ClassifyOne|FitFromSketches' -benchtime 1x ./internal/core/
-	$(GO) test -run NONE -bench 'IngestHTTPBatch64|ParseSubmission|ServerWarmRefresh' -benchtime 1x ./internal/ingest/
+	$(GO) test -run NONE -bench 'IngestHTTPBatch64|ParseSubmission|ServerWarmRefresh|TilesHTTP' -benchtime 1x ./internal/ingest/
+	$(GO) test -run NONE -bench 'TileAggregate/n=100000|TileQuery' -benchtime 1x ./internal/tilequery/
 
 # bench runs the full stats + generation benchmark suite with memory stats.
 # The n=1000000 generation sizes need more than go test's default 10m.
@@ -36,7 +37,8 @@ bench:
 	$(GO) test -run NONE -bench 'GenerateOokla|GenerateMLab|WriteOoklaCSV|ReadOoklaCSV|OoklaIngest' -benchmem -timeout 60m ./internal/dataset/
 	$(GO) test -run NONE -bench 'AllSnapshot' -benchmem -timeout 60m ./cmd/speedctx/
 	$(GO) test -run NONE -bench 'ClassifyOne|FitFromSketches' -benchmem ./internal/core/
-	$(GO) test -run NONE -bench 'IngestHTTP|IngestPipelineSubmit|ParseSubmission|ServerWarmRefresh' -benchmem ./internal/ingest/
+	$(GO) test -run NONE -bench 'IngestHTTP|IngestPipelineSubmit|ParseSubmission|ServerWarmRefresh|TilesHTTP' -benchmem ./internal/ingest/
+	$(GO) test -run NONE -bench 'TileScan|TileAggregate|TileQuery' -benchmem -timeout 30m ./internal/tilequery/
 
 # bench-baseline records the perf trajectory file for this PR series:
 # benchmark name -> ns/op. Compare future PRs against the committed
@@ -54,17 +56,21 @@ bench-baseline:
 	  $(GO) test -run NONE -bench 'FitFromSketches' -benchtime 20x -count 5 ./internal/core/ ; \
 	  $(GO) test -run NONE -bench 'IngestPipelineSubmit|ParseSubmission' -benchtime 200000x -count 3 ./internal/ingest/ ; \
 	  $(GO) test -run NONE -bench 'ServerWarmRefresh' -benchtime 20x -count 5 ./internal/ingest/ ; \
-	  $(GO) test -run NONE -bench 'IngestHTTP' -benchtime 3000x -count 3 ./internal/ingest/ ) \
-		| scripts/bench2json.sh > BENCH_pr7.json
-	@cat BENCH_pr7.json
+	  $(GO) test -run NONE -bench 'IngestHTTP' -benchtime 3000x -count 3 ./internal/ingest/ ; \
+	  $(GO) test -run NONE -bench 'TilesHTTP' -benchtime 2000x -count 3 ./internal/ingest/ ; \
+	  $(GO) test -run NONE -bench 'TileScan' -benchtime 3x -count 3 -timeout 30m ./internal/tilequery/ ; \
+	  $(GO) test -run NONE -bench 'TileAggregate' -benchtime 10x -count 3 ./internal/tilequery/ ; \
+	  $(GO) test -run NONE -bench 'TileQuery' -benchtime 200x -count 5 ./internal/tilequery/ ) \
+		| scripts/bench2json.sh > BENCH_pr8.json
+	@cat BENCH_pr8.json
 
 # bench-compare gates the committed perf trajectory: fail if any benchmark
 # shared with an earlier baseline regressed >10% (machine-normalized; see
-# scripts/bench_compare.sh). The sketch entries (SketchMerge, FitGMMSketch,
-# FitFromSketches, ServerWarmRefresh — the live-refresh refit path) are new
-# in BENCH_pr7 — future PRs gate against them.
+# scripts/bench_compare.sh). The tile entries (TileScan — the headline
+# full-vs-pruned scan pair — TileAggregate, TileQuery, TilesHTTP) are new
+# in BENCH_pr8 — future PRs gate against them.
 bench-compare:
-	scripts/bench_compare.sh BENCH_pr7.json BENCH_pr6.json BENCH_pr5.json BENCH_pr4.json BENCH_pr3.json BENCH_pr1.json
+	scripts/bench_compare.sh BENCH_pr8.json BENCH_pr7.json BENCH_pr6.json BENCH_pr5.json BENCH_pr4.json BENCH_pr3.json BENCH_pr1.json
 
 # snapshot-verify is the end-to-end identity gate for the snapshot store
 # (DESIGN.md §10): a no-snapshot run, a cold-cache run (generate + write
@@ -86,6 +92,14 @@ snapshot-verify:
 # refresh loop's correctness rests on.
 sketch-verify:
 	$(GO) run ./cmd/speedctx sketch-verify
+
+# tiles-verify is the end-to-end identity gate for the geo-tiled aggregate
+# query layer (DESIGN.md §13): one city's tiles rendered from memory and
+# from a pruned .sxc snapshot scan, across parallelism {1,4,all}, cold and
+# through a warm result cache, must be byte-identical — and the snapshot
+# scan must actually have skipped the unrequested columns.
+tiles-verify:
+	$(GO) run ./cmd/speedctx tiles -verify -scale 0.002
 
 # load-smoke is the serving-path gate: a bounded self-hosted run of the
 # load generator through the real HTTP ingest server must complete with

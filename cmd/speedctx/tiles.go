@@ -1,0 +1,240 @@
+// The tiles subcommand runs the geo-tiled aggregate query layer
+// (DESIGN.md §13) from the command line:
+//
+//	speedctx tiles [-city A] [-scale 0.02] [-seed 2021] [-par 0]
+//	               [-zoom 16] [-bbox minLat,minLon,maxLat,maxLon]
+//	               [-metric download|upload|latency|tests|devices]
+//	               [-format json|csv] [-snapshot-dir DIR] [-verify]
+//
+// Without -snapshot-dir the city is generated in memory and aggregated;
+// with it, rows come from the city's .sxc snapshot through a pruned column
+// scan (five of sixteen Ookla columns decoded, everything else skipped by
+// seek). Both paths produce byte-identical output.
+//
+// -verify is the CI gate for that claim: it renders the city's tiles from
+// memory and from a freshly written snapshot, across parallelism 1, 4 and
+// all-CPUs, cold and through a warm result cache, and fails unless every
+// rendering is byte-identical and the snapshot scan really skipped the
+// unrequested columns.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"speedctx/internal/core"
+	"speedctx/internal/dataset"
+	"speedctx/internal/experiments"
+	"speedctx/internal/opendata"
+	"speedctx/internal/tilequery"
+)
+
+func runTiles(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tiles", flag.ContinueOnError)
+	city := fs.String("city", "A", "city identifier (A-D)")
+	scale := fs.Float64("scale", 0.02, "fraction of the paper's dataset sizes")
+	seed := fs.Int64("seed", 2021, "generation seed")
+	par := fs.Int("par", 0, "aggregation parallelism: 0 = all CPUs, 1 = serial (output is identical at every setting)")
+	zoom := fs.Int("zoom", opendata.TileZoom, "output zoom level (1..16)")
+	bbox := fs.String("bbox", "", "restrict output to minLat,minLon,maxLat,maxLon")
+	metric := fs.String("metric", "", "single-metric projection: download|upload|latency|tests|devices (JSON only)")
+	format := fs.String("format", "json", "output format: json or csv")
+	snapDir := fs.String("snapshot-dir", "", "read rows from this .sxc snapshot directory via a pruned column scan (writing the snapshot on a miss) instead of keeping the city in memory")
+	verify := fs.Bool("verify", false, "verify snapshot-vs-memory, parallelism and cache byte-identity, then exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *verify {
+		return runTilesVerify(out, *city, *scale, *seed)
+	}
+	if *zoom < 1 || *zoom > opendata.TileZoom {
+		return fmt.Errorf("tiles: -zoom must be in [1, %d]", opendata.TileZoom)
+	}
+
+	fitCfg := core.Config{Parallelism: *par, FastFit: true}
+	var rows *tilequery.Rows
+	var err error
+	if *snapDir != "" {
+		rows, err = snapshotTileRows(*snapDir, *city, *scale, *seed, fitCfg)
+	} else {
+		s := experiments.NewSuite(*scale, *seed)
+		s.Parallelism = *par
+		s.FastFit = true
+		rows, err = s.TileRows(*city)
+	}
+	if err != nil {
+		return err
+	}
+
+	q := tilequery.Query{Zoom: *zoom}
+	if *bbox != "" {
+		rng, err := parseBBox(*bbox, *zoom)
+		if err != nil {
+			return err
+		}
+		q.Range = &rng
+	}
+	tiles, err := tilequery.Aggregate(rows, tilequery.Config{City: *city, Parallelism: *par}, q)
+	if err != nil {
+		return err
+	}
+	switch *format {
+	case "csv":
+		return tilequery.WriteTilesCSV(out, tiles)
+	case "json":
+		buf, err := tilequery.AppendTilesJSON(nil, *zoom, tiles, *metric)
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		_, err = out.Write(buf)
+		return err
+	}
+	return fmt.Errorf("tiles: unknown format %q", *format)
+}
+
+// snapshotTileRows reads the tile row view from the city's snapshot,
+// generating and writing the snapshot first if the store misses, and
+// insists the pruned scan skipped columns.
+func snapshotTileRows(dir, city string, scale float64, seed int64, fitCfg core.Config) (*tilequery.Rows, error) {
+	store := &dataset.SnapshotStore{Dir: dir}
+	key := dataset.SnapshotKey{City: city, Seed: seed, Scale: scale}
+	path := store.Path(key)
+	if _, err := os.Stat(path); err != nil {
+		// Miss: let the suite generate the city and write the snapshot.
+		s := experiments.NewSuite(scale, seed)
+		s.Parallelism = fitCfg.Parallelism
+		s.FastFit = true
+		s.SnapshotDir = dir
+		if _, err := s.City(city); err != nil {
+			return nil, err
+		}
+	}
+	rows, ctr, err := experiments.TileRowsFromSnapshot(path, city, fitCfg)
+	if err != nil {
+		return nil, err
+	}
+	if ctr.ColumnsSkipped == 0 || ctr.SectionsSkipped == 0 {
+		return nil, fmt.Errorf("tiles: pruned snapshot scan skipped nothing (%+v)", ctr)
+	}
+	return rows, nil
+}
+
+func parseBBox(s string, zoom int) (opendata.TileRange, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return opendata.TileRange{}, fmt.Errorf("tiles: -bbox wants minLat,minLon,maxLat,maxLon")
+	}
+	var f [4]float64
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return opendata.TileRange{}, fmt.Errorf("tiles: bad bbox coordinate %q", p)
+		}
+		f[i] = v
+	}
+	return opendata.TileRangeForBBox(f[0], f[1], f[2], f[3], zoom)
+}
+
+// runTilesVerify is the `make check` gate (DESIGN.md §13): one city's
+// tiles rendered every way the layer supports must be byte-identical.
+func runTilesVerify(out io.Writer, city string, scale float64, seed int64) error {
+	pars := []int{1, 4, 0}
+	fmt.Fprintf(out, "tiles-verify: city %s scale %g seed %d, parallelism %v\n", city, scale, seed, pars)
+
+	// Reference: in-memory rows, serial fit, serial aggregation.
+	mem := experiments.NewSuite(scale, seed)
+	mem.Parallelism = 1
+	mem.FastFit = true
+	memRows, err := mem.TileRows(city)
+	if err != nil {
+		return err
+	}
+	var want []byte
+	renderAll := func(rows *tilequery.Rows, par int) ([]byte, error) {
+		eng := tilequery.NewEngine(tilequery.Config{City: city, Parallelism: par}, 0)
+		if err := eng.AddRows(rows); err != nil {
+			return nil, err
+		}
+		var buf []byte
+		for _, zoom := range []int{opendata.TileZoom, 12} {
+			cold, err := eng.Tiles(tilequery.Query{Zoom: zoom})
+			if err != nil {
+				return nil, err
+			}
+			warm, err := eng.Tiles(tilequery.Query{Zoom: zoom})
+			if err != nil {
+				return nil, err
+			}
+			cb, err := tilequery.AppendTilesJSON(nil, zoom, cold, "")
+			if err != nil {
+				return nil, err
+			}
+			wb, err := tilequery.AppendTilesJSON(nil, zoom, warm, "")
+			if err != nil {
+				return nil, err
+			}
+			if !bytes.Equal(cb, wb) {
+				return nil, fmt.Errorf("tiles-verify: zoom %d cold/warm cache renderings differ", zoom)
+			}
+			buf = append(buf, cb...)
+		}
+		if st := eng.Stats(); st.CacheHits == 0 {
+			return nil, fmt.Errorf("tiles-verify: warm pass hit no cache entries (%+v)", st)
+		}
+		return buf, nil
+	}
+	for _, par := range pars {
+		got, err := renderAll(memRows, par)
+		if err != nil {
+			return err
+		}
+		if want == nil {
+			want = got
+		} else if !bytes.Equal(got, want) {
+			return fmt.Errorf("tiles-verify: in-memory rendering differs at parallelism %d", par)
+		}
+	}
+	fmt.Fprintf(out, "tiles-verify: in-memory renderings identical (%d bytes, zooms 16+12, cold+warm)\n", len(want))
+
+	// Snapshot path: write the snapshot to a scratch store, pruned-scan it
+	// back, and re-render everything.
+	dir, err := os.MkdirTemp("", "speedctx-tiles-verify-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	snap := experiments.NewSuite(scale, seed)
+	snap.Parallelism = 1
+	snap.FastFit = true
+	snap.SnapshotDir = dir
+	if _, err := snap.City(city); err != nil {
+		return err
+	}
+	path := (&dataset.SnapshotStore{Dir: dir}).Path(dataset.SnapshotKey{City: city, Seed: seed, Scale: scale})
+	snapRows, ctr, err := experiments.TileRowsFromSnapshot(path, city, core.Config{Parallelism: 1, FastFit: true})
+	if err != nil {
+		return err
+	}
+	if ctr.ColumnsSkipped == 0 || ctr.SectionsSkipped == 0 {
+		return fmt.Errorf("tiles-verify: pruned snapshot scan skipped nothing (%+v)", ctr)
+	}
+	for _, par := range pars {
+		got, err := renderAll(snapRows, par)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, want) {
+			return fmt.Errorf("tiles-verify: snapshot rendering differs at parallelism %d", par)
+		}
+	}
+	fmt.Fprintf(out, "tiles-verify: snapshot renderings identical (decoded %d columns, skipped %d columns / %d sections / %d bytes)\n",
+		ctr.ColumnsDecoded, ctr.ColumnsSkipped, ctr.SectionsSkipped, ctr.BytesSkipped)
+	fmt.Fprintln(out, "tiles-verify: OK")
+	return nil
+}

@@ -13,7 +13,10 @@
 // (DESIGN.md §11): it fits each configured city's BST model at startup,
 // classifies every POSTed <download, upload> result against it, and
 // persists accepted rows as sorted .sxc segments under -ingest-dir,
-// compacted into one canonical snapshot at shutdown.
+// compacted into one canonical snapshot at shutdown. The same server
+// serves GET /v1/tiles — contextualized per-quadkey aggregates folded
+// live from the sealed segments (DESIGN.md §13; -tile-zoom, -tile-par,
+// -tile-cache).
 package main
 
 import (
@@ -34,6 +37,7 @@ import (
 	"speedctx/internal/ingest"
 	"speedctx/internal/ndt7"
 	"speedctx/internal/speedtest"
+	"speedctx/internal/tilequery"
 )
 
 // Addrs reports the daemon's bound listen addresses; empty means the
@@ -78,6 +82,9 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	ingestCompact := fs.Bool("ingest-compact", true, "compact segments into one canonical snapshot at shutdown")
 	refitRows := fs.Int("ingest-refit-rows", 0, "refit a city's model once this many sealed rows await folding (0 = no row trigger)")
 	refitAge := fs.Duration("ingest-refit-age", 0, "refit a city's model once it is this old and sealed rows await folding (0 = no age trigger)")
+	tileZoom := fs.Int("tile-zoom", 0, "base aggregation zoom for /v1/tiles (0 = default 16)")
+	tilePar := fs.Int("tile-par", 0, "segment-fold parallelism for /v1/tiles: 0 = all CPUs, 1 = serial (responses are identical at every setting)")
+	tileCache := fs.Int("tile-cache", 0, "tile result cache capacity in tiles (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -127,10 +134,12 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 			return fmt.Errorf("ingest: listen: %w", err)
 		}
 		ingestSrv = ingest.NewServer(pipe, models, ingest.ServerConfig{
-			RefitRows: *refitRows,
-			RefitAge:  *refitAge,
-			FitConfig: fitCfg,
-			Logf:      logf,
+			RefitRows:      *refitRows,
+			RefitAge:       *refitAge,
+			FitConfig:      fitCfg,
+			Logf:           logf,
+			Tiles:          tilequery.Config{Zoom: *tileZoom, Parallelism: *tilePar},
+			TileCacheTiles: *tileCache,
 		})
 		httpSrv = &http.Server{Handler: ingestSrv.Handler()}
 		bound.Ingest = ln.Addr().String()

@@ -51,8 +51,9 @@ import (
 // rewrite).
 
 // SnapshotFormatVersion is the .sxc layout version. It changes only when
-// the byte layout itself changes.
-const SnapshotFormatVersion = 1
+// the byte layout itself changes. Version 2 added the per-block checksum
+// that lets pruned scans verify exactly the bytes they decode (below).
+const SnapshotFormatVersion = 2
 
 // DataVersion tags the semantics of generated data: it must be bumped
 // whenever the generators change output for a fixed (seed, scale, city) —
@@ -133,23 +134,42 @@ func ReadCitySnapshot(r io.Reader) (*CitySnapshot, error) {
 
 // DecodeCitySnapshot is ReadCitySnapshot over an in-memory file image.
 func DecodeCitySnapshot(data []byte) (*CitySnapshot, error) {
+	snap, _, err := decodeCitySnapshotSel(data, SelectAll())
+	return snap, err
+}
+
+// decodeCitySnapshotSel is the one decode path: the full decoder runs it
+// with everything selected, the pruned decoder (DecodeCitySnapshotPruned)
+// with the query's selection. Sharing the path is what makes a pruned
+// column bit-identical to its full decode.
+func decodeCitySnapshotSel(data []byte, sel SnapshotSelection) (*CitySnapshot, DecodeCounters, error) {
+	var none DecodeCounters
 	const headerMin = 4 + 2 + 1 + 1 + 8
 	if len(data) < headerMin {
-		return nil, errors.New("dataset: snapshot too short")
+		return nil, none, errors.New("dataset: snapshot too short")
 	}
 	body, sum := data[:len(data)-8], data[len(data)-8:]
-	if snapshotChecksum(body) != binary.LittleEndian.Uint64(sum) {
-		return nil, errors.New("dataset: snapshot checksum mismatch")
+	// Integrity is selection-scoped (DESIGN.md §13): a full decode hashes
+	// the whole image once against the trailer sum (which covers every
+	// block sum and payload, so per-block checks would be redundant); a
+	// pruned decode skips the trailer pass — it would touch every byte the
+	// pruning just avoided — and instead verifies the per-block checksum
+	// of each column it materializes. Either way, no byte is trusted
+	// without a matching sum; bytes a pruned scan seeks over are simply
+	// outside its read set.
+	full := sel == SelectAll()
+	if full && snapshotChecksum(body) != binary.LittleEndian.Uint64(sum) {
+		return nil, none, errors.New("dataset: snapshot checksum mismatch")
 	}
-	d := &snapDec{data: body}
+	d := &snapDec{data: body, verifyBlocks: !full}
 	if !bytes.Equal(d.bytes(4), snapshotMagic[:]) {
-		return nil, errors.New("dataset: not a .sxc snapshot")
+		return nil, none, errors.New("dataset: not a .sxc snapshot")
 	}
 	if v := d.u16(); v != SnapshotFormatVersion {
-		return nil, fmt.Errorf("%w: format version %d, want %d", ErrSnapshotStale, v, SnapshotFormatVersion)
+		return nil, none, fmt.Errorf("%w: format version %d, want %d", ErrSnapshotStale, v, SnapshotFormatVersion)
 	}
 	if v := d.uvarint(); v != DataVersion {
-		return nil, fmt.Errorf("%w: data version %d, want %d", ErrSnapshotStale, v, DataVersion)
+		return nil, none, fmt.Errorf("%w: data version %d, want %d", ErrSnapshotStale, v, DataVersion)
 	}
 	sections := int(d.u8())
 	snap := &CitySnapshot{}
@@ -158,28 +178,46 @@ func DecodeCitySnapshot(data []byte) (*CitySnapshot, error) {
 		rows := int(d.uvarint())
 		switch kind {
 		case snapKindOokla:
-			snap.Ookla = decodeOoklaSection(d, rows)
+			if d.enter(sel.Ookla, ooklaSectionCols) {
+				snap.Ookla = decodeOoklaSection(d, rows)
+			}
 		case snapKindMLab:
-			snap.MLabRows = decodeMLabSection(d, rows)
+			if d.enter(sel.MLab, mlabSectionCols) {
+				snap.MLabRows = decodeMLabSection(d, rows)
+			}
 		case snapKindMBA:
-			snap.MBA = decodeMBASection(d, rows)
+			if d.enter(sel.MBA, mbaSectionCols) {
+				snap.MBA = decodeMBASection(d, rows)
+			}
 		case snapKindAndroid:
-			snap.Android = decodeOoklaSection(d, rows)
+			if d.enter(sel.Android, ooklaSectionCols) {
+				snap.Android = decodeOoklaSection(d, rows)
+			}
 		case snapKindIngest:
-			snap.Ingest = decodeIngestSection(d, rows)
+			if d.enter(sel.Ingest, ingestSectionCols) {
+				snap.Ingest = decodeIngestSection(d, rows)
+			}
 		case snapKindSketch:
-			snap.Sketches = decodeSketchSection(d, rows)
+			// The sketch section prunes all-or-nothing: its columns are one
+			// logical record batch.
+			var sketchSel ColumnSet
+			if sel.Sketches {
+				sketchSel = AllColumns
+			}
+			if d.enter(sketchSel, sketchSectionCols) {
+				snap.Sketches = decodeSketchSection(d, rows)
+			}
 		default:
 			d.fail("unknown section kind %d", kind)
 		}
 	}
 	if d.err != nil {
-		return nil, d.err
+		return nil, none, d.err
 	}
 	if d.pos != len(d.data) {
-		return nil, fmt.Errorf("dataset: snapshot has %d trailing bytes", len(d.data)-d.pos)
+		return nil, none, fmt.Errorf("dataset: snapshot has %d trailing bytes", len(d.data)-d.pos)
 	}
-	return snap, nil
+	return snap, d.ctr, nil
 }
 
 // encodeCitySnapshot renders the full file image; dataVersion is a
@@ -280,9 +318,13 @@ type snapEnc struct {
 	err     error
 }
 
+// column writes one block: id, payload length, the payload's own checksum,
+// then the payload. The per-block sum is what lets a pruned reader verify
+// a column without hashing the rest of the file.
 func (e *snapEnc) column(id byte, payload []byte) {
 	e.buf = append(e.buf, id)
 	e.buf = binary.AppendUvarint(e.buf, uint64(len(payload)))
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, snapshotChecksum(payload))
 	e.buf = append(e.buf, payload...)
 }
 
@@ -378,11 +420,19 @@ func appendBytes[T ~int](b []byte, v []T) []byte {
 }
 
 // snapDec reads the file image with a latched first error, so decode code
-// reads straight through without per-call error plumbing.
+// reads straight through without per-call error plumbing. sel is the
+// current section's column selection (set by enter before each section
+// body); ctr tallies what was decoded versus seeked over.
 type snapDec struct {
 	data []byte
 	pos  int
 	err  error
+	sel  ColumnSet
+	ctr  DecodeCounters
+	// verifyBlocks is set for pruned decodes: each materialized column is
+	// checked against its block checksum (a full decode already verified
+	// the whole image against the trailer sum).
+	verifyBlocks bool
 }
 
 func (d *snapDec) fail(format string, args ...any) {
@@ -433,19 +483,85 @@ func (d *snapDec) uvarint() uint64 {
 	return v
 }
 
+// enter decides a section's fate: with a non-zero selection it installs
+// the selection as the current one and reports true (decode the body);
+// with a zero selection it seeks over all cols column blocks and reports
+// false.
+func (d *snapDec) enter(sel ColumnSet, cols int) bool {
+	if d.err != nil {
+		return false
+	}
+	if sel != 0 {
+		d.sel = sel
+		d.ctr.SectionsDecoded++
+		return true
+	}
+	d.ctr.SectionsSkipped++
+	for id := 1; id <= cols && d.err == nil; id++ {
+		d.skipColumn(byte(id))
+	}
+	return false
+}
+
+// selected reports whether the current section's selection wants column
+// id; if not, it seeks over the block so the caller can simply return nil.
+func (d *snapDec) selected(id byte) bool {
+	if d.err != nil {
+		return false
+	}
+	if d.sel.Has(id) {
+		d.ctr.ColumnsDecoded++
+		return true
+	}
+	d.skipColumn(id)
+	return false
+}
+
+// skipColumn seeks over one column block: id byte, payload length, block
+// checksum, payload. The structural checks (expected id, in-bounds length)
+// stay; the payload is neither decoded nor hashed — it is outside the
+// pruned read set.
+func (d *snapDec) skipColumn(id byte) {
+	got := d.u8()
+	if d.err == nil && got != id {
+		d.fail("column id %d, want %d", got, id)
+	}
+	n := d.uvarint()
+	if d.err != nil {
+		return
+	}
+	if avail := uint64(len(d.data) - d.pos); avail < 8 || n > avail-8 {
+		d.fail("column %d truncated", id)
+		return
+	}
+	d.pos += int(n) + 8
+	d.ctr.ColumnsSkipped++
+	d.ctr.BytesSkipped += int64(n)
+}
+
 // column fetches the payload of the next column block, which must carry
-// the expected id.
+// the expected id; on pruned decodes the payload must match its block
+// checksum.
 func (d *snapDec) column(id byte) []byte {
 	got := d.u8()
 	if d.err == nil && got != id {
 		d.fail("column id %d, want %d", got, id)
 	}
 	n := d.uvarint()
-	if d.err == nil && n > uint64(len(d.data)-d.pos) {
+	if avail := uint64(len(d.data) - d.pos); d.err == nil && (avail < 8 || n > avail-8) {
 		d.fail("column %d truncated", id)
 		return nil
 	}
-	return d.bytes(int(n))
+	sumBytes := d.bytes(8)
+	p := d.bytes(int(n))
+	if d.err != nil {
+		return nil
+	}
+	if d.verifyBlocks && snapshotChecksum(p) != binary.LittleEndian.Uint64(sumBytes) {
+		d.fail("column %d checksum mismatch", id)
+		return nil
+	}
+	return p
 }
 
 // Column payload decoders. Every decoder validates the payload size
@@ -453,6 +569,9 @@ func (d *snapDec) column(id byte) []byte {
 // drive huge allocations.
 
 func decodeDeltaInts(d *snapDec, id byte, n int) []int {
+	if !d.selected(id) {
+		return nil
+	}
 	p := d.column(id)
 	if d.err != nil {
 		return nil
@@ -489,6 +608,9 @@ func decodeDeltaInts(d *snapDec, id byte, n int) []int {
 }
 
 func decodeTimes(d *snapDec, id byte, n int) []time.Time {
+	if !d.selected(id) {
+		return nil
+	}
 	p := d.column(id)
 	if d.err != nil {
 		return nil
@@ -534,6 +656,9 @@ func decodeTimes(d *snapDec, id byte, n int) []time.Time {
 }
 
 func decodeFloats(d *snapDec, id byte, n int) []float64 {
+	if !d.selected(id) {
+		return nil
+	}
 	p := d.column(id)
 	if d.err != nil {
 		return nil
@@ -550,6 +675,9 @@ func decodeFloats(d *snapDec, id byte, n int) []float64 {
 }
 
 func decodeStrings[T ~string](d *snapDec, id byte, n int) []T {
+	if !d.selected(id) {
+		return nil
+	}
 	p := d.column(id)
 	if d.err != nil {
 		return nil
@@ -602,6 +730,9 @@ func decodeStrings[T ~string](d *snapDec, id byte, n int) []T {
 }
 
 func decodeBools(d *snapDec, id byte, n int) []bool {
+	if !d.selected(id) {
+		return nil
+	}
 	p := d.column(id)
 	if d.err != nil {
 		return nil
@@ -618,6 +749,9 @@ func decodeBools(d *snapDec, id byte, n int) []bool {
 }
 
 func decodeBytes[T ~int](d *snapDec, id byte, n int) []T {
+	if !d.selected(id) {
+		return nil
+	}
 	p := d.column(id)
 	if d.err != nil {
 		return nil
@@ -861,7 +995,10 @@ func decodeSketchSection(d *snapDec, n int) []SketchBundle {
 	bins := decodeDeltaInts(d, 5, n)
 	lows := decodeFloats(d, 6, n)
 	highs := decodeFloats(d, 7, n)
-	p := d.column(8)
+	var p []byte
+	if d.selected(8) {
+		p = d.column(8)
+	}
 	if d.err != nil {
 		return nil
 	}

@@ -160,3 +160,57 @@ func BenchmarkParseSubmission(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkTilesHTTP measures GET /v1/tiles end to end on a server whose
+// segments are all sealed and folded. After the first request the refresh
+// sweep sees no new segments and every rolled tile is a result-cache hit,
+// so the hot path's latency percentiles are the cache's constant-time
+// claim, measured through HTTP.
+func BenchmarkTilesHTTP(b *testing.B) {
+	cls, rows := loadClassifiers(b)
+	ts, _, p := startServer(b, b.TempDir(), PipelineConfig{BatchRows: 128, MaxBatchAge: -1}, cls)
+	defer ts.Close()
+	client := ts.Client()
+	for at := 0; at < len(rows); at += 64 {
+		var buf []byte
+		for j := at; j < at+64 && j < len(rows); j++ {
+			buf = AppendSubmission(buf, &rows[j])
+			buf = append(buf, '\n')
+		}
+		resp, err := client.Post(ts.URL+"/v1/ingest/batch", "application/json", bytes.NewReader(buf))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("ingest status %d", resp.StatusCode)
+		}
+	}
+	if err := p.Close(); err != nil { // seal the tail batch
+		b.Fatal(err)
+	}
+	for _, q := range []struct{ name, params string }{
+		{"query=base", ""},
+		{"query=rollup", "?zoom=12&metric=download"},
+	} {
+		b.Run(q.name, func(b *testing.B) {
+			if code, body := getTiles(b, client, ts.URL, q.params); code != http.StatusOK || len(body) == 0 {
+				b.Fatalf("warmup status %d (%d bytes)", code, len(body))
+			}
+			lat := make([]float64, 0, b.N)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t0 := time.Now()
+				code, body := getTiles(b, client, ts.URL, q.params)
+				lat = append(lat, float64(time.Since(t0).Nanoseconds()))
+				if code != http.StatusOK || len(body) == 0 {
+					b.Fatalf("status %d", code)
+				}
+			}
+			b.StopTimer()
+			reportLatencies(b, lat)
+		})
+	}
+}

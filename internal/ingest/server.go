@@ -14,6 +14,7 @@ import (
 
 	"speedctx/internal/core"
 	"speedctx/internal/dataset"
+	"speedctx/internal/tilequery"
 )
 
 // Server is the ingest HTTP surface. Each accepted submission is
@@ -28,6 +29,11 @@ import (
 //	                       of per-line results in input order
 //	POST /v1/classify      classify one submission WITHOUT ingesting it —
 //	                       a read-only probe of the serving model
+//	GET  /v1/tiles         contextualized per-quadkey aggregates over every
+//	                       sealed row (DESIGN.md §13): ?zoom=&bbox=&metric=
+//	                       &format=, folded incrementally from segments via
+//	                       pruned column scans and served through a
+//	                       per-(tile, version) result cache
 //	GET  /healthz          liveness
 //	GET  /statsz           accepted/rejected/sealed counters plus per-city
 //	                       model generation and staleness as JSON
@@ -47,6 +53,7 @@ type Server struct {
 	pipe   *Pipeline
 	cfg    ServerConfig
 	cities map[string]*cityState
+	tiles  *tileServer
 
 	accepted atomic.Uint64
 	rejected atomic.Uint64
@@ -104,6 +111,13 @@ type ServerConfig struct {
 	// Logf, when non-nil, receives one line per refit and per refit
 	// failure.
 	Logf func(format string, args ...any)
+	// Tiles configures the /v1/tiles aggregation layer. The zero value
+	// serves zoom-16 tiles with the default location seed and all-CPU
+	// folds; Parallelism and LocSeed never change response bytes.
+	Tiles tilequery.Config
+	// TileCacheTiles bounds the tile result cache (0 = the tilequery
+	// default).
+	TileCacheTiles int
 }
 
 func (c *ServerConfig) defaults() {
@@ -154,6 +168,7 @@ func NewServer(pipe *Pipeline, models map[string]*CityModel, cfg ServerConfig) *
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
+	s.tiles = newTileServer(pipe.cfg.Dir, cfg.Tiles, cfg.TileCacheTiles)
 	now := time.Now().UnixNano()
 	for city, m := range models {
 		st := &cityState{base: m.Base}
@@ -257,6 +272,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/ingest", s.handleOne)
 	mux.HandleFunc("/v1/ingest/batch", s.handleBatch)
 	mux.HandleFunc("/v1/classify", s.handleClassify)
+	mux.HandleFunc("/v1/tiles", s.handleTiles)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		io.WriteString(w, "ok\n")
@@ -453,6 +469,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	out = strconv.AppendUint(out, sealedRows, 10)
 	out = append(out, `,"segments":`...)
 	out = strconv.AppendUint(out, segments, 10)
+	out = append(out, ',')
+	out = appendTileStats(out, s.tiles.stats())
 	out = append(out, `,"models":{`...)
 	cities := make([]string, 0, len(s.cities))
 	for city := range s.cities {

@@ -1,0 +1,242 @@
+package ingest
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"speedctx/internal/dataset"
+	"speedctx/internal/opendata"
+	"speedctx/internal/tilequery"
+)
+
+// tileSelection is the pruned projection the tile layer reads from a
+// sealed segment: six of the eleven ingest columns, no sketch sections.
+// Everything else in the file is skipped by seek (DESIGN.md §13).
+var tileSelection = dataset.SnapshotSelection{
+	Ingest: dataset.Cols(
+		dataset.IngestColUserID, dataset.IngestColCity,
+		dataset.IngestColDownload, dataset.IngestColUpload,
+		dataset.IngestColLatency, dataset.IngestColTier,
+	),
+}
+
+// tileServer folds sealed .sxc segments into a tilequery engine and serves
+// GET /v1/tiles. Folds are incremental: each request lists the segment
+// directory and folds only files it has not seen; a vanished file (the
+// batcher never removes segments, so that means Compact ran) resets the
+// engine and refolds the directory. Because tile aggregation is
+// integer-exact and placement is order-independent, any fold history over
+// the same sealed rows — live seal-by-seal, cold-restart refold, or
+// post-compaction refold — yields byte-identical responses.
+type tileServer struct {
+	mu     sync.Mutex
+	dir    string
+	eng    *tilequery.Engine
+	folded map[string]bool
+
+	// Cumulative pruned-decode counters across folds, for /statsz: proof
+	// the serving path never materializes unrequested columns.
+	colsDecoded int64
+	colsSkipped int64
+	refolds     uint64
+}
+
+func newTileServer(dir string, cfg tilequery.Config, cacheTiles int) *tileServer {
+	return &tileServer{
+		dir:    dir,
+		eng:    tilequery.NewEngine(cfg, cacheTiles),
+		folded: make(map[string]bool),
+	}
+}
+
+// refresh folds segments sealed since the last call, resetting first if
+// compaction rewrote the directory.
+func (ts *tileServer) refresh() error {
+	entries, err := os.ReadDir(ts.dir)
+	if err != nil {
+		return err
+	}
+	present := make(map[string]bool, len(entries))
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.Type().IsRegular() && strings.HasSuffix(name, segmentSuffix) {
+			present[name] = true
+			names = append(names, name)
+		}
+	}
+	for name := range ts.folded {
+		if !present[name] {
+			ts.eng.Reset()
+			ts.folded = make(map[string]bool, len(names))
+			ts.refolds++
+			break
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if ts.folded[name] {
+			continue
+		}
+		if err := ts.foldSegment(name); err != nil {
+			return fmt.Errorf("ingest: tiles: fold %s: %w", name, err)
+		}
+		ts.folded[name] = true
+	}
+	return nil
+}
+
+// foldSegment pruned-decodes one segment and folds its rows.
+func (ts *tileServer) foldSegment(name string) error {
+	data, err := os.ReadFile(filepath.Join(ts.dir, name))
+	if err != nil {
+		return err
+	}
+	snap, ctr, err := dataset.DecodeCitySnapshotPruned(data, tileSelection)
+	if err != nil {
+		return err
+	}
+	ts.colsDecoded += int64(ctr.ColumnsDecoded)
+	ts.colsSkipped += int64(ctr.ColumnsSkipped)
+	if snap.Ingest == nil {
+		return fmt.Errorf("segment carries no ingest section")
+	}
+	ing := snap.Ingest
+	return ts.eng.AddRows(&tilequery.Rows{
+		UserID: ing.UserID, City: ing.City,
+		Download: ing.Download, Upload: ing.Upload, Latency: ing.Latency,
+		Tier: ing.Tier,
+	})
+}
+
+// tileStats is a point-in-time tile-layer snapshot for /statsz.
+type tileStats struct {
+	tilequery.EngineStats
+	Segments    int
+	Refolds     uint64
+	ColsDecoded int64
+	ColsSkipped int64
+}
+
+func (ts *tileServer) stats() tileStats {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return tileStats{
+		EngineStats: ts.eng.Stats(),
+		Segments:    len(ts.folded),
+		Refolds:     ts.refolds,
+		ColsDecoded: ts.colsDecoded,
+		ColsSkipped: ts.colsSkipped,
+	}
+}
+
+// handleTiles serves GET /v1/tiles?zoom=&bbox=minLat,minLon,maxLat,maxLon
+// &metric=&format=. zoom defaults to the base aggregation zoom; bbox
+// restricts output to the covered tile rectangle; metric selects a
+// single-value projection (see tilequery.Metrics); format is json
+// (default) or csv.
+func (s *Server) handleTiles(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	ts := s.tiles
+	q := r.URL.Query()
+
+	zoom := ts.eng.Zoom()
+	if v := q.Get("zoom"); v != "" {
+		z, err := strconv.Atoi(v)
+		if err != nil || z < 1 || z > ts.eng.Zoom() {
+			http.Error(w, fmt.Sprintf("ingest: zoom must be an integer in [1, %d]", ts.eng.Zoom()), http.StatusBadRequest)
+			return
+		}
+		zoom = z
+	}
+	query := tilequery.Query{Zoom: zoom}
+	if v := q.Get("bbox"); v != "" {
+		parts := strings.Split(v, ",")
+		if len(parts) != 4 {
+			http.Error(w, "ingest: bbox wants minLat,minLon,maxLat,maxLon", http.StatusBadRequest)
+			return
+		}
+		var f [4]float64
+		for i, p := range parts {
+			x, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				http.Error(w, "ingest: bad bbox coordinate "+p, http.StatusBadRequest)
+				return
+			}
+			f[i] = x
+		}
+		rng, err := opendata.TileRangeForBBox(f[0], f[1], f[2], f[3], zoom)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		query.Range = &rng
+	}
+
+	ts.mu.Lock()
+	err := ts.refresh()
+	var tiles []opendata.ContextTile
+	if err == nil {
+		tiles, err = ts.eng.Tiles(query)
+	}
+	ts.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	if q.Get("format") == "csv" {
+		w.Header().Set("Content-Type", "text/csv")
+		if err := tilequery.WriteTilesCSV(w, tiles); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	bp := s.bufPool.Get().(*[]byte)
+	out, err := tilequery.AppendTilesJSON((*bp)[:0], zoom, tiles, q.Get("metric"))
+	if err != nil {
+		s.bufPool.Put(bp)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	out = append(out, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(out)
+	*bp = out[:0]
+	s.bufPool.Put(bp)
+}
+
+// appendTileStats renders the /statsz tile_cache block.
+func appendTileStats(out []byte, st tileStats) []byte {
+	out = append(out, `"tile_cache":{"rows":`...)
+	out = strconv.AppendInt(out, int64(st.Rows), 10)
+	out = append(out, `,"tiles":`...)
+	out = strconv.AppendInt(out, int64(st.Tiles), 10)
+	out = append(out, `,"segments":`...)
+	out = strconv.AppendInt(out, int64(st.Segments), 10)
+	out = append(out, `,"refolds":`...)
+	out = strconv.AppendUint(out, st.Refolds, 10)
+	out = append(out, `,"hits":`...)
+	out = strconv.AppendUint(out, st.CacheHits, 10)
+	out = append(out, `,"misses":`...)
+	out = strconv.AppendUint(out, st.CacheMisses, 10)
+	out = append(out, `,"invalidations":`...)
+	out = strconv.AppendUint(out, st.Invalidations, 10)
+	out = append(out, `,"entries":`...)
+	out = strconv.AppendInt(out, int64(st.CacheLen), 10)
+	out = append(out, `,"cols_decoded":`...)
+	out = strconv.AppendInt(out, st.ColsDecoded, 10)
+	out = append(out, `,"cols_skipped":`...)
+	out = strconv.AppendInt(out, st.ColsSkipped, 10)
+	out = append(out, '}')
+	return out
+}

@@ -1,0 +1,199 @@
+package ingest
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"speedctx/internal/opendata"
+	"speedctx/internal/tilequery"
+)
+
+func getTiles(t testing.TB, client *http.Client, url, params string) (int, []byte) {
+	t.Helper()
+	resp, err := client.Get(url + "/v1/tiles" + params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestTilesEndpointIdentity is the serving-path determinism gate: the
+// /v1/tiles bytes from a server that watched segments seal one by one
+// equal the library-path rendering of the same rows, survive a Compact
+// (refold) unchanged, and equal a cold-restarted server's first response.
+func TestTilesEndpointIdentity(t *testing.T) {
+	cls, rows := loadClassifiers(t)
+	dir := t.TempDir()
+	ts, srv, p := startServer(t, dir, PipelineConfig{BatchRows: 100, MaxBatchAge: -1}, cls)
+	defer ts.Close()
+	client := ts.Client()
+	for i := range rows {
+		postOne(t, client, ts.URL, &rows[i])
+	}
+	// Mid-run probe: sealing is asynchronous, so only the status is
+	// asserted here.
+	if code, body := getTiles(t, client, ts.URL, ""); code != http.StatusOK {
+		t.Fatalf("mid-run /v1/tiles = %d: %s", code, body)
+	}
+	if err := p.Close(); err != nil { // seals the tail
+		t.Fatal(err)
+	}
+
+	code, live := getTiles(t, client, ts.URL, "")
+	if code != http.StatusOK {
+		t.Fatalf("/v1/tiles = %d: %s", code, live)
+	}
+
+	// Library-path expectation over the same submissions, tiers recomputed
+	// exactly as the server stamped them.
+	exp := &tilequery.Rows{}
+	for i := range rows {
+		r := &rows[i]
+		a := cls[r.City].ClassifyOne(r.DownloadMbps, r.UploadMbps)
+		exp.UserID = append(exp.UserID, r.UserID)
+		exp.City = append(exp.City, r.City)
+		exp.Download = append(exp.Download, r.DownloadMbps)
+		exp.Upload = append(exp.Upload, r.UploadMbps)
+		exp.Latency = append(exp.Latency, r.LatencyMs)
+		exp.Tier = append(exp.Tier, a.Tier)
+	}
+	tiles, err := tilequery.Aggregate(exp, tilequery.Config{}, tilequery.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := tilequery.AppendTilesJSON(nil, opendata.TileZoom, tiles, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, '\n')
+	if !bytes.Equal(live, want) {
+		t.Fatalf("endpoint bytes diverge from library aggregation (%d vs %d bytes)", len(live), len(want))
+	}
+
+	// Warm repeat: identical bytes, served from the result cache.
+	if _, again := getTiles(t, client, ts.URL, ""); !bytes.Equal(again, live) {
+		t.Fatal("warm response differs from cold response")
+	}
+	if st := srv.tiles.stats(); st.CacheHits == 0 {
+		t.Fatalf("warm query hit no cache entries: %+v", st)
+	}
+
+	// Compaction rewrites the directory into one segment; the replayed fold
+	// must reproduce the same bytes.
+	if _, err := Compact(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, after := getTiles(t, client, ts.URL, ""); !bytes.Equal(after, live) {
+		t.Fatal("response changed across Compact")
+	}
+	if st := srv.tiles.stats(); st.Refolds != 1 || st.Segments != 1 {
+		t.Fatalf("expected one refold over one segment: %+v", st)
+	}
+	if st := srv.tiles.stats(); st.ColsSkipped == 0 || st.ColsDecoded == 0 {
+		t.Fatalf("pruned fold decoded no/all columns: %+v", st)
+	}
+
+	// A cold server over the same directory answers identically at once.
+	ts2, _, p2 := startServer(t, dir, PipelineConfig{}, cls)
+	defer ts2.Close()
+	defer p2.Close()
+	if _, cold := getTiles(t, ts2.Client(), ts2.URL, ""); !bytes.Equal(cold, live) {
+		t.Fatal("cold-restart response differs from live-fold response")
+	}
+}
+
+func TestTilesEndpointQueries(t *testing.T) {
+	cls, rows := loadClassifiers(t)
+	dir := t.TempDir()
+	ts, _, p := startServer(t, dir, PipelineConfig{}, cls)
+	defer ts.Close()
+	client := ts.Client()
+	for i := range rows {
+		postOne(t, client, ts.URL, &rows[i])
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// bbox around one fixture city's box selects exactly that city's tiles.
+	city := rows[0].City
+	c := opendata.CityCenter(city)
+	bbox := fmt.Sprintf("?bbox=%g,%g,%g,%g", c.Lat-0.11, c.Lon-0.11, c.Lat+0.11, c.Lon+0.11)
+	code, got := getTiles(t, client, ts.URL, bbox)
+	if code != http.StatusOK {
+		t.Fatalf("bbox query = %d: %s", code, got)
+	}
+	exp := &tilequery.Rows{}
+	for i := range rows {
+		r := &rows[i]
+		if r.City != city {
+			continue
+		}
+		a := cls[r.City].ClassifyOne(r.DownloadMbps, r.UploadMbps)
+		exp.UserID = append(exp.UserID, r.UserID)
+		exp.City = append(exp.City, r.City)
+		exp.Download = append(exp.Download, r.DownloadMbps)
+		exp.Upload = append(exp.Upload, r.UploadMbps)
+		exp.Latency = append(exp.Latency, r.LatencyMs)
+		exp.Tier = append(exp.Tier, a.Tier)
+	}
+	tiles, err := tilequery.Aggregate(exp, tilequery.Config{}, tilequery.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := tilequery.AppendTilesJSON(nil, opendata.TileZoom, tiles, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, '\n')
+	if !bytes.Equal(got, want) {
+		t.Fatalf("bbox response does not isolate city %s tiles", city)
+	}
+
+	// Roll-up zoom plus metric projection.
+	code, proj := getTiles(t, client, ts.URL, "?zoom=12&metric=download")
+	if code != http.StatusOK || !bytes.Contains(proj, []byte(`"metric":"download"`)) {
+		t.Fatalf("metric query = %d: %.120s", code, proj)
+	}
+	// CSV format carries the full schema header.
+	code, csvBody := getTiles(t, client, ts.URL, "?format=csv")
+	if code != http.StatusOK || !strings.HasPrefix(string(csvBody), "quadkey,avg_d_kbps,") {
+		t.Fatalf("csv query = %d: %.120s", code, csvBody)
+	}
+
+	// Parameter validation.
+	for _, bad := range []string{"?zoom=0", "?zoom=17", "?zoom=x", "?bbox=1,2,3", "?bbox=9,9,1,1", "?metric=nope"} {
+		if code, body := getTiles(t, client, ts.URL, bad); code != http.StatusBadRequest {
+			t.Fatalf("%s = %d (%.80s), want 400", bad, code, body)
+		}
+	}
+	resp, err := client.Post(ts.URL+"/v1/tiles", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/tiles = %d, want 405", resp.StatusCode)
+	}
+
+	// statsz exposes the tile_cache block.
+	resp, err = client.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(stats, []byte(`"tile_cache":{"rows":`)) {
+		t.Fatalf("statsz misses tile_cache: %s", stats)
+	}
+}

@@ -1,0 +1,282 @@
+package tilequery
+
+import (
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"speedctx/internal/dataset"
+	"speedctx/internal/device"
+	"speedctx/internal/opendata"
+	"speedctx/internal/wifi"
+)
+
+// benchOokla synthesizes a fully populated Ookla column set: cheap,
+// deterministic, and shaped like a generated city (string columns with
+// realistic cardinality, 1000 distinct users), so decode cost is honest.
+func benchOokla(n int, seed uint64) *dataset.OoklaColumns {
+	c := &dataset.OoklaColumns{
+		Download: make([]float64, n), Upload: make([]float64, n), Latency: make([]float64, n),
+		RSSI: make([]float64, n), MaxTheoretical: make([]float64, n),
+		TestID: make([]int, n), UserID: make([]int, n), TruthTier: make([]int, n),
+		KernelMemMB: make([]int, n),
+		City:        make([]string, n), ISP: make([]string, n),
+		Platform: make([]device.Platform, n), Access: make([]dataset.AccessType, n),
+		HasRadioInfo: make([]bool, n), Band: make([]wifi.Band, n),
+		Timestamp: make([]time.Time, n),
+	}
+	isps := []string{"ISP-alpha", "ISP-beta", "ISP-gamma"}
+	base := time.Unix(1_600_000_000, 0).UTC()
+	for i := 0; i < n; i++ {
+		h := mixT(uint64(i) ^ seed)
+		c.TestID[i] = i
+		c.UserID[i] = int(h % 1000)
+		c.City[i] = "A"
+		c.ISP[i] = isps[h%3]
+		c.Timestamp[i] = base.Add(time.Duration(i) * time.Second)
+		c.Platform[i] = device.Platform(h % 4)
+		if h%3 == 0 {
+			c.Access[i] = dataset.AccessWiFi
+		} else {
+			c.Access[i] = dataset.AccessEthernet
+		}
+		c.HasRadioInfo[i] = h%2 == 0
+		c.Band[i] = wifi.Band(h % 2)
+		c.RSSI[i] = -40 - float64(h%50)
+		c.MaxTheoretical[i] = 100 + float64(h%900)
+		c.KernelMemMB[i] = 2048 + int(h%4096)
+		c.Download[i] = 1 + float64(h%900_000)/1000
+		c.Upload[i] = 1 + float64(mixT(h)%100_000)/1000
+		c.Latency[i] = 1 + float64(mixT(h+1)%200_000)/1000
+		c.TruthTier[i] = int(h % 5)
+	}
+	return c
+}
+
+func benchMLabRows(n int, seed uint64) *dataset.MLabRowColumns {
+	c := &dataset.MLabRowColumns{
+		Speed: make([]float64, n), MinRTT: make([]float64, n),
+		RowID: make([]int, n), ASN: make([]int, n), TruthTier: make([]int, n),
+		ClientIP: make([]string, n), ServerIP: make([]string, n),
+		City: make([]string, n), ISP: make([]string, n),
+		Direction: make([]dataset.MLabDirection, n),
+		Timestamp: make([]time.Time, n),
+	}
+	base := time.Unix(1_600_000_000, 0).UTC()
+	for i := 0; i < n; i++ {
+		h := mixT(uint64(i) ^ seed)
+		c.Speed[i] = float64(h%500_000) / 1000
+		c.MinRTT[i] = float64(h%80_000) / 1000
+		c.RowID[i] = i
+		c.ASN[i] = 7000 + int(h%30)
+		c.TruthTier[i] = int(h % 5)
+		c.ClientIP[i] = "10.0.0.1"
+		c.ServerIP[i] = "192.0.2.7"
+		c.City[i] = "A"
+		c.ISP[i] = "ISP-alpha"
+		if h%2 == 0 {
+			c.Direction[i] = dataset.MLabDownload
+		} else {
+			c.Direction[i] = dataset.MLabUpload
+		}
+		c.Timestamp[i] = base.Add(time.Duration(i) * time.Second)
+	}
+	return c
+}
+
+func benchMBA(n int, seed uint64) *dataset.MBAColumns {
+	c := &dataset.MBAColumns{
+		Download: make([]float64, n), Upload: make([]float64, n),
+		PlanDown: make([]float64, n), PlanUp: make([]float64, n),
+		UnitID: make([]int, n), Tier: make([]int, n),
+		State: make([]string, n), ISP: make([]string, n), CensusTract: make([]string, n),
+		Timestamp: make([]time.Time, n),
+	}
+	base := time.Unix(1_600_000_000, 0).UTC()
+	for i := 0; i < n; i++ {
+		h := mixT(uint64(i) ^ seed)
+		c.Download[i] = float64(h%900_000) / 1000
+		c.Upload[i] = float64(h%100_000) / 1000
+		c.PlanDown[i] = 100
+		c.PlanUp[i] = 10
+		c.UnitID[i] = int(h % 500)
+		c.Tier[i] = int(h % 5)
+		c.State[i] = "CA"
+		c.ISP[i] = "ISP-alpha"
+		c.CensusTract[i] = "06083001"
+		c.Timestamp[i] = base.Add(time.Duration(i) * time.Second)
+	}
+	return c
+}
+
+// scanFixture holds the encoded 1M-row city snapshot the scan benchmarks
+// decode: Ookla plus the Android/MLab/MBA sections a real city snapshot
+// carries, so "skip what the query does not touch" is measured against a
+// representative file.
+var (
+	scanOnce  sync.Once
+	scanBytes []byte
+	scanErr   error
+)
+
+const scanRows = 1_000_000
+
+func benchSnapshotBytes(b *testing.B) []byte {
+	scanOnce.Do(func() {
+		snap := &dataset.CitySnapshot{
+			Ookla:    benchOokla(scanRows, 0xA11CE),
+			Android:  benchOokla(scanRows/3, 0xD801D),
+			MLabRows: benchMLabRows(scanRows/3, 0x31AB),
+			MBA:      benchMBA(scanRows/8, 0x38BA),
+		}
+		dir, err := os.MkdirTemp("", "tilequery-bench-")
+		if err != nil {
+			scanErr = err
+			return
+		}
+		defer os.RemoveAll(dir)
+		store := &dataset.SnapshotStore{Dir: dir}
+		key := dataset.SnapshotKey{City: "A", Seed: 1, Scale: 1}
+		if err := store.Save(key, snap); err != nil {
+			scanErr = err
+			return
+		}
+		scanBytes, scanErr = os.ReadFile(store.Path(key))
+	})
+	if scanErr != nil {
+		b.Fatal(scanErr)
+	}
+	return scanBytes
+}
+
+// tileScanSelection is the five-column pruned projection a tile
+// aggregation query declares.
+var tileScanSelection = dataset.SnapshotSelection{
+	Ookla: dataset.Cols(
+		dataset.OoklaColUserID, dataset.OoklaColAccess,
+		dataset.OoklaColDownload, dataset.OoklaColUpload,
+		dataset.OoklaColLatency,
+	),
+}
+
+func scanToRows(o *dataset.OoklaColumns) *Rows {
+	return &Rows{
+		UserID: o.UserID, Download: o.Download, Upload: o.Upload,
+		Latency: o.Latency, Access: o.Access,
+	}
+}
+
+// BenchmarkTileScan is the PR's headline pair: answering a zoom-16 tile
+// aggregation over a 1M-row city snapshot the way it cost before this
+// layer existed (decode every column of every section, then the naive
+// per-row fold — see naive_test.go) versus the column-pruned scan feeding
+// the memoized engine. The ratio is the recorded speedup; TestNaiveOracle
+// pins both modes to identical output.
+func BenchmarkTileScan(b *testing.B) {
+	data := benchSnapshotBytes(b)
+	cfg := Config{City: "A"}
+	b.Run("n=1000000/mode=full", func(b *testing.B) {
+		b.ReportAllocs()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			snap, err := dataset.DecodeCitySnapshot(data)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tiles := naiveTiles(scanToRows(snap.Ookla), cfg, opendata.TileZoom)
+			if len(tiles) == 0 {
+				b.Fatal("no tiles")
+			}
+		}
+		b.ReportMetric(float64(b.N*scanRows)/time.Since(start).Seconds(), "rows/s")
+	})
+	b.Run("n=1000000/mode=pruned", func(b *testing.B) {
+		b.ReportAllocs()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			snap, ctr, err := dataset.DecodeCitySnapshotPruned(data, tileScanSelection)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ctr.ColumnsSkipped == 0 || ctr.SectionsSkipped == 0 {
+				b.Fatal("pruned scan skipped nothing")
+			}
+			tiles, err := Aggregate(scanToRows(snap.Ookla), cfg, Query{})
+			if err != nil || len(tiles) == 0 {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N*scanRows)/time.Since(start).Seconds(), "rows/s")
+	})
+}
+
+// BenchmarkTileAggregate isolates the fold: serial versus all-CPU
+// sharded aggregation over prebuilt rows.
+func BenchmarkTileAggregate(b *testing.B) {
+	for _, n := range []int{100_000, 1_000_000} {
+		rows := synthRows(n, "A", "B")
+		for _, par := range []int{1, 0} {
+			name := "n=" + itoa(n) + "/par=" + itoa(par)
+			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
+				start := time.Now()
+				for i := 0; i < b.N; i++ {
+					tiles, err := Aggregate(rows, Config{Parallelism: par}, Query{})
+					if err != nil || len(tiles) == 0 {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.N*n)/time.Since(start).Seconds(), "rows/s")
+			})
+		}
+	}
+}
+
+// BenchmarkTileQuery measures answering a zoom-12 roll-up query with the
+// result cache cold (direct index render every time) and hot.
+func BenchmarkTileQuery(b *testing.B) {
+	rows := synthRows(100_000, "A", "B")
+	q := Query{Zoom: 12}
+	b.Run("cache=off", func(b *testing.B) {
+		ix := NewIndex(Config{})
+		if _, err := ix.AddRows(rows); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ix.Tiles(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cache=hot", func(b *testing.B) {
+		eng := NewEngine(Config{}, 0)
+		if err := eng.AddRows(rows); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Tiles(q); err != nil { // warm
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Tiles(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
