@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-smoke bench-baseline bench-compare snapshot-verify sketch-verify tiles-verify load-smoke
+.PHONY: check vet build test race race-scan bench bench-smoke bench-baseline bench-compare snapshot-verify sketch-verify stream-verify tiles-verify load-smoke
 
-check: vet build race bench-smoke bench-compare snapshot-verify sketch-verify tiles-verify load-smoke
+check: vet build race race-scan bench-smoke bench-compare snapshot-verify sketch-verify stream-verify tiles-verify load-smoke
 
 vet:
 	$(GO) vet ./...
@@ -19,6 +19,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# race-scan re-runs the streaming-scan packages under the race detector
+# with scan parallelism forced through the parallel merge paths — the
+# pooled batch buffers and per-file scanners of DESIGN.md §14 must stay
+# race-clean when segments decode concurrently.
+race-scan:
+	$(GO) test -race ./internal/dataset/... ./internal/tilequery/... ./internal/ingest/...
 
 # bench-smoke runs one iteration of the parallel stats and dataset
 # generation benchmarks — enough to catch a broken benchmark without paying
@@ -58,19 +65,20 @@ bench-baseline:
 	  $(GO) test -run NONE -bench 'ServerWarmRefresh' -benchtime 20x -count 5 ./internal/ingest/ ; \
 	  $(GO) test -run NONE -bench 'IngestHTTP' -benchtime 3000x -count 3 ./internal/ingest/ ; \
 	  $(GO) test -run NONE -bench 'TilesHTTP' -benchtime 2000x -count 3 ./internal/ingest/ ; \
-	  $(GO) test -run NONE -bench 'TileScan' -benchtime 3x -count 3 -timeout 30m ./internal/tilequery/ ; \
+	  $(GO) test -run NONE -bench 'TileScan' -benchtime 3x -count 3 -benchmem -timeout 30m ./internal/tilequery/ ; \
 	  $(GO) test -run NONE -bench 'TileAggregate' -benchtime 10x -count 3 ./internal/tilequery/ ; \
 	  $(GO) test -run NONE -bench 'TileQuery' -benchtime 200x -count 5 ./internal/tilequery/ ) \
-		| scripts/bench2json.sh > BENCH_pr8.json
-	@cat BENCH_pr8.json
+		| scripts/bench2json.sh > BENCH_pr9.json
+	@cat BENCH_pr9.json
 
 # bench-compare gates the committed perf trajectory: fail if any benchmark
 # shared with an earlier baseline regressed >10% (machine-normalized; see
-# scripts/bench_compare.sh). The tile entries (TileScan — the headline
-# full-vs-pruned scan pair — TileAggregate, TileQuery, TilesHTTP) are new
-# in BENCH_pr8 — future PRs gate against them.
+# scripts/bench_compare.sh). The TileScan mode=stream entries — including
+# its `peak-bytes` working-set metric, the headline of the streaming scan
+# layer (DESIGN.md §14) — are new in BENCH_pr9; future PRs gate against
+# them.
 bench-compare:
-	scripts/bench_compare.sh BENCH_pr8.json BENCH_pr7.json BENCH_pr6.json BENCH_pr5.json BENCH_pr4.json BENCH_pr3.json BENCH_pr1.json
+	scripts/bench_compare.sh BENCH_pr9.json BENCH_pr8.json BENCH_pr7.json BENCH_pr6.json BENCH_pr5.json BENCH_pr4.json BENCH_pr3.json BENCH_pr1.json
 
 # snapshot-verify is the end-to-end identity gate for the snapshot store
 # (DESIGN.md §10): a no-snapshot run, a cold-cache run (generate + write
@@ -89,15 +97,27 @@ snapshot-verify:
 # (DESIGN.md §12): a BST refit from bin-mass sketches sharded across
 # {1,7,64} holders and merged in several orders must be byte-identical to
 # the single-pass fast fit over the raw samples — the property the ingest
-# refresh loop's correctness rests on.
+# refresh loop's correctness rests on. -stream extends the sweep to the
+# batched streamed-deposit path (DESIGN.md §14).
 sketch-verify:
-	$(GO) run ./cmd/speedctx sketch-verify
+	$(GO) run ./cmd/speedctx sketch-verify -stream
+
+# stream-verify is the end-to-end identity gate for the streaming
+# block-scan layer (DESIGN.md §14): a synthesized ingest row set sealed
+# into {1,3}-segment .sxc layouts must produce byte-identical tiles,
+# bit-identical sketches, and byte-identical compacted snapshots whether
+# consumed streamed (at batch sizes {1, 4096, whole-file} and fold
+# parallelism {1, 4, all}) or fully materialized.
+stream-verify:
+	$(GO) run ./cmd/speedctx stream-verify
 
 # tiles-verify is the end-to-end identity gate for the geo-tiled aggregate
 # query layer (DESIGN.md §13): one city's tiles rendered from memory and
 # from a pruned .sxc snapshot scan, across parallelism {1,4,all}, cold and
 # through a warm result cache, must be byte-identical — and the snapshot
-# scan must actually have skipped the unrequested columns.
+# scan must actually have skipped the unrequested columns. It also pins
+# the streamed two-pass scan→classify→fold path (DESIGN.md §14) to the
+# same bytes at batch sizes {1, 4096, whole-file}.
 tiles-verify:
 	$(GO) run ./cmd/speedctx tiles -verify -scale 0.002
 

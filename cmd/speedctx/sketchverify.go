@@ -21,6 +21,7 @@ import (
 
 	"speedctx/internal/core"
 	"speedctx/internal/experiments"
+	"speedctx/internal/plans"
 	"speedctx/internal/stats"
 )
 
@@ -30,6 +31,7 @@ func runSketchVerify(args []string, out io.Writer) error {
 	scale := fs.Float64("scale", 0.02, "dataset scale for the verification fit (must yield >= 4096 uploads so the single-pass -fast path engages)")
 	seed := fs.Int64("seed", 2021, "generation seed")
 	shardsFlag := fs.String("shards", "1,7,64", "comma-separated shard counts to sweep")
+	stream := fs.Bool("stream", false, "also verify the streamed deposit path: core.SketchesFromScan over batched sample scans must rebuild the single-pass sketches and fit bit-identically (DESIGN.md §14)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -113,7 +115,84 @@ func runSketchVerify(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "sketch-verify: shards=%-3d OK (%d merge orders, fit byte-identical)\n",
 			shards, len(mergeOrders(shards)))
 	}
+	if *stream {
+		if err := verifyStreamedDeposit(out, samples, res, spec, tiers, b.Catalog, cfg, want); err != nil {
+			return err
+		}
+	}
 	fmt.Fprintf(out, "sketch-verify: OK (%d merged fits byte-identical to the single-pass fit)\n", checks)
+	return nil
+}
+
+// tierSampleSliceScanner feeds an in-memory sample slice to
+// core.SketchesFromScan in fixed-size batches, reusing its batch buffers
+// between Scan calls exactly like the block scanner does — so it exercises
+// the same aliasing contract the streamed segment scans rely on.
+type tierSampleSliceScanner struct {
+	tiers  []int
+	dl, ul []float64
+	batch  int
+	at     int
+	out    core.TierSampleBatch
+}
+
+func (s *tierSampleSliceScanner) Scan() bool {
+	if s.at >= len(s.tiers) {
+		return false
+	}
+	end := s.at + s.batch
+	if end > len(s.tiers) {
+		end = len(s.tiers)
+	}
+	s.out.UploadTier = append(s.out.UploadTier[:0], s.tiers[s.at:end]...)
+	s.out.Download = append(s.out.Download[:0], s.dl[s.at:end]...)
+	s.out.Upload = append(s.out.Upload[:0], s.ul[s.at:end]...)
+	s.at = end
+	return true
+}
+
+func (s *tierSampleSliceScanner) TierSamples() core.TierSampleBatch { return s.out }
+func (s *tierSampleSliceScanner) Err() error                        { return nil }
+
+// verifyStreamedDeposit checks the -stream half of the contract: depositing
+// the tier samples through core.SketchesFromScan at several batch sizes
+// must rebuild bit-identical sketches — and therefore a bit-identical
+// refit — regardless of how the stream was batched.
+func verifyStreamedDeposit(out io.Writer, samples []core.Sample, res *core.Result, spec core.SketchSpec, tiers int, cat *plans.Catalog, cfg core.Config, want *core.Result) error {
+	tierOf := make([]int, len(samples))
+	dl := make([]float64, len(samples))
+	ul := make([]float64, len(samples))
+	for i, sm := range samples {
+		tierOf[i] = res.Assignments[i].UploadTier
+		dl[i] = sm.Download
+		ul[i] = sm.Upload
+	}
+	// Fresh pre-fit reference: the fit lazily materializes float views
+	// inside the sketches it reads, so the earlier `single` no longer
+	// DeepEquals an untouched deposit even though the masses are identical.
+	single, err := core.SketchesFromResult(res, samples, spec)
+	if err != nil {
+		return err
+	}
+	batches := []int{1, 513, 4096, len(samples) + 1}
+	for _, batch := range batches {
+		got, err := core.SketchesFromScan(spec, tiers,
+			&tierSampleSliceScanner{tiers: tierOf, dl: dl, ul: ul, batch: batch})
+		if err != nil {
+			return err
+		}
+		if !reflect.DeepEqual(got, single) {
+			return fmt.Errorf("sketch-verify: FAIL: streamed deposit at batch %d differs from single-pass sketches", batch)
+		}
+		fit, err := core.FitFromSketches(got, cat, cfg)
+		if err != nil {
+			return err
+		}
+		if !reflect.DeepEqual(fit, want) {
+			return fmt.Errorf("sketch-verify: FAIL: streamed-deposit fit at batch %d differs from single-pass fit", batch)
+		}
+	}
+	fmt.Fprintf(out, "sketch-verify: streamed deposits OK (batches %v rebuild sketches and fit bit-identically)\n", batches)
 	return nil
 }
 

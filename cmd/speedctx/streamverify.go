@@ -1,0 +1,442 @@
+// The stream-verify subcommand is the CI gate for the streaming block-scan
+// contract (DESIGN.md §14):
+//
+//	speedctx stream-verify [-rows N]
+//
+// It synthesizes a deterministic ingest row set spanning two cities, seals
+// it into {1, 3}-segment .sxc layouts, and fails unless every streamed
+// consumer of those segments is byte-identical to its materialized
+// reference at every scan batch size and fold parallelism:
+//
+//   - tiles: folding the segments through BlockScanner batches into a
+//     tilequery.Index renders the same JSON as one in-memory AddRows fold,
+//     and so does a fold over the post-compaction snapshot;
+//   - sketches: streaming per-city tier samples through
+//     core.SketchesFromScan rebuilds bit-identical TierSketches however the
+//     rows were split across segments or batches;
+//   - compaction: every segment split compacts to the same output bytes at
+//     every scan parallelism and batch size.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"time"
+
+	"speedctx/internal/core"
+	"speedctx/internal/dataset"
+	"speedctx/internal/ingest"
+	"speedctx/internal/opendata"
+	"speedctx/internal/plans"
+	"speedctx/internal/tilequery"
+)
+
+// svTileSelection mirrors the ingest tile layer's pruned projection: six of
+// the eleven ingest columns, no sketch sections.
+var svTileSelection = dataset.SnapshotSelection{
+	Ingest: dataset.Cols(
+		dataset.IngestColUserID, dataset.IngestColCity,
+		dataset.IngestColDownload, dataset.IngestColUpload,
+		dataset.IngestColLatency, dataset.IngestColTier,
+	),
+}
+
+// svSampleSelection mirrors the sketch-rebin projection: the four columns
+// the per-city tier-sample deposit consumes.
+var svSampleSelection = dataset.SnapshotSelection{
+	Ingest: dataset.Cols(
+		dataset.IngestColCity, dataset.IngestColDownload,
+		dataset.IngestColUpload, dataset.IngestColUploadTier,
+	),
+}
+
+func runStreamVerify(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("stream-verify", flag.ContinueOnError)
+	nRows := fs.Int("rows", 6000, "synthetic ingest rows spread across the segment splits")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *nRows < 100 {
+		return fmt.Errorf("stream-verify: -rows must be >= 100")
+	}
+
+	cities := []string{"A", "B"}
+	specs := make(map[string]ingest.CitySketchSpec, len(cities))
+	for _, city := range cities {
+		cat, ok := plans.ByCity(city)
+		if !ok {
+			return fmt.Errorf("stream-verify: unknown city %q", city)
+		}
+		specs[city] = ingest.CitySketchSpec{
+			Spec:  core.SketchSpecFor(cat, 0),
+			Tiers: len(cat.UploadTiers()),
+		}
+	}
+	all := svSynthRows(*nRows, cities, specs)
+
+	batches := []int{1, 4096, 1 << 30}
+	pars := []int{1, 4, 0}
+	splits := []int{1, 3}
+	fmt.Fprintf(out, "stream-verify: %d rows, cities %v, splits %v, batches {1,4096,whole}, parallelism %v\n",
+		*nRows, cities, splits, pars)
+
+	root, err := os.MkdirTemp("", "speedctx-stream-verify-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+
+	// One sealed layout per split; compaction gets fresh copies later since
+	// it removes the segments it merges.
+	layouts := make(map[int][]string, len(splits))
+	for _, split := range splits {
+		dir := filepath.Join(root, fmt.Sprintf("split-%d", split))
+		paths, err := svWriteSegments(dir, all, split, specs)
+		if err != nil {
+			return err
+		}
+		layouts[split] = paths
+	}
+
+	if err := svVerifyTiles(out, all, layouts, batches, pars); err != nil {
+		return err
+	}
+	if err := svVerifySketches(out, all, layouts, cities, specs, batches); err != nil {
+		return err
+	}
+	if err := svVerifyCompaction(out, all, splits, specs, root); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "stream-verify: OK")
+	return nil
+}
+
+// svMix is splitmix64: the deterministic hash the row synthesizer draws
+// every field from.
+func svMix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// svSynthRows builds n deterministic ingest rows across the given cities,
+// including off-catalog (-1) upload tiers.
+func svSynthRows(n int, cities []string, specs map[string]ingest.CitySketchSpec) []dataset.IngestRow {
+	rows := make([]dataset.IngestRow, n)
+	isps := []string{"AcmeNet", "Borealis", "CoastalFiber"}
+	for i := range rows {
+		h := svMix(uint64(i) + 0x5eed)
+		city := cities[h%uint64(len(cities))]
+		tiers := specs[city].Tiers
+		up := int(svMix(h+1) % uint64(tiers+1))
+		if up == tiers {
+			up = -1 // off-catalog: counts in the upload sketch only
+		}
+		rows[i] = dataset.IngestRow{
+			TestID:       int(h % 1_000_003),
+			UserID:       int(svMix(h+2) % 1500),
+			City:         city,
+			ISP:          isps[svMix(h+3)%uint64(len(isps))],
+			Timestamp:    time.Unix(1_600_000_000+int64(i)*7, int64(h%1_000_000_000)).UTC(),
+			DownloadMbps: 1 + float64(svMix(h+4)%900_000)/1000,
+			UploadMbps:   0.5 + float64(svMix(h+5)%35_000)/1000,
+			LatencyMs:    2 + float64(svMix(h+6)%200_000)/1000,
+			UploadTier:   up,
+			Tier:         int(svMix(h+7) % uint64(tiers+1)),
+			Confidence:   float64(svMix(h+8)%1000) / 1000,
+		}
+	}
+	return rows
+}
+
+// svWriteSegments seals rows into `split` segment files under dir exactly
+// the way the pipeline's batcher does: each segment's rows sorted into the
+// stable seal order and encoded with its per-city sketch bundles (city
+// ascending, upload sketch first, then the tier download sketches).
+func svWriteSegments(dir string, rows []dataset.IngestRow, split int, specs map[string]ingest.CitySketchSpec) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	chunks := make([][]dataset.IngestRow, split)
+	for i, row := range rows {
+		chunks[i%split] = append(chunks[i%split], row)
+	}
+	paths := make([]string, split)
+	for si, chunk := range chunks {
+		sorted := append([]dataset.IngestRow(nil), chunk...)
+		dataset.SortIngestRows(sorted)
+		sketches := make(map[string]*core.TierSketches)
+		for _, row := range sorted {
+			ts, ok := sketches[row.City]
+			if !ok {
+				spec := specs[row.City]
+				var err error
+				if ts, err = core.NewTierSketches(spec.Spec, spec.Tiers); err != nil {
+					return nil, err
+				}
+				sketches[row.City] = ts
+			}
+			ts.AddSample(row.UploadTier, row.DownloadMbps, row.UploadMbps)
+		}
+		cities := make([]string, 0, len(sketches))
+		for city := range sketches {
+			cities = append(cities, city)
+		}
+		sort.Strings(cities)
+		var bundles []dataset.SketchBundle
+		for _, city := range cities {
+			ts := sketches[city]
+			bundles = append(bundles, dataset.SketchBundle{City: city, Tier: dataset.UploadSketchTier, Sketch: ts.Upload})
+			for ti, d := range ts.Downloads {
+				bundles = append(bundles, dataset.SketchBundle{City: city, Tier: ti, Sketch: d})
+			}
+		}
+		buf, err := dataset.EncodeIngestSegmentSketches(dataset.ColumnizeIngest(sorted), bundles)
+		if err != nil {
+			return nil, err
+		}
+		paths[si] = filepath.Join(dir, fmt.Sprintf("seg-%08d.sxc", si))
+		if err := os.WriteFile(paths[si], buf, 0o644); err != nil {
+			return nil, err
+		}
+	}
+	return paths, nil
+}
+
+// svTileRows is the materialized tile row view of the synthesized set — the
+// reference every streamed fold must reproduce.
+func svTileRows(rows []dataset.IngestRow) *tilequery.Rows {
+	r := &tilequery.Rows{
+		UserID:   make([]int, len(rows)),
+		City:     make([]string, len(rows)),
+		Download: make([]float64, len(rows)),
+		Upload:   make([]float64, len(rows)),
+		Latency:  make([]float64, len(rows)),
+		Tier:     make([]int, len(rows)),
+	}
+	for i, row := range rows {
+		r.UserID[i] = row.UserID
+		r.City[i] = row.City
+		r.Download[i] = row.DownloadMbps
+		r.Upload[i] = row.UploadMbps
+		r.Latency[i] = row.LatencyMs
+		r.Tier[i] = row.Tier
+	}
+	return r
+}
+
+// svRenderIndex renders the index's zoom-16 and zoom-12 tiles as JSON.
+func svRenderIndex(ix *tilequery.Index) ([]byte, error) {
+	var buf []byte
+	for _, zoom := range []int{opendata.TileZoom, 12} {
+		tiles, err := ix.Tiles(tilequery.Query{Zoom: zoom})
+		if err != nil {
+			return nil, err
+		}
+		if buf, err = tilequery.AppendTilesJSON(buf, zoom, tiles, ""); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// svFoldFiles streams each segment file into the index through a bounded
+// block scan.
+func svFoldFiles(ix *tilequery.Index, paths []string, batchRows int) error {
+	for _, path := range paths {
+		src, err := dataset.OpenFileSource(path)
+		if err != nil {
+			return err
+		}
+		sc, err := dataset.NewBlockScanner(src, svTileSelection, batchRows)
+		if err != nil {
+			src.Close()
+			return err
+		}
+		_, err = ix.AddScan(sc)
+		src.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+func svVerifyTiles(out io.Writer, all []dataset.IngestRow, layouts map[int][]string, batches, pars []int) error {
+	ref := tilequery.NewIndex(tilequery.Config{Parallelism: 1})
+	if _, err := ref.AddRows(svTileRows(all)); err != nil {
+		return err
+	}
+	want, err := svRenderIndex(ref)
+	if err != nil {
+		return err
+	}
+	checks := 0
+	for split, paths := range layouts {
+		for _, batch := range batches {
+			for _, par := range pars {
+				ix := tilequery.NewIndex(tilequery.Config{Parallelism: par})
+				if err := svFoldFiles(ix, paths, batch); err != nil {
+					return err
+				}
+				got, err := svRenderIndex(ix)
+				if err != nil {
+					return err
+				}
+				if !bytes.Equal(got, want) {
+					return fmt.Errorf("stream-verify: FAIL: tiles: split=%d batch=%d par=%d differs from materialized fold", split, batch, par)
+				}
+				checks++
+			}
+		}
+	}
+	fmt.Fprintf(out, "stream-verify: tiles OK (%d streamed folds byte-identical to the in-memory fold, %d bytes)\n", checks, len(want))
+	return nil
+}
+
+// svCityScanner adapts a segment block scan into core.TierSampleScanner for
+// one city, mirroring the ingest rebin fallback's filter.
+type svCityScanner struct {
+	sc   *dataset.BlockScanner
+	city string
+	out  core.TierSampleBatch
+}
+
+func (a *svCityScanner) Scan() bool {
+	for a.sc.Scan() {
+		b := a.sc.Batch()
+		if b.Kind != dataset.SectionIngest || b.Rows == 0 {
+			continue
+		}
+		g := b.Ingest
+		a.out.UploadTier = a.out.UploadTier[:0]
+		a.out.Download = a.out.Download[:0]
+		a.out.Upload = a.out.Upload[:0]
+		for i, city := range g.City {
+			if city != a.city {
+				continue
+			}
+			a.out.UploadTier = append(a.out.UploadTier, g.UploadTier[i])
+			a.out.Download = append(a.out.Download, g.Download[i])
+			a.out.Upload = append(a.out.Upload, g.Upload[i])
+		}
+		return true
+	}
+	return false
+}
+
+func (a *svCityScanner) TierSamples() core.TierSampleBatch { return a.out }
+func (a *svCityScanner) Err() error                        { return a.sc.Err() }
+
+func svVerifySketches(out io.Writer, all []dataset.IngestRow, layouts map[int][]string, cities []string, specs map[string]ingest.CitySketchSpec, batches []int) error {
+	// Reference: one AddSample pass per city over the whole row set.
+	refs := make(map[string]*core.TierSketches, len(cities))
+	for _, city := range cities {
+		spec := specs[city]
+		ts, err := core.NewTierSketches(spec.Spec, spec.Tiers)
+		if err != nil {
+			return err
+		}
+		refs[city] = ts
+	}
+	for _, row := range all {
+		refs[row.City].AddSample(row.UploadTier, row.DownloadMbps, row.UploadMbps)
+	}
+	checks := 0
+	for split, paths := range layouts {
+		for _, batch := range batches {
+			for _, city := range cities {
+				spec := specs[city]
+				merged, err := core.NewTierSketches(spec.Spec, spec.Tiers)
+				if err != nil {
+					return err
+				}
+				for _, path := range paths {
+					src, err := dataset.OpenFileSource(path)
+					if err != nil {
+						return err
+					}
+					sc, err := dataset.NewBlockScanner(src, svSampleSelection, batch)
+					if err != nil {
+						src.Close()
+						return err
+					}
+					seg, err := core.SketchesFromScan(spec.Spec, spec.Tiers, &svCityScanner{sc: sc, city: city})
+					src.Close()
+					if err != nil {
+						return fmt.Errorf("%s: %w", path, err)
+					}
+					if err := merged.Merge(seg); err != nil {
+						return err
+					}
+				}
+				if !reflect.DeepEqual(merged, refs[city]) {
+					return fmt.Errorf("stream-verify: FAIL: sketches: split=%d batch=%d city=%s streamed deposit differs from AddSample pass", split, batch, city)
+				}
+				checks++
+			}
+		}
+	}
+	fmt.Fprintf(out, "stream-verify: sketches OK (%d streamed deposits bit-identical to the single AddSample pass)\n", checks)
+	return nil
+}
+
+func svVerifyCompaction(out io.Writer, all []dataset.IngestRow, splits []int, specs map[string]ingest.CitySketchSpec, root string) error {
+	// (par, batchRows) knob settings compaction must be invariant under.
+	knobs := [][2]int{{1, 1}, {4, 4096}, {0, 0}}
+	var want []byte
+	checks := 0
+	for _, split := range splits {
+		for _, knob := range knobs {
+			dir := filepath.Join(root, fmt.Sprintf("compact-%d-%d-%d", split, knob[0], knob[1]))
+			if _, err := svWriteSegments(dir, all, split, specs); err != nil {
+				return err
+			}
+			path, err := ingest.CompactBatched(dir, knob[0], knob[1])
+			if err != nil {
+				return err
+			}
+			got, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			if want == nil {
+				want = got
+				// The canonical snapshot must itself stream back into the
+				// same tiles as the raw segments: fold it once via the block
+				// scanner and compare against the in-memory reference.
+				ref := tilequery.NewIndex(tilequery.Config{Parallelism: 1})
+				if _, err := ref.AddRows(svTileRows(all)); err != nil {
+					return err
+				}
+				wantTiles, err := svRenderIndex(ref)
+				if err != nil {
+					return err
+				}
+				ix := tilequery.NewIndex(tilequery.Config{Parallelism: 1})
+				if err := svFoldFiles(ix, []string{path}, 4096); err != nil {
+					return err
+				}
+				gotTiles, err := svRenderIndex(ix)
+				if err != nil {
+					return err
+				}
+				if !bytes.Equal(gotTiles, wantTiles) {
+					return fmt.Errorf("stream-verify: FAIL: compaction: tiles folded from %s differ from the in-memory fold", ingest.CompactedName)
+				}
+			} else if !bytes.Equal(got, want) {
+				return fmt.Errorf("stream-verify: FAIL: compaction: split=%d par=%d batch=%d produced different %s bytes", split, knob[0], knob[1], ingest.CompactedName)
+			}
+			checks++
+		}
+	}
+	fmt.Fprintf(out, "stream-verify: compaction OK (%d compactions byte-identical across splits and scan knobs, %d bytes)\n", checks, len(want))
+	return nil
+}

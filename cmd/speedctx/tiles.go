@@ -45,6 +45,8 @@ func runTiles(args []string, out io.Writer) error {
 	metric := fs.String("metric", "", "single-metric projection: download|upload|latency|tests|devices (JSON only)")
 	format := fs.String("format", "json", "output format: json or csv")
 	snapDir := fs.String("snapshot-dir", "", "read rows from this .sxc snapshot directory via a pruned column scan (writing the snapshot on a miss) instead of keeping the city in memory")
+	stream := fs.Bool("stream", false, "with -snapshot-dir: fold the snapshot through the streaming block scanner in bounded batches instead of materializing the city columns (byte-identical output; DESIGN.md §14)")
+	scanBatch := fs.Int("scan-batch", 0, "rows per streamed scan batch for -stream (0 = default)")
 	verify := fs.Bool("verify", false, "verify snapshot-vs-memory, parallelism and cache byte-identity, then exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,20 +57,8 @@ func runTiles(args []string, out io.Writer) error {
 	if *zoom < 1 || *zoom > opendata.TileZoom {
 		return fmt.Errorf("tiles: -zoom must be in [1, %d]", opendata.TileZoom)
 	}
-
-	fitCfg := core.Config{Parallelism: *par, FastFit: true}
-	var rows *tilequery.Rows
-	var err error
-	if *snapDir != "" {
-		rows, err = snapshotTileRows(*snapDir, *city, *scale, *seed, fitCfg)
-	} else {
-		s := experiments.NewSuite(*scale, *seed)
-		s.Parallelism = *par
-		s.FastFit = true
-		rows, err = s.TileRows(*city)
-	}
-	if err != nil {
-		return err
+	if *stream && *snapDir == "" {
+		return fmt.Errorf("tiles: -stream needs -snapshot-dir (streaming scans a .sxc file)")
 	}
 
 	q := tilequery.Query{Zoom: *zoom}
@@ -79,9 +69,42 @@ func runTiles(args []string, out io.Writer) error {
 		}
 		q.Range = &rng
 	}
-	tiles, err := tilequery.Aggregate(rows, tilequery.Config{City: *city, Parallelism: *par}, q)
-	if err != nil {
-		return err
+
+	fitCfg := core.Config{Parallelism: *par, FastFit: true}
+	var tiles []opendata.ContextTile
+	if *stream {
+		path, err := ensureSnapshot(*snapDir, *city, *scale, *seed, fitCfg)
+		if err != nil {
+			return err
+		}
+		ix, ctr, err := experiments.StreamTileIndex(path, *city, fitCfg, *scanBatch,
+			tilequery.Config{City: *city, Parallelism: *par})
+		if err != nil {
+			return err
+		}
+		if ctr.ColumnsSkipped == 0 || ctr.SectionsSkipped == 0 {
+			return fmt.Errorf("tiles: streamed snapshot scan skipped nothing (%+v)", ctr)
+		}
+		if tiles, err = ix.Tiles(q); err != nil {
+			return err
+		}
+	} else {
+		var rows *tilequery.Rows
+		var err error
+		if *snapDir != "" {
+			rows, err = snapshotTileRows(*snapDir, *city, *scale, *seed, fitCfg)
+		} else {
+			s := experiments.NewSuite(*scale, *seed)
+			s.Parallelism = *par
+			s.FastFit = true
+			rows, err = s.TileRows(*city)
+		}
+		if err != nil {
+			return err
+		}
+		if tiles, err = tilequery.Aggregate(rows, tilequery.Config{City: *city, Parallelism: *par}, q); err != nil {
+			return err
+		}
 	}
 	switch *format {
 	case "csv":
@@ -98,10 +121,9 @@ func runTiles(args []string, out io.Writer) error {
 	return fmt.Errorf("tiles: unknown format %q", *format)
 }
 
-// snapshotTileRows reads the tile row view from the city's snapshot,
-// generating and writing the snapshot first if the store misses, and
-// insists the pruned scan skipped columns.
-func snapshotTileRows(dir, city string, scale float64, seed int64, fitCfg core.Config) (*tilequery.Rows, error) {
+// ensureSnapshot returns the path of the city's snapshot in dir,
+// generating and writing it first if the store misses.
+func ensureSnapshot(dir, city string, scale float64, seed int64, fitCfg core.Config) (string, error) {
 	store := &dataset.SnapshotStore{Dir: dir}
 	key := dataset.SnapshotKey{City: city, Seed: seed, Scale: scale}
 	path := store.Path(key)
@@ -112,8 +134,18 @@ func snapshotTileRows(dir, city string, scale float64, seed int64, fitCfg core.C
 		s.FastFit = true
 		s.SnapshotDir = dir
 		if _, err := s.City(city); err != nil {
-			return nil, err
+			return "", err
 		}
+	}
+	return path, nil
+}
+
+// snapshotTileRows reads the tile row view from the city's snapshot via
+// ensureSnapshot, and insists the pruned scan skipped columns.
+func snapshotTileRows(dir, city string, scale float64, seed int64, fitCfg core.Config) (*tilequery.Rows, error) {
+	path, err := ensureSnapshot(dir, city, scale, seed, fitCfg)
+	if err != nil {
+		return nil, err
 	}
 	rows, ctr, err := experiments.TileRowsFromSnapshot(path, city, fitCfg)
 	if err != nil {
@@ -235,6 +267,65 @@ func runTilesVerify(out io.Writer, city string, scale float64, seed int64) error
 	}
 	fmt.Fprintf(out, "tiles-verify: snapshot renderings identical (decoded %d columns, skipped %d columns / %d sections / %d bytes)\n",
 		ctr.ColumnsDecoded, ctr.ColumnsSkipped, ctr.SectionsSkipped, ctr.BytesSkipped)
+
+	// Streamed path (DESIGN.md §14): the batched scan→classify→fold must
+	// render the same bytes at every batch size and fold parallelism.
+	var streamWant []byte
+	for _, batch := range []int{1, 4096, 1 << 30} {
+		for _, par := range pars {
+			ix, sctr, err := experiments.StreamTileIndex(path, city,
+				core.Config{Parallelism: 1, FastFit: true}, batch,
+				tilequery.Config{City: city, Parallelism: par})
+			if err != nil {
+				return err
+			}
+			if sctr != ctr {
+				return fmt.Errorf("tiles-verify: streamed scan counters %+v differ from pruned decode's %+v", sctr, ctr)
+			}
+			var buf []byte
+			for _, zoom := range []int{opendata.TileZoom, 12} {
+				tiles, err := ix.Tiles(tilequery.Query{Zoom: zoom})
+				if err != nil {
+					return err
+				}
+				if buf, err = tilequery.AppendTilesJSON(buf, zoom, tiles, ""); err != nil {
+					return err
+				}
+			}
+			if streamWant == nil {
+				// The engine path rendered cold+warm pairs; the index path
+				// renders each zoom once, so compare streamed runs against
+				// the first streamed rendering and pin that against the
+				// engine rendering below.
+				streamWant = buf
+				continue
+			}
+			if !bytes.Equal(buf, streamWant) {
+				return fmt.Errorf("tiles-verify: streamed rendering differs at batch %d parallelism %d", batch, par)
+			}
+		}
+	}
+	// The engine renderings concatenate cold+warm passes per zoom; rebuild
+	// the same shape from the streamed bytes' single pass for the final
+	// cross-path identity check.
+	ixRef := tilequery.NewIndex(tilequery.Config{City: city, Parallelism: 1})
+	if _, err := ixRef.AddRows(snapRows); err != nil {
+		return err
+	}
+	var refBuf []byte
+	for _, zoom := range []int{opendata.TileZoom, 12} {
+		tiles, err := ixRef.Tiles(tilequery.Query{Zoom: zoom})
+		if err != nil {
+			return err
+		}
+		if refBuf, err = tilequery.AppendTilesJSON(refBuf, zoom, tiles, ""); err != nil {
+			return err
+		}
+	}
+	if !bytes.Equal(streamWant, refBuf) {
+		return fmt.Errorf("tiles-verify: streamed rendering differs from materialized index rendering")
+	}
+	fmt.Fprintf(out, "tiles-verify: streamed renderings identical (batch {1,4096,whole} x parallelism %v)\n", pars)
 	fmt.Fprintln(out, "tiles-verify: OK")
 	return nil
 }

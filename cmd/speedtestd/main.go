@@ -80,6 +80,7 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	ingestShards := fs.Int("ingest-shards", 0, "ingest queue shards (0 = default 4)")
 	ingestDepth := fs.Int("ingest-depth", 0, "per-shard queue depth in rows (0 = default 4096)")
 	ingestCompact := fs.Bool("ingest-compact", true, "compact segments into one canonical snapshot at shutdown")
+	ingestScanBatch := fs.Int("ingest-scan-batch", 0, "rows per streamed segment-scan batch for tile folds, sketch priming and compaction — bounds scan memory, never changes output (0 = default)")
 	refitRows := fs.Int("ingest-refit-rows", 0, "refit a city's model once this many sealed rows await folding (0 = no row trigger)")
 	refitAge := fs.Duration("ingest-refit-age", 0, "refit a city's model once it is this old and sealed rows await folding (0 = no age trigger)")
 	tileZoom := fs.Int("tile-zoom", 0, "base aggregation zoom for /v1/tiles (0 = default 16)")
@@ -118,12 +119,13 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 			return err
 		}
 		pipe, err = ingest.NewPipeline(ingest.PipelineConfig{
-			Dir:         *ingestDir,
-			BatchRows:   *ingestBatch,
-			MaxBatchAge: *ingestAge,
-			QueueShards: *ingestShards,
-			QueueDepth:  *ingestDepth,
-			Sketches:    specs,
+			Dir:           *ingestDir,
+			BatchRows:     *ingestBatch,
+			MaxBatchAge:   *ingestAge,
+			QueueShards:   *ingestShards,
+			QueueDepth:    *ingestDepth,
+			Sketches:      specs,
+			ScanBatchRows: *ingestScanBatch,
 		})
 		if err != nil {
 			return err
@@ -187,7 +189,7 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 			firstErr = err
 		}
 		if *ingestCompact {
-			out, err := ingest.Compact(*ingestDir)
+			out, err := ingest.CompactBatched(*ingestDir, 0, *ingestScanBatch)
 			if err != nil {
 				if firstErr == nil {
 					firstErr = err

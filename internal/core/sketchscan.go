@@ -1,0 +1,66 @@
+package core
+
+// Streamed sketch deposits (DESIGN.md §14): classified samples flow from
+// a batched scan straight into TierSketches, so rebuilding a city's
+// sketch state from persisted segments never materializes whole-segment
+// columns. Bin masses are integer counts, so the deposited state is a
+// pure function of the sample multiset — identical at every batch size,
+// and identical to an AddSample loop over materialized rows.
+
+import "fmt"
+
+// TierSampleBatch is one bounded batch of classified samples: parallel
+// slices, one element per sample, valid only until the scanner's next
+// Scan call. UploadTier carries the stage-1 verdict each sample was
+// persisted with (Assignment.UploadTier; -1 = off catalog).
+type TierSampleBatch struct {
+	UploadTier []int
+	Download   []float64
+	Upload     []float64
+}
+
+// TierSampleScanner is the streaming source of classified samples —
+// typically an adapter over a dataset.BlockScanner, kept behind an
+// interface so core stays decoupled from the snapshot format. The
+// bufio.Scanner contract applies: Scan advances, TierSamples views the
+// current batch in buffers the scanner may reuse, Err reports the first
+// failure after Scan returns false.
+type TierSampleScanner interface {
+	Scan() bool
+	TierSamples() TierSampleBatch
+	Err() error
+}
+
+// SketchesFromScan builds a city's tier sketches by depositing every
+// scanned sample, batch by batch, exactly as an AddSample loop over the
+// materialized rows would. The scan owns bounding memory; this fold holds
+// only the sketches themselves.
+func SketchesFromScan(spec SketchSpec, tiers int, sc TierSampleScanner) (*TierSketches, error) {
+	ts, err := NewTierSketches(spec, tiers)
+	if err != nil {
+		return nil, err
+	}
+	if err := ts.AddScan(sc); err != nil {
+		return nil, err
+	}
+	return ts, nil
+}
+
+// AddScan drains a sample scanner into existing sketches. Batches are
+// provisional until the scanner's final verification: on error the
+// sketches may hold a partial deposit, and the caller owns discarding
+// them.
+func (t *TierSketches) AddScan(sc TierSampleScanner) error {
+	for sc.Scan() {
+		b := sc.TierSamples()
+		n := len(b.Upload)
+		if len(b.Download) != n || len(b.UploadTier) != n {
+			return fmt.Errorf("core: ragged sample batch (%d tiers, %d downloads, %d uploads)",
+				len(b.UploadTier), len(b.Download), n)
+		}
+		for i := 0; i < n; i++ {
+			t.AddSample(b.UploadTier[i], b.Download[i], b.Upload[i])
+		}
+	}
+	return sc.Err()
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"speedctx/internal/plans"
+)
+
+// sliceSampleScanner serves a fixed sample set in batches of a chosen
+// size, reusing its batch buffers like a real block scanner does.
+type sliceSampleScanner struct {
+	tiers []int
+	down  []float64
+	up    []float64
+	batch int
+	at    int
+	out   TierSampleBatch
+	err   error
+}
+
+func (s *sliceSampleScanner) Scan() bool {
+	if s.at >= len(s.up) {
+		return false
+	}
+	n := s.batch
+	if rem := len(s.up) - s.at; n > rem {
+		n = rem
+	}
+	s.out.UploadTier = append(s.out.UploadTier[:0], s.tiers[s.at:s.at+n]...)
+	s.out.Download = append(s.out.Download[:0], s.down[s.at:s.at+n]...)
+	s.out.Upload = append(s.out.Upload[:0], s.up[s.at:s.at+n]...)
+	s.at += n
+	return true
+}
+
+func (s *sliceSampleScanner) TierSamples() TierSampleBatch { return s.out }
+func (s *sliceSampleScanner) Err() error                   { return s.err }
+
+// TestSketchesFromScanMatchesAddSample: the streamed deposit equals the
+// materialized AddSample loop bit-for-bit at every batch size.
+func TestSketchesFromScanMatchesAddSample(t *testing.T) {
+	cat, ok := plans.ByCity("A")
+	if !ok {
+		t.Fatal("no catalog for city A")
+	}
+	spec := SketchSpecFor(cat, 64)
+	nt := len(cat.UploadTiers())
+
+	const n = 10_000
+	tiers := make([]int, n)
+	down := make([]float64, n)
+	up := make([]float64, n)
+	h := uint64(0x9E3779B97F4A7C15)
+	for i := 0; i < n; i++ {
+		h ^= h >> 30
+		h *= 0xBF58476D1CE4E5B9
+		h ^= h >> 27
+		tiers[i] = int(h%uint64(nt+1)) - 1 // includes off-catalog -1
+		down[i] = 1 + float64(h%900_000)/1000
+		up[i] = 1 + float64((h>>20)%100_000)/1000
+	}
+
+	want, err := NewTierSketches(spec, nt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		want.AddSample(tiers[i], down[i], up[i])
+	}
+
+	for _, batch := range []int{1, 7, 4096, n + 1} {
+		sc := &sliceSampleScanner{tiers: tiers, down: down, up: up, batch: batch}
+		got, err := SketchesFromScan(spec, nt, sc)
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("batch %d: streamed sketches differ from AddSample loop", batch)
+		}
+	}
+}
+
+// TestSketchesFromScanErrors: scanner errors surface, ragged batches are
+// rejected.
+func TestSketchesFromScanErrors(t *testing.T) {
+	cat, _ := plans.ByCity("A")
+	spec := SketchSpecFor(cat, 32)
+	nt := len(cat.UploadTiers())
+
+	wantErr := errors.New("disk on fire")
+	sc := &sliceSampleScanner{err: wantErr}
+	if _, err := SketchesFromScan(spec, nt, sc); !errors.Is(err, wantErr) {
+		t.Fatalf("scanner error not surfaced: %v", err)
+	}
+
+	sc2 := &raggedScanner{}
+	if _, err := SketchesFromScan(spec, nt, sc2); err == nil {
+		t.Fatal("ragged batch accepted")
+	}
+}
+
+type raggedScanner struct{ done bool }
+
+func (r *raggedScanner) Scan() bool {
+	if r.done {
+		return false
+	}
+	r.done = true
+	return true
+}
+func (r *raggedScanner) TierSamples() TierSampleBatch {
+	return TierSampleBatch{UploadTier: []int{0}, Download: []float64{1, 2}, Upload: []float64{1, 2}}
+}
+func (r *raggedScanner) Err() error { return nil }

@@ -1,0 +1,839 @@
+package dataset
+
+// Streaming block-scan execution over .sxc snapshots (DESIGN.md §14).
+//
+// The snapshot format stores every column as one contiguous,
+// length-prefixed, per-block-checksummed payload, so a reader that knows
+// the block directory can decode any column incrementally: hold a bounded
+// window of undecoded payload bytes per selected column, decode rows in
+// batches, and never materialize a whole column. BlockScanner is that
+// reader. It parses the file's structure once (envelope + every block
+// header — payloads untouched), then iterates the selected sections batch
+// by batch, yielding ColumnsBatch views whose slices live in reused
+// buffers. Peak resident memory is O(batch × selected columns) — plus one
+// bounded read window per column when scanning an on-disk file — however
+// large the file is.
+//
+// The scanner is also the only decode engine: DecodeCitySnapshot and
+// DecodeCitySnapshotPruned run it with whole-section batches and fresh
+// (non-reused) buffers, so a streamed column is bit-identical to its
+// materialized decode by construction, not by parallel maintenance of two
+// decoders.
+//
+// Integrity is selection-scoped exactly as in §13: a streaming scan
+// verifies each selected block against its per-block checksum. Over an
+// in-memory image the whole payload is hashed before any row of it is
+// decoded; over a file the checksum accumulates as windows are fetched and
+// is checked when the block's last byte arrives — so a corrupt block can
+// surface after some of its rows were already yielded. Callers must treat
+// every batch as provisional until Err returns nil; all the fused
+// consumers (tile folds, sketch deposits, compaction) do.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/bits"
+	"os"
+)
+
+// The snapshotChecksum mixing constants, shared with the incremental
+// sumState below.
+const (
+	sumM1 = 0x9e3779b97f4a7c15
+	sumM2 = 0xbf58476d1ce4e5b9
+	sumM3 = 0x94d049bb133111eb
+	sumM4 = 0xff51afd7ed558ccd
+)
+
+// Exported section kinds, for ColumnsBatch consumers.
+const (
+	SectionOokla   = snapKindOokla
+	SectionMLab    = snapKindMLab
+	SectionMBA     = snapKindMBA
+	SectionAndroid = snapKindAndroid
+	SectionIngest  = snapKindIngest
+	SectionSketch  = snapKindSketch
+)
+
+// DefaultScanBatchRows is the batch size streaming consumers use when the
+// caller does not pick one: large enough that per-batch overhead (bounds
+// setup, fold dispatch) amortizes, small enough that a batch of every
+// column type stays comfortably inside L2.
+const DefaultScanBatchRows = 8192
+
+// scanReadChunk is the read window a file-backed column cursor fetches at
+// a time. One window per selected column bounds file-scan memory at
+// O(columns × chunk) independent of file size.
+const scanReadChunk = 256 << 10
+
+// ScanSource is the byte source of a block scan: random access plus a
+// fixed size. In-memory images (BytesSource) decode with zero copies; any
+// other io.ReaderAt (an *os.File via OpenFileSource) is read through
+// bounded windows.
+type ScanSource interface {
+	io.ReaderAt
+	Size() int64
+}
+
+// byteSource adapts an in-memory file image. The scanner detects it and
+// aliases payload bytes directly instead of copying through read windows.
+type byteSource []byte
+
+func (b byteSource) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 || off > int64(len(b)) {
+		return 0, fmt.Errorf("dataset: read at %d outside %d-byte source", off, len(b))
+	}
+	n := copy(p, b[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (b byteSource) Size() int64 { return int64(len(b)) }
+
+// BytesSource wraps an in-memory .sxc image as a ScanSource.
+func BytesSource(data []byte) ScanSource { return byteSource(data) }
+
+// FileSource is an open .sxc file as a ScanSource. Close it after the
+// scan.
+type FileSource struct {
+	f    *os.File
+	size int64
+}
+
+// OpenFileSource opens path for out-of-core scanning.
+func OpenFileSource(path string) (*FileSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileSource{f: f, size: st.Size()}, nil
+}
+
+func (s *FileSource) ReadAt(p []byte, off int64) (int, error) { return s.f.ReadAt(p, off) }
+func (s *FileSource) Size() int64                             { return s.size }
+func (s *FileSource) Close() error                            { return s.f.Close() }
+
+// sumState is the incremental form of snapshotChecksum: identical output,
+// fed in arbitrary write sizes. The 4-lane bulk mix consumes aligned
+// 32-byte steps as they arrive; up to 31 carried bytes wait in tail for
+// the finalizer, which replays snapshotChecksum's remainder path exactly.
+type sumState struct {
+	h1, h2, h3, h4 uint64
+	tail           [32]byte
+	ntail          int
+}
+
+func newSumState(totalLen int64) sumState {
+	return sumState{h1: uint64(totalLen) + sumM1, h2: sumM2, h3: sumM3, h4: sumM4}
+}
+
+func (s *sumState) update(p []byte) {
+	if s.ntail > 0 {
+		n := copy(s.tail[s.ntail:], p)
+		s.ntail += n
+		p = p[n:]
+		if s.ntail < 32 {
+			return
+		}
+		s.step(s.tail[:])
+		s.ntail = 0
+	}
+	for len(p) >= 32 {
+		s.step(p)
+		p = p[32:]
+	}
+	s.ntail = copy(s.tail[:], p)
+}
+
+func (s *sumState) step(p []byte) {
+	s.h1 = bits.RotateLeft64(s.h1^binary.LittleEndian.Uint64(p), 31) * sumM1
+	s.h2 = bits.RotateLeft64(s.h2^binary.LittleEndian.Uint64(p[8:]), 29) * sumM2
+	s.h3 = bits.RotateLeft64(s.h3^binary.LittleEndian.Uint64(p[16:]), 27) * sumM3
+	s.h4 = bits.RotateLeft64(s.h4^binary.LittleEndian.Uint64(p[24:]), 25) * sumM4
+}
+
+func (s *sumState) final() uint64 {
+	h := s.h1 ^ bits.RotateLeft64(s.h2, 17) ^ bits.RotateLeft64(s.h3, 33) ^ bits.RotateLeft64(s.h4, 49)
+	p := s.tail[:s.ntail]
+	for len(p) >= 8 {
+		h = bits.RotateLeft64(h^binary.LittleEndian.Uint64(p), 31) * sumM1
+		p = p[8:]
+	}
+	var tail uint64
+	for i := 0; i < len(p); i++ {
+		tail |= uint64(p[i]) << (8 * uint(i))
+	}
+	h = bits.RotateLeft64(h^tail, 31) * sumM1
+	h ^= h >> 30
+	h *= sumM2
+	h ^= h >> 27
+	h *= sumM3
+	h ^= h >> 31
+	return h
+}
+
+// blockInfo locates one column block inside the file.
+type blockInfo struct {
+	id      byte
+	off     int64 // payload start
+	length  int64
+	sum     uint64
+	ordinal int // 0-based block index within the file, for error messages
+}
+
+// scanSection is one section's entry in the parsed block directory.
+type scanSection struct {
+	kind byte
+	rows int
+	cols []blockInfo
+}
+
+// ColumnsBatch is a bounded view of the selected columns of one section:
+// Rows rows starting at row Start of a section of SectionRows rows total.
+// Exactly one of the section pointers is non-nil, matching Kind (Android
+// sections arrive in Ookla, under Kind SectionAndroid). The slices live in
+// buffers the scanner reuses: they are valid only until the next Scan
+// call, and only the selected columns are non-nil. The sketch section is
+// delivered whole, as a single batch carrying Sketches.
+type ColumnsBatch struct {
+	Kind        int
+	Start       int
+	Rows        int
+	SectionRows int
+	Ookla       *OoklaColumns
+	MLab        *MLabRowColumns
+	MBA         *MBAColumns
+	Ingest      *IngestColumns
+	Sketches    []SketchBundle
+}
+
+// BlockScanner iterates the selected sections of one .sxc file in bounded
+// row batches. Use like bufio.Scanner:
+//
+//	sc, err := dataset.NewBlockScanner(src, sel, batchRows)
+//	for sc.Scan() {
+//	    b := sc.Batch() // valid until the next Scan call
+//	    ...
+//	}
+//	err = sc.Err()
+//
+// A scanner is single-goroutine; scan multiple files concurrently with one
+// scanner each (ScanSegments).
+type BlockScanner struct {
+	src     ScanSource
+	size    int64
+	mem     []byte // non-nil for byteSource: alias payloads, skip copies
+	sel     SnapshotSelection
+	batch   int
+	verify  bool // per-block checksums (off only for the trailer-verified full decode)
+	fresh   bool // allocate batch slices fresh instead of reusing (decode mode)
+	ctr     DecodeCounters
+	err     error
+	done    bool
+	out     ColumnsBatch
+	scratch []byte // header parse + file-mode read windows, reused
+
+	sections []scanSection
+	secIdx   int // next section to enter
+	secRows  int // rows of the entered section
+	secDone  int // rows already yielded from it
+	exec     []colExec
+
+	// Reused batch containers, one per section codec.
+	ookla  OoklaColumns
+	mlab   MLabRowColumns
+	mba    MBAColumns
+	ingest IngestColumns
+}
+
+// colExec decodes one selected column's share of a batch.
+type colExec struct {
+	cur *blockCursor
+	run func(rows int) error
+}
+
+// NewBlockScanner parses src's envelope and block directory and prepares a
+// streaming scan of the selected columns. batchRows <= 0 selects
+// DefaultScanBatchRows. The envelope (magic, format version, data version)
+// and the structural integrity of every block header are validated here;
+// payload bytes of selected columns are verified against their per-block
+// checksums as the scan reaches them.
+func NewBlockScanner(src ScanSource, sel SnapshotSelection, batchRows int) (*BlockScanner, error) {
+	if batchRows <= 0 {
+		batchRows = DefaultScanBatchRows
+	}
+	return newBlockScanner(src, sel, batchRows, true, false)
+}
+
+// newBlockScanner is NewBlockScanner plus the decode-path knobs: batchRows
+// == 0 means whole-section batches, verify toggles per-block checksums
+// (the full decoder verified the trailer already), fresh makes every batch
+// allocate new slices so the decode path can keep them.
+func newBlockScanner(src ScanSource, sel SnapshotSelection, batchRows int, verify, fresh bool) (*BlockScanner, error) {
+	if batchRows <= 0 {
+		batchRows = int(^uint(0) >> 1) // whole-section batches
+	}
+	s := &BlockScanner{
+		src: src, size: src.Size(), sel: sel,
+		batch: batchRows, verify: verify, fresh: fresh,
+	}
+	if b, ok := src.(byteSource); ok {
+		s.mem = b
+	}
+	if err := s.parseDirectory(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *BlockScanner) fail(format string, args ...any) error {
+	err := fmt.Errorf("dataset: snapshot: "+format, args...)
+	if s.err == nil {
+		s.err = err
+	}
+	return err
+}
+
+// dirReader walks the structural bytes of the file (headers, not
+// payloads) through a small buffered window. Over an in-memory image it
+// aliases the image directly; over a file it buffers ~4KiB at a time,
+// accepting short fills as long as the bytes actually requested arrived —
+// a read-ahead past a truncation must not fail a parse that never needed
+// those bytes.
+type dirReader struct {
+	s   *BlockScanner
+	off int64
+	buf []byte
+	at  int64 // file offset of buf[0]
+}
+
+func (r *dirReader) bytes(n int) ([]byte, error) {
+	if r.off+int64(n) > r.s.size {
+		return nil, errors.New("dataset: snapshot: truncated")
+	}
+	if r.s.mem != nil {
+		p := r.s.mem[r.off : r.off+int64(n)]
+		r.off += int64(n)
+		return p, nil
+	}
+	if r.off < r.at || r.off+int64(n) > r.at+int64(len(r.buf)) {
+		want := int64(4096)
+		if want < int64(n) {
+			want = int64(n)
+		}
+		if r.off+want > r.s.size {
+			want = r.s.size - r.off
+		}
+		if int64(cap(r.s.scratch)) < want {
+			r.s.scratch = make([]byte, want)
+		}
+		buf := r.s.scratch[:want]
+		got, err := readAtLeast(r.s.src, buf, r.off, n)
+		if err != nil {
+			return nil, errors.New("dataset: snapshot: truncated")
+		}
+		r.buf, r.at = buf[:got], r.off
+	}
+	p := r.buf[r.off-r.at : r.off-r.at+int64(n)]
+	r.off += int64(n)
+	return p, nil
+}
+
+// readAtLeast reads at least min bytes at off, best-effort up to len(p).
+func readAtLeast(src ScanSource, p []byte, off int64, min int) (int, error) {
+	n := 0
+	for n < min {
+		m, err := src.ReadAt(p[n:], off+int64(n))
+		n += m
+		if n >= min {
+			break
+		}
+		if err != nil {
+			return n, err
+		}
+		if m == 0 {
+			return n, errors.New("truncated read")
+		}
+	}
+	return n, nil
+}
+
+func (r *dirReader) u8() (byte, error) {
+	p, err := r.bytes(1)
+	if err != nil {
+		return 0, err
+	}
+	return p[0], nil
+}
+
+func (r *dirReader) uvarint() (uint64, error) {
+	// Peek up to MaxVarintLen64 bytes without committing past the varint.
+	n := int64(binary.MaxVarintLen64)
+	if r.off+n > r.s.size {
+		n = r.s.size - r.off
+	}
+	save := r.off
+	p, err := r.bytes(int(n))
+	if err != nil {
+		return 0, err
+	}
+	v, w := binary.Uvarint(p)
+	if w <= 0 {
+		return 0, errors.New("dataset: snapshot: bad uvarint")
+	}
+	r.off = save + int64(w)
+	return v, nil
+}
+
+// parseDirectory validates the envelope and records every section's block
+// extents. It reads only structural bytes; payloads are skipped by seek.
+// Counter semantics match the §13 decoders: unselected sections and
+// columns count as skipped here, selected ones count as decoded when the
+// scan materializes them.
+func (s *BlockScanner) parseDirectory() error {
+	const headerMin = 4 + 2 + 1 + 1 + 8
+	if s.size < headerMin {
+		return errors.New("dataset: snapshot too short")
+	}
+	r := &dirReader{s: s}
+	magic, err := r.bytes(4)
+	if err != nil {
+		return err
+	}
+	if string(magic) != string(snapshotMagic[:]) {
+		return errors.New("dataset: not a .sxc snapshot")
+	}
+	vb, err := r.bytes(2)
+	if err != nil {
+		return err
+	}
+	if v := binary.LittleEndian.Uint16(vb); v != SnapshotFormatVersion {
+		return fmt.Errorf("%w: format version %d, want %d", ErrSnapshotStale, v, SnapshotFormatVersion)
+	}
+	dv, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if dv != DataVersion {
+		return fmt.Errorf("%w: data version %d, want %d", ErrSnapshotStale, dv, DataVersion)
+	}
+	nsec, err := r.u8()
+	if err != nil {
+		return err
+	}
+	body := s.size - 8 // trailer checksum
+	ordinal := 0
+	for sec := 0; sec < int(nsec); sec++ {
+		kind, err := r.u8()
+		if err != nil {
+			return err
+		}
+		rows64, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		if rows64 > uint64(body) {
+			return s.fail("section kind %d: absurd row count %d", kind, rows64)
+		}
+		ncols, ok := sectionColumnCount(kind)
+		if !ok {
+			return s.fail("unknown section kind %d", kind)
+		}
+		ss := scanSection{kind: kind, rows: int(rows64), cols: make([]blockInfo, 0, ncols)}
+		for id := 1; id <= ncols; id++ {
+			got, err := r.u8()
+			if err != nil {
+				return err
+			}
+			if int(got) != id {
+				return s.fail("column id %d, want %d", got, id)
+			}
+			length, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			if avail := body - r.off; avail < 8 || length > uint64(avail-8) {
+				return s.fail("column %d truncated", id)
+			}
+			sb, err := r.bytes(8)
+			if err != nil {
+				return err
+			}
+			bi := blockInfo{
+				id: byte(id), off: r.off, length: int64(length),
+				sum: binary.LittleEndian.Uint64(sb), ordinal: ordinal,
+			}
+			ordinal++
+			r.off += bi.length
+			ss.cols = append(ss.cols, bi)
+		}
+		s.sections = append(s.sections, ss)
+	}
+	if r.off != body {
+		return fmt.Errorf("dataset: snapshot has %d trailing bytes", body-r.off)
+	}
+	// Tally the never-selected blocks as skipped up front, mirroring the
+	// materializing decoders' counters.
+	for _, ss := range s.sections {
+		sel := s.sectionSelection(ss.kind)
+		if sel == 0 {
+			s.ctr.SectionsSkipped++
+			s.ctr.ColumnsSkipped += len(ss.cols)
+			for _, bi := range ss.cols {
+				s.ctr.BytesSkipped += bi.length
+			}
+			continue
+		}
+		for _, bi := range ss.cols {
+			if !sel.Has(bi.id) {
+				s.ctr.ColumnsSkipped++
+				s.ctr.BytesSkipped += bi.length
+			}
+		}
+	}
+	return nil
+}
+
+func sectionColumnCount(kind byte) (int, bool) {
+	switch kind {
+	case snapKindOokla, snapKindAndroid:
+		return ooklaSectionCols, true
+	case snapKindMLab:
+		return mlabSectionCols, true
+	case snapKindMBA:
+		return mbaSectionCols, true
+	case snapKindIngest:
+		return ingestSectionCols, true
+	case snapKindSketch:
+		return sketchSectionCols, true
+	}
+	return 0, false
+}
+
+func (s *BlockScanner) sectionSelection(kind byte) ColumnSet {
+	switch kind {
+	case snapKindOokla:
+		return s.sel.Ookla
+	case snapKindMLab:
+		return s.sel.MLab
+	case snapKindMBA:
+		return s.sel.MBA
+	case snapKindAndroid:
+		return s.sel.Android
+	case snapKindIngest:
+		return s.sel.Ingest
+	case snapKindSketch:
+		if s.sel.Sketches {
+			return AllColumns
+		}
+	}
+	return 0
+}
+
+// Counters reports what the scan has materialized versus seeked over so
+// far; after Err() == nil it equals what a pruned decode would report.
+func (s *BlockScanner) Counters() DecodeCounters { return s.ctr }
+
+// Err returns the first error the scan hit, nil after a clean end.
+func (s *BlockScanner) Err() error { return s.err }
+
+// Batch returns the batch produced by the last successful Scan. Its
+// slices are invalidated by the next Scan call unless the scanner was
+// built by the decode path (fresh buffers).
+func (s *BlockScanner) Batch() *ColumnsBatch { return &s.out }
+
+// Scan advances to the next batch. It returns false at the end of the
+// file or on error — check Err. An empty selected section yields exactly
+// one zero-row batch, so consumers that track sections still see it.
+func (s *BlockScanner) Scan() bool {
+	if s.err != nil || s.done {
+		return false
+	}
+	for {
+		if s.exec != nil {
+			// Active row section: emit its next batch.
+			n := s.secRows - s.secDone
+			if n > s.batch {
+				n = s.batch
+			}
+			if err := s.runBatch(n); err != nil {
+				return false
+			}
+			s.secDone += n
+			if s.secDone >= s.secRows {
+				if !s.closeSection() {
+					return false
+				}
+			}
+			return true
+		}
+		// Advance to the next selected section.
+		if s.secIdx >= len(s.sections) {
+			s.done = true
+			return false
+		}
+		ss := s.sections[s.secIdx]
+		s.secIdx++
+		sel := s.sectionSelection(ss.kind)
+		if sel == 0 {
+			continue
+		}
+		s.ctr.SectionsDecoded++
+		if ss.kind == snapKindSketch {
+			bundles, err := s.decodeSketchSectionWhole(ss)
+			if err != nil {
+				return false
+			}
+			s.out = ColumnsBatch{Kind: SectionSketch, Rows: ss.rows, SectionRows: ss.rows, Sketches: bundles}
+			return true
+		}
+		if err := s.bindSection(ss, sel); err != nil {
+			return false
+		}
+		s.secRows, s.secDone = ss.rows, 0
+	}
+}
+
+// closeSection verifies every cursor consumed its payload exactly and
+// resets the per-section state.
+func (s *BlockScanner) closeSection() bool {
+	for _, ex := range s.exec {
+		if err := ex.cur.finish(); err != nil {
+			return false
+		}
+	}
+	s.exec = nil
+	return true
+}
+
+// runBatch decodes n rows of every bound column into the batch container.
+func (s *BlockScanner) runBatch(n int) error {
+	s.out.Start = s.secDone
+	s.out.Rows = n
+	s.out.SectionRows = s.secRows
+	for _, ex := range s.exec {
+		if err := ex.run(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bindSection builds cursors and decode closures for the selected columns
+// of one row section and points the output batch at the right container.
+func (s *BlockScanner) bindSection(ss scanSection, sel ColumnSet) error {
+	s.exec = s.exec[:0]
+	s.out = ColumnsBatch{SectionRows: ss.rows}
+	switch ss.kind {
+	case snapKindOokla, snapKindAndroid:
+		if ss.kind == snapKindOokla {
+			s.out.Kind = SectionOokla
+		} else {
+			s.out.Kind = SectionAndroid
+		}
+		if !s.fresh {
+			s.out.Ookla = &s.ookla
+		} else {
+			s.out.Ookla = &OoklaColumns{}
+		}
+		return s.bindOokla(ss, sel, s.out.Ookla)
+	case snapKindMLab:
+		s.out.Kind = SectionMLab
+		if !s.fresh {
+			s.out.MLab = &s.mlab
+		} else {
+			s.out.MLab = &MLabRowColumns{}
+		}
+		return s.bindMLab(ss, sel, s.out.MLab)
+	case snapKindMBA:
+		s.out.Kind = SectionMBA
+		if !s.fresh {
+			s.out.MBA = &s.mba
+		} else {
+			s.out.MBA = &MBAColumns{}
+		}
+		return s.bindMBA(ss, sel, s.out.MBA)
+	case snapKindIngest:
+		s.out.Kind = SectionIngest
+		if !s.fresh {
+			s.out.Ingest = &s.ingest
+		} else {
+			s.out.Ingest = &IngestColumns{}
+		}
+		return s.bindIngest(ss, sel, s.out.Ingest)
+	}
+	return s.fail("unknown section kind %d", ss.kind)
+}
+
+func (s *BlockScanner) bindOokla(ss scanSection, sel ColumnSet, c *OoklaColumns) error {
+	*c = OoklaColumns{}
+	rows := ss.rows
+	for _, bi := range ss.cols {
+		if !sel.Has(bi.id) {
+			continue
+		}
+		var err error
+		switch bi.id {
+		case OoklaColTestID:
+			err = execInts(s, bi, rows, &c.TestID)
+		case OoklaColUserID:
+			err = execInts(s, bi, rows, &c.UserID)
+		case OoklaColCity:
+			err = execStrings(s, bi, rows, &c.City)
+		case OoklaColISP:
+			err = execStrings(s, bi, rows, &c.ISP)
+		case OoklaColTimestamp:
+			err = execTimes(s, bi, rows, &c.Timestamp)
+		case OoklaColPlatform:
+			err = execBytes(s, bi, rows, &c.Platform)
+		case OoklaColAccess:
+			err = execStrings(s, bi, rows, &c.Access)
+		case OoklaColHasRadioInfo:
+			err = execBools(s, bi, rows, &c.HasRadioInfo)
+		case OoklaColBand:
+			err = execBytes(s, bi, rows, &c.Band)
+		case OoklaColRSSI:
+			err = execFloats(s, bi, rows, &c.RSSI)
+		case OoklaColMaxTheoretical:
+			err = execFloats(s, bi, rows, &c.MaxTheoretical)
+		case OoklaColKernelMemMB:
+			err = execInts(s, bi, rows, &c.KernelMemMB)
+		case OoklaColDownload:
+			err = execFloats(s, bi, rows, &c.Download)
+		case OoklaColUpload:
+			err = execFloats(s, bi, rows, &c.Upload)
+		case OoklaColLatency:
+			err = execFloats(s, bi, rows, &c.Latency)
+		case OoklaColTruthTier:
+			err = execInts(s, bi, rows, &c.TruthTier)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *BlockScanner) bindMLab(ss scanSection, sel ColumnSet, c *MLabRowColumns) error {
+	*c = MLabRowColumns{}
+	rows := ss.rows
+	for _, bi := range ss.cols {
+		if !sel.Has(bi.id) {
+			continue
+		}
+		var err error
+		switch bi.id {
+		case 1:
+			err = execInts(s, bi, rows, &c.RowID)
+		case 2:
+			err = execStrings(s, bi, rows, &c.ClientIP)
+		case 3:
+			err = execStrings(s, bi, rows, &c.ServerIP)
+		case 4:
+			err = execStrings(s, bi, rows, &c.City)
+		case 5:
+			err = execStrings(s, bi, rows, &c.ISP)
+		case 6:
+			err = execInts(s, bi, rows, &c.ASN)
+		case 7:
+			err = execTimes(s, bi, rows, &c.Timestamp)
+		case 8:
+			err = execStrings(s, bi, rows, &c.Direction)
+		case 9:
+			err = execFloats(s, bi, rows, &c.Speed)
+		case 10:
+			err = execFloats(s, bi, rows, &c.MinRTT)
+		case 11:
+			err = execInts(s, bi, rows, &c.TruthTier)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *BlockScanner) bindMBA(ss scanSection, sel ColumnSet, c *MBAColumns) error {
+	*c = MBAColumns{}
+	rows := ss.rows
+	for _, bi := range ss.cols {
+		if !sel.Has(bi.id) {
+			continue
+		}
+		var err error
+		switch bi.id {
+		case 1:
+			err = execInts(s, bi, rows, &c.UnitID)
+		case 2:
+			err = execStrings(s, bi, rows, &c.State)
+		case 3:
+			err = execStrings(s, bi, rows, &c.ISP)
+		case 4:
+			err = execStrings(s, bi, rows, &c.CensusTract)
+		case 5:
+			err = execTimes(s, bi, rows, &c.Timestamp)
+		case 6:
+			err = execFloats(s, bi, rows, &c.Download)
+		case 7:
+			err = execFloats(s, bi, rows, &c.Upload)
+		case 8:
+			err = execFloats(s, bi, rows, &c.PlanDown)
+		case 9:
+			err = execFloats(s, bi, rows, &c.PlanUp)
+		case 10:
+			err = execInts(s, bi, rows, &c.Tier)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *BlockScanner) bindIngest(ss scanSection, sel ColumnSet, c *IngestColumns) error {
+	*c = IngestColumns{}
+	rows := ss.rows
+	for _, bi := range ss.cols {
+		if !sel.Has(bi.id) {
+			continue
+		}
+		var err error
+		switch bi.id {
+		case IngestColTestID:
+			err = execInts(s, bi, rows, &c.TestID)
+		case IngestColUserID:
+			err = execInts(s, bi, rows, &c.UserID)
+		case IngestColCity:
+			err = execStrings(s, bi, rows, &c.City)
+		case IngestColISP:
+			err = execStrings(s, bi, rows, &c.ISP)
+		case IngestColTimestamp:
+			err = execTimes(s, bi, rows, &c.Timestamp)
+		case IngestColDownload:
+			err = execFloats(s, bi, rows, &c.Download)
+		case IngestColUpload:
+			err = execFloats(s, bi, rows, &c.Upload)
+		case IngestColLatency:
+			err = execFloats(s, bi, rows, &c.Latency)
+		case IngestColUploadTier:
+			err = execInts(s, bi, rows, &c.UploadTier)
+		case IngestColTier:
+			err = execInts(s, bi, rows, &c.Tier)
+		case IngestColConfidence:
+			err = execFloats(s, bi, rows, &c.Confidence)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,7 +1,6 @@
 package dataset
 
 import (
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -10,9 +9,7 @@ import (
 	"math/bits"
 	"time"
 
-	"speedctx/internal/device"
 	"speedctx/internal/stats"
-	"speedctx/internal/wifi"
 )
 
 // The .sxc binary columnar snapshot format (PR 5, DESIGN.md §10). A
@@ -49,6 +46,11 @@ import (
 // format version, or a foreign data version all fail decoding, which the
 // SnapshotStore treats as a cache miss (regenerate, then atomically
 // rewrite).
+//
+// Decoding is built on the streaming block scanner (scan.go): the full
+// and pruned decoders run a whole-section-batch scan with fresh buffers,
+// so there is exactly one decode engine whether a consumer materializes
+// city columns or streams bounded batches.
 
 // SnapshotFormatVersion is the .sxc layout version. It changes only when
 // the byte layout itself changes. Version 2 added the per-block checksum
@@ -140,15 +142,15 @@ func DecodeCitySnapshot(data []byte) (*CitySnapshot, error) {
 
 // decodeCitySnapshotSel is the one decode path: the full decoder runs it
 // with everything selected, the pruned decoder (DecodeCitySnapshotPruned)
-// with the query's selection. Sharing the path is what makes a pruned
-// column bit-identical to its full decode.
+// with the query's selection. Both are whole-section-batch runs of the
+// block scanner with fresh buffers, so a pruned or streamed column is
+// bit-identical to its full decode by construction.
 func decodeCitySnapshotSel(data []byte, sel SnapshotSelection) (*CitySnapshot, DecodeCounters, error) {
 	var none DecodeCounters
 	const headerMin = 4 + 2 + 1 + 1 + 8
 	if len(data) < headerMin {
 		return nil, none, errors.New("dataset: snapshot too short")
 	}
-	body, sum := data[:len(data)-8], data[len(data)-8:]
 	// Integrity is selection-scoped (DESIGN.md §13): a full decode hashes
 	// the whole image once against the trailer sum (which covers every
 	// block sum and payload, so per-block checks would be redundant); a
@@ -158,66 +160,35 @@ func decodeCitySnapshotSel(data []byte, sel SnapshotSelection) (*CitySnapshot, D
 	// without a matching sum; bytes a pruned scan seeks over are simply
 	// outside its read set.
 	full := sel == SelectAll()
-	if full && snapshotChecksum(body) != binary.LittleEndian.Uint64(sum) {
+	if full && snapshotChecksum(data[:len(data)-8]) != binary.LittleEndian.Uint64(data[len(data)-8:]) {
 		return nil, none, errors.New("dataset: snapshot checksum mismatch")
 	}
-	d := &snapDec{data: body, verifyBlocks: !full}
-	if !bytes.Equal(d.bytes(4), snapshotMagic[:]) {
-		return nil, none, errors.New("dataset: not a .sxc snapshot")
+	sc, err := newBlockScanner(byteSource(data), sel, 0, !full, true)
+	if err != nil {
+		return nil, none, err
 	}
-	if v := d.u16(); v != SnapshotFormatVersion {
-		return nil, none, fmt.Errorf("%w: format version %d, want %d", ErrSnapshotStale, v, SnapshotFormatVersion)
-	}
-	if v := d.uvarint(); v != DataVersion {
-		return nil, none, fmt.Errorf("%w: data version %d, want %d", ErrSnapshotStale, v, DataVersion)
-	}
-	sections := int(d.u8())
 	snap := &CitySnapshot{}
-	for s := 0; s < sections && d.err == nil; s++ {
-		kind := d.u8()
-		rows := int(d.uvarint())
-		switch kind {
-		case snapKindOokla:
-			if d.enter(sel.Ookla, ooklaSectionCols) {
-				snap.Ookla = decodeOoklaSection(d, rows)
-			}
-		case snapKindMLab:
-			if d.enter(sel.MLab, mlabSectionCols) {
-				snap.MLabRows = decodeMLabSection(d, rows)
-			}
-		case snapKindMBA:
-			if d.enter(sel.MBA, mbaSectionCols) {
-				snap.MBA = decodeMBASection(d, rows)
-			}
-		case snapKindAndroid:
-			if d.enter(sel.Android, ooklaSectionCols) {
-				snap.Android = decodeOoklaSection(d, rows)
-			}
-		case snapKindIngest:
-			if d.enter(sel.Ingest, ingestSectionCols) {
-				snap.Ingest = decodeIngestSection(d, rows)
-			}
-		case snapKindSketch:
-			// The sketch section prunes all-or-nothing: its columns are one
-			// logical record batch.
-			var sketchSel ColumnSet
-			if sel.Sketches {
-				sketchSel = AllColumns
-			}
-			if d.enter(sketchSel, sketchSectionCols) {
-				snap.Sketches = decodeSketchSection(d, rows)
-			}
-		default:
-			d.fail("unknown section kind %d", kind)
+	for sc.Scan() {
+		b := sc.Batch()
+		switch b.Kind {
+		case SectionOokla:
+			snap.Ookla = b.Ookla
+		case SectionMLab:
+			snap.MLabRows = b.MLab
+		case SectionMBA:
+			snap.MBA = b.MBA
+		case SectionAndroid:
+			snap.Android = b.Ookla
+		case SectionIngest:
+			snap.Ingest = b.Ingest
+		case SectionSketch:
+			snap.Sketches = b.Sketches
 		}
 	}
-	if d.err != nil {
-		return nil, none, d.err
+	if err := sc.Err(); err != nil {
+		return nil, none, err
 	}
-	if d.pos != len(d.data) {
-		return nil, none, fmt.Errorf("dataset: snapshot has %d trailing bytes", len(d.data)-d.pos)
-	}
-	return snap, d.ctr, nil
+	return snap, sc.Counters(), nil
 }
 
 // encodeCitySnapshot renders the full file image; dataVersion is a
@@ -276,36 +247,32 @@ func encodeCitySnapshot(snap *CitySnapshot, dataVersion uint64) ([]byte, error) 
 // bandwidth on the multi-MB files the store reads), then a splitmix64
 // finalizer mixes the lanes. The total length seeds lane 1, so
 // truncations that happen to end on a lane boundary still change the sum.
+// sumState (scan.go) is the incremental form; the two must stay
+// byte-for-byte equivalent (TestSumStateMatchesChecksum).
 func snapshotChecksum(p []byte) uint64 {
-	const (
-		m1 = 0x9e3779b97f4a7c15
-		m2 = 0xbf58476d1ce4e5b9
-		m3 = 0x94d049bb133111eb
-		m4 = 0xff51afd7ed558ccd
-	)
-	h1 := uint64(len(p)) + m1
-	h2, h3, h4 := uint64(m2), uint64(m3), uint64(m4)
+	h1 := uint64(len(p)) + sumM1
+	h2, h3, h4 := uint64(sumM2), uint64(sumM3), uint64(sumM4)
 	for len(p) >= 32 {
-		h1 = bits.RotateLeft64(h1^binary.LittleEndian.Uint64(p), 31) * m1
-		h2 = bits.RotateLeft64(h2^binary.LittleEndian.Uint64(p[8:]), 29) * m2
-		h3 = bits.RotateLeft64(h3^binary.LittleEndian.Uint64(p[16:]), 27) * m3
-		h4 = bits.RotateLeft64(h4^binary.LittleEndian.Uint64(p[24:]), 25) * m4
+		h1 = bits.RotateLeft64(h1^binary.LittleEndian.Uint64(p), 31) * sumM1
+		h2 = bits.RotateLeft64(h2^binary.LittleEndian.Uint64(p[8:]), 29) * sumM2
+		h3 = bits.RotateLeft64(h3^binary.LittleEndian.Uint64(p[16:]), 27) * sumM3
+		h4 = bits.RotateLeft64(h4^binary.LittleEndian.Uint64(p[24:]), 25) * sumM4
 		p = p[32:]
 	}
 	h := h1 ^ bits.RotateLeft64(h2, 17) ^ bits.RotateLeft64(h3, 33) ^ bits.RotateLeft64(h4, 49)
 	for len(p) >= 8 {
-		h = bits.RotateLeft64(h^binary.LittleEndian.Uint64(p), 31) * m1
+		h = bits.RotateLeft64(h^binary.LittleEndian.Uint64(p), 31) * sumM1
 		p = p[8:]
 	}
 	var tail uint64
 	for i := 0; i < len(p); i++ {
 		tail |= uint64(p[i]) << (8 * uint(i))
 	}
-	h = bits.RotateLeft64(h^tail, 31) * m1
+	h = bits.RotateLeft64(h^tail, 31) * sumM1
 	h ^= h >> 30
-	h *= m2
+	h *= sumM2
 	h ^= h >> 27
-	h *= m3
+	h *= sumM3
 	h ^= h >> 31
 	return h
 }
@@ -419,354 +386,6 @@ func appendBytes[T ~int](b []byte, v []T) []byte {
 	return b
 }
 
-// snapDec reads the file image with a latched first error, so decode code
-// reads straight through without per-call error plumbing. sel is the
-// current section's column selection (set by enter before each section
-// body); ctr tallies what was decoded versus seeked over.
-type snapDec struct {
-	data []byte
-	pos  int
-	err  error
-	sel  ColumnSet
-	ctr  DecodeCounters
-	// verifyBlocks is set for pruned decodes: each materialized column is
-	// checked against its block checksum (a full decode already verified
-	// the whole image against the trailer sum).
-	verifyBlocks bool
-}
-
-func (d *snapDec) fail(format string, args ...any) {
-	if d.err == nil {
-		d.err = fmt.Errorf("dataset: snapshot: "+format, args...)
-	}
-}
-
-func (d *snapDec) bytes(n int) []byte {
-	if d.err != nil {
-		return nil
-	}
-	if n < 0 || d.pos+n > len(d.data) {
-		d.fail("truncated")
-		return nil
-	}
-	p := d.data[d.pos : d.pos+n]
-	d.pos += n
-	return p
-}
-
-func (d *snapDec) u8() byte {
-	p := d.bytes(1)
-	if p == nil {
-		return 0
-	}
-	return p[0]
-}
-
-func (d *snapDec) u16() uint16 {
-	p := d.bytes(2)
-	if p == nil {
-		return 0
-	}
-	return binary.LittleEndian.Uint16(p)
-}
-
-func (d *snapDec) uvarint() uint64 {
-	if d.err != nil {
-		return 0
-	}
-	v, n := binary.Uvarint(d.data[d.pos:])
-	if n <= 0 {
-		d.fail("bad uvarint")
-		return 0
-	}
-	d.pos += n
-	return v
-}
-
-// enter decides a section's fate: with a non-zero selection it installs
-// the selection as the current one and reports true (decode the body);
-// with a zero selection it seeks over all cols column blocks and reports
-// false.
-func (d *snapDec) enter(sel ColumnSet, cols int) bool {
-	if d.err != nil {
-		return false
-	}
-	if sel != 0 {
-		d.sel = sel
-		d.ctr.SectionsDecoded++
-		return true
-	}
-	d.ctr.SectionsSkipped++
-	for id := 1; id <= cols && d.err == nil; id++ {
-		d.skipColumn(byte(id))
-	}
-	return false
-}
-
-// selected reports whether the current section's selection wants column
-// id; if not, it seeks over the block so the caller can simply return nil.
-func (d *snapDec) selected(id byte) bool {
-	if d.err != nil {
-		return false
-	}
-	if d.sel.Has(id) {
-		d.ctr.ColumnsDecoded++
-		return true
-	}
-	d.skipColumn(id)
-	return false
-}
-
-// skipColumn seeks over one column block: id byte, payload length, block
-// checksum, payload. The structural checks (expected id, in-bounds length)
-// stay; the payload is neither decoded nor hashed — it is outside the
-// pruned read set.
-func (d *snapDec) skipColumn(id byte) {
-	got := d.u8()
-	if d.err == nil && got != id {
-		d.fail("column id %d, want %d", got, id)
-	}
-	n := d.uvarint()
-	if d.err != nil {
-		return
-	}
-	if avail := uint64(len(d.data) - d.pos); avail < 8 || n > avail-8 {
-		d.fail("column %d truncated", id)
-		return
-	}
-	d.pos += int(n) + 8
-	d.ctr.ColumnsSkipped++
-	d.ctr.BytesSkipped += int64(n)
-}
-
-// column fetches the payload of the next column block, which must carry
-// the expected id; on pruned decodes the payload must match its block
-// checksum.
-func (d *snapDec) column(id byte) []byte {
-	got := d.u8()
-	if d.err == nil && got != id {
-		d.fail("column id %d, want %d", got, id)
-	}
-	n := d.uvarint()
-	if avail := uint64(len(d.data) - d.pos); d.err == nil && (avail < 8 || n > avail-8) {
-		d.fail("column %d truncated", id)
-		return nil
-	}
-	sumBytes := d.bytes(8)
-	p := d.bytes(int(n))
-	if d.err != nil {
-		return nil
-	}
-	if d.verifyBlocks && snapshotChecksum(p) != binary.LittleEndian.Uint64(sumBytes) {
-		d.fail("column %d checksum mismatch", id)
-		return nil
-	}
-	return p
-}
-
-// Column payload decoders. Every decoder validates the payload size
-// against the row count before allocating, so corrupt row counts cannot
-// drive huge allocations.
-
-func decodeDeltaInts(d *snapDec, id byte, n int) []int {
-	if !d.selected(id) {
-		return nil
-	}
-	p := d.column(id)
-	if d.err != nil {
-		return nil
-	}
-	if n > len(p) { // every varint is at least one byte
-		d.fail("column %d: %d bytes cannot hold %d varints", id, len(p), n)
-		return nil
-	}
-	out := make([]int, n)
-	prev, pos := int64(0), 0
-	for i := 0; i < n; i++ {
-		if pos >= len(p) {
-			d.fail("column %d: truncated varints", id)
-			return nil
-		}
-		// Fast path: deltas are almost always single-byte varints.
-		u, w := uint64(p[pos]), 1
-		if u >= 0x80 {
-			u, w = binary.Uvarint(p[pos:])
-			if w <= 0 {
-				d.fail("column %d: bad varint at row %d", id, i)
-				return nil
-			}
-		}
-		pos += w
-		prev += int64(u>>1) ^ -int64(u&1)
-		out[i] = int(prev)
-	}
-	if pos != len(p) {
-		d.fail("column %d: %d trailing bytes", id, len(p)-pos)
-		return nil
-	}
-	return out
-}
-
-func decodeTimes(d *snapDec, id byte, n int) []time.Time {
-	if !d.selected(id) {
-		return nil
-	}
-	p := d.column(id)
-	if d.err != nil {
-		return nil
-	}
-	if len(p) < 1 || n > len(p)-1 {
-		d.fail("column %d: %d bytes cannot hold %d varints", id, len(p), n)
-		return nil
-	}
-	mode := p[0]
-	if mode > 1 {
-		d.fail("column %d: unknown timestamp precision %d", id, mode)
-		return nil
-	}
-	p = p[1:]
-	out := make([]time.Time, n)
-	prev, pos := int64(0), 0
-	for i := 0; i < n; i++ {
-		if pos >= len(p) {
-			d.fail("column %d: truncated varints", id)
-			return nil
-		}
-		u, w := uint64(p[pos]), 1
-		if u >= 0x80 {
-			u, w = binary.Uvarint(p[pos:])
-			if w <= 0 {
-				d.fail("column %d: bad varint at row %d", id, i)
-				return nil
-			}
-		}
-		pos += w
-		prev += int64(u>>1) ^ -int64(u&1)
-		if mode == 0 {
-			out[i] = time.Unix(prev, 0).UTC()
-		} else {
-			out[i] = time.Unix(prev/1e9, prev%1e9).UTC()
-		}
-	}
-	if pos != len(p) {
-		d.fail("column %d: %d trailing bytes", id, len(p)-pos)
-		return nil
-	}
-	return out
-}
-
-func decodeFloats(d *snapDec, id byte, n int) []float64 {
-	if !d.selected(id) {
-		return nil
-	}
-	p := d.column(id)
-	if d.err != nil {
-		return nil
-	}
-	if len(p) != 8*n {
-		d.fail("column %d: %d bytes, want %d", id, len(p), 8*n)
-		return nil
-	}
-	out := make([]float64, n)
-	for i := range out {
-		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[8*i:]))
-	}
-	return out
-}
-
-func decodeStrings[T ~string](d *snapDec, id byte, n int) []T {
-	if !d.selected(id) {
-		return nil
-	}
-	p := d.column(id)
-	if d.err != nil {
-		return nil
-	}
-	pos := 0
-	nv, w := binary.Uvarint(p)
-	if w <= 0 || nv > uint64(len(p)) {
-		d.fail("column %d: bad dictionary size", id)
-		return nil
-	}
-	pos += w
-	names := make([]T, nv)
-	for i := range names {
-		l, w := binary.Uvarint(p[pos:])
-		if w <= 0 || l > uint64(len(p)-pos-w) {
-			d.fail("column %d: bad dictionary entry %d", id, i)
-			return nil
-		}
-		pos += w
-		names[i] = T(p[pos : pos+int(l)])
-		pos += int(l)
-	}
-	if n > len(p)-pos {
-		d.fail("column %d: %d bytes cannot hold %d indexes", id, len(p)-pos, n)
-		return nil
-	}
-	out := make([]T, n)
-	for i := 0; i < n; i++ {
-		if pos >= len(p) {
-			d.fail("column %d: truncated indexes", id)
-			return nil
-		}
-		// Fast path: dictionaries are tiny, so indexes are single bytes.
-		idx, w := uint64(p[pos]), 1
-		if idx >= 0x80 {
-			idx, w = binary.Uvarint(p[pos:])
-		}
-		if w <= 0 || idx >= nv {
-			d.fail("column %d: bad dictionary index at row %d", id, i)
-			return nil
-		}
-		pos += w
-		out[i] = names[idx]
-	}
-	if pos != len(p) {
-		d.fail("column %d: %d trailing bytes", id, len(p)-pos)
-		return nil
-	}
-	return out
-}
-
-func decodeBools(d *snapDec, id byte, n int) []bool {
-	if !d.selected(id) {
-		return nil
-	}
-	p := d.column(id)
-	if d.err != nil {
-		return nil
-	}
-	if len(p) != n {
-		d.fail("column %d: %d bytes, want %d", id, len(p), n)
-		return nil
-	}
-	out := make([]bool, n)
-	for i, b := range p {
-		out[i] = b != 0
-	}
-	return out
-}
-
-func decodeBytes[T ~int](d *snapDec, id byte, n int) []T {
-	if !d.selected(id) {
-		return nil
-	}
-	p := d.column(id)
-	if d.err != nil {
-		return nil
-	}
-	if len(p) != n {
-		d.fail("column %d: %d bytes, want %d", id, len(p), n)
-		return nil
-	}
-	out := make([]T, n)
-	for i, b := range p {
-		out[i] = T(b)
-	}
-	return out
-}
-
 // checkLens verifies every column of a section has the section row count
 // before encoding.
 func checkLens(kind string, n int, lens ...int) error {
@@ -778,7 +397,9 @@ func checkLens(kind string, n int, lens ...int) error {
 	return nil
 }
 
-// Section codecs. Column ids follow the CSV header order of each dataset.
+// Section encoders. Column ids follow the CSV header order of each
+// dataset; the decode side is the scanner's bind tables (scan.go), which
+// must list the same ids in the same order.
 
 func encodeOoklaSection(e *snapEnc, kind byte, c *OoklaColumns) error {
 	n := c.Len()
@@ -812,27 +433,6 @@ func encodeOoklaSection(e *snapEnc, kind byte, c *OoklaColumns) error {
 	return nil
 }
 
-func decodeOoklaSection(d *snapDec, n int) *OoklaColumns {
-	c := &OoklaColumns{}
-	c.TestID = decodeDeltaInts(d, 1, n)
-	c.UserID = decodeDeltaInts(d, 2, n)
-	c.City = decodeStrings[string](d, 3, n)
-	c.ISP = decodeStrings[string](d, 4, n)
-	c.Timestamp = decodeTimes(d, 5, n)
-	c.Platform = decodeBytes[device.Platform](d, 6, n)
-	c.Access = decodeStrings[AccessType](d, 7, n)
-	c.HasRadioInfo = decodeBools(d, 8, n)
-	c.Band = decodeBytes[wifi.Band](d, 9, n)
-	c.RSSI = decodeFloats(d, 10, n)
-	c.MaxTheoretical = decodeFloats(d, 11, n)
-	c.KernelMemMB = decodeDeltaInts(d, 12, n)
-	c.Download = decodeFloats(d, 13, n)
-	c.Upload = decodeFloats(d, 14, n)
-	c.Latency = decodeFloats(d, 15, n)
-	c.TruthTier = decodeDeltaInts(d, 16, n)
-	return c
-}
-
 func encodeMLabSection(e *snapEnc, c *MLabRowColumns) error {
 	n := c.Len()
 	if err := checkLens("mlab", n, len(c.RowID), len(c.ClientIP), len(c.ServerIP),
@@ -857,22 +457,6 @@ func encodeMLabSection(e *snapEnc, c *MLabRowColumns) error {
 	e.column(10, appendFloats(e.scratch[:0], c.MinRTT))
 	e.column(11, appendDeltaInts(e.scratch[:0], c.TruthTier))
 	return nil
-}
-
-func decodeMLabSection(d *snapDec, n int) *MLabRowColumns {
-	c := &MLabRowColumns{}
-	c.RowID = decodeDeltaInts(d, 1, n)
-	c.ClientIP = decodeStrings[string](d, 2, n)
-	c.ServerIP = decodeStrings[string](d, 3, n)
-	c.City = decodeStrings[string](d, 4, n)
-	c.ISP = decodeStrings[string](d, 5, n)
-	c.ASN = decodeDeltaInts(d, 6, n)
-	c.Timestamp = decodeTimes(d, 7, n)
-	c.Direction = decodeStrings[MLabDirection](d, 8, n)
-	c.Speed = decodeFloats(d, 9, n)
-	c.MinRTT = decodeFloats(d, 10, n)
-	c.TruthTier = decodeDeltaInts(d, 11, n)
-	return c
 }
 
 func encodeMBASection(e *snapEnc, c *MBAColumns) error {
@@ -926,22 +510,6 @@ func encodeIngestSection(e *snapEnc, c *IngestColumns) error {
 	return nil
 }
 
-func decodeIngestSection(d *snapDec, n int) *IngestColumns {
-	c := &IngestColumns{}
-	c.TestID = decodeDeltaInts(d, 1, n)
-	c.UserID = decodeDeltaInts(d, 2, n)
-	c.City = decodeStrings[string](d, 3, n)
-	c.ISP = decodeStrings[string](d, 4, n)
-	c.Timestamp = decodeTimes(d, 5, n)
-	c.Download = decodeFloats(d, 6, n)
-	c.Upload = decodeFloats(d, 7, n)
-	c.Latency = decodeFloats(d, 8, n)
-	c.UploadTier = decodeDeltaInts(d, 9, n)
-	c.Tier = decodeDeltaInts(d, 10, n)
-	c.Confidence = decodeFloats(d, 11, n)
-	return c
-}
-
 // encodeSketchSection renders the sketch section: one row per bundle, with
 // the grid headers in parallel columns and every sketch's fixed-point bin
 // masses varint-packed into one shared payload (empty bins — the common
@@ -987,74 +555,6 @@ func encodeSketchSection(e *snapEnc, bundles []SketchBundle) error {
 	return nil
 }
 
-func decodeSketchSection(d *snapDec, n int) []SketchBundle {
-	cities := decodeStrings[string](d, 1, n)
-	tiers := decodeDeltaInts(d, 2, n)
-	versions := decodeDeltaInts(d, 3, n)
-	counts := decodeDeltaInts(d, 4, n)
-	bins := decodeDeltaInts(d, 5, n)
-	lows := decodeFloats(d, 6, n)
-	highs := decodeFloats(d, 7, n)
-	var p []byte
-	if d.selected(8) {
-		p = d.column(8)
-	}
-	if d.err != nil {
-		return nil
-	}
-	out := make([]SketchBundle, 0, n)
-	pos := 0
-	for i := 0; i < n; i++ {
-		nb := bins[i]
-		// Every mass is at least one byte, so the remaining payload bounds
-		// the bin count before any allocation.
-		if nb < 2 || nb > len(p)-pos {
-			d.fail("sketch %d: %d bins cannot fit %d payload bytes", i, nb, len(p)-pos)
-			return nil
-		}
-		mass := make([]uint64, nb)
-		for j := range mass {
-			if pos >= len(p) {
-				d.fail("sketch %d: truncated masses", i)
-				return nil
-			}
-			u, w := uint64(p[pos]), 1
-			if u >= 0x80 {
-				u, w = binary.Uvarint(p[pos:])
-				if w <= 0 {
-					d.fail("sketch %d: bad mass varint at bin %d", i, j)
-					return nil
-				}
-			}
-			pos += w
-			mass[j] = u
-		}
-		if counts[i] < 0 {
-			d.fail("sketch %d: negative count", i)
-			return nil
-		}
-		s, err := stats.SketchFromParts(lows[i], highs[i], mass, uint64(counts[i]), versions[i])
-		if err != nil {
-			if errors.Is(err, stats.ErrSketchVersion) {
-				// A foreign quantization scheme is staleness, not
-				// corruption: stores treat it as a cache miss.
-				if d.err == nil {
-					d.err = fmt.Errorf("%w: sketch %d: %v", ErrSnapshotStale, i, err)
-				}
-			} else {
-				d.fail("sketch %d (%s tier %d): %v", i, cities[i], tiers[i], err)
-			}
-			return nil
-		}
-		out = append(out, SketchBundle{City: cities[i], Tier: tiers[i], Sketch: s})
-	}
-	if pos != len(p) {
-		d.fail("sketch section: %d trailing mass bytes", len(p)-pos)
-		return nil
-	}
-	return out
-}
-
 // EncodeIngestSegment renders a standalone .sxc file image holding one
 // ingest section — the unit the write-behind batcher seals. Segments share
 // the city-snapshot envelope (magic, versions, checksum), so every .sxc
@@ -1081,19 +581,4 @@ func DecodeIngestSegment(data []byte) (*IngestColumns, error) {
 		return nil, errors.New("dataset: snapshot carries no ingest section")
 	}
 	return snap.Ingest, nil
-}
-
-func decodeMBASection(d *snapDec, n int) *MBAColumns {
-	c := &MBAColumns{}
-	c.UnitID = decodeDeltaInts(d, 1, n)
-	c.State = decodeStrings[string](d, 2, n)
-	c.ISP = decodeStrings[string](d, 3, n)
-	c.CensusTract = decodeStrings[string](d, 4, n)
-	c.Timestamp = decodeTimes(d, 5, n)
-	c.Download = decodeFloats(d, 6, n)
-	c.Upload = decodeFloats(d, 7, n)
-	c.PlanDown = decodeFloats(d, 8, n)
-	c.PlanUp = decodeFloats(d, 9, n)
-	c.Tier = decodeDeltaInts(d, 10, n)
-	return c
 }

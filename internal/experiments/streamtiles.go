@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+
+	"speedctx/internal/core"
+	"speedctx/internal/dataset"
+	"speedctx/internal/plans"
+	"speedctx/internal/tilequery"
+)
+
+// fitSampleSelection is the two-column projection the streamed fit pass
+// reads: just the <download, upload> pairs the BST consumes.
+var fitSampleSelection = dataset.SnapshotSelection{
+	Ookla: dataset.Cols(dataset.OoklaColDownload, dataset.OoklaColUpload),
+}
+
+// StreamTileIndex builds a city's tile index straight from a .sxc
+// snapshot file without ever materializing the city's columns
+// (DESIGN.md §14). Two bounded-memory passes over the file:
+//
+//  1. Stream <download, upload> to collect the fit samples, fit the BST
+//     under cfg, and wrap the result in a classifier.
+//  2. Stream the five tile columns; each batch's rows are classified one
+//     by one (ClassifyOne ≡ the batch fit's assignments) and folded
+//     straight into the integer-exact accumulators.
+//
+// Because accumulation is a pure function of the row multiset and
+// ClassifyOne is bit-identical to Fit's per-sample assignment, the
+// resulting index renders byte-identical tiles to Aggregate over
+// TileRowsFromSnapshot — at every batchRows (<= 0 selects the default)
+// and every tqcfg.Parallelism. The returned counters describe the second
+// (tile-column) pass, mirroring TileRowsFromSnapshot's.
+func StreamTileIndex(path, cityID string, cfg core.Config, batchRows int, tqcfg tilequery.Config) (*tilequery.Index, dataset.DecodeCounters, error) {
+	var ctr dataset.DecodeCounters
+	cat, ok := plans.ByCity(cityID)
+	if !ok {
+		return nil, ctr, fmt.Errorf("experiments: unknown city %q", cityID)
+	}
+
+	// Pass 1: fit samples. Two float64 columns is the floor the exact fit
+	// needs resident; everything else stays on disk.
+	src, err := dataset.OpenFileSource(path)
+	if err != nil {
+		return nil, ctr, err
+	}
+	sc, err := dataset.NewBlockScanner(src, fitSampleSelection, batchRows)
+	if err != nil {
+		src.Close()
+		return nil, ctr, err
+	}
+	var samples []core.Sample
+	saw := false
+	for sc.Scan() {
+		b := sc.Batch()
+		if b.Kind != dataset.SectionOokla {
+			continue
+		}
+		saw = true
+		for i := 0; i < b.Rows; i++ {
+			samples = append(samples, core.Sample{
+				Download: b.Ookla.Download[i], Upload: b.Ookla.Upload[i],
+			})
+		}
+	}
+	scanErr := sc.Err()
+	src.Close()
+	if scanErr != nil {
+		return nil, ctr, scanErr
+	}
+	if !saw {
+		return nil, ctr, fmt.Errorf("experiments: snapshot %s carries no Ookla section", path)
+	}
+	res, err := core.Fit(samples, cat, cfg)
+	if err != nil {
+		return nil, ctr, err
+	}
+	cl := core.NewClassifier(res, cfg)
+
+	// Pass 2: tile columns, classified and folded batch by batch.
+	src, err = dataset.OpenFileSource(path)
+	if err != nil {
+		return nil, ctr, err
+	}
+	defer src.Close()
+	sc, err = dataset.NewBlockScanner(src, tileSnapshotSelection, batchRows)
+	if err != nil {
+		return nil, ctr, err
+	}
+	ix := tilequery.NewIndex(tqcfg)
+	var tiers []int
+	for sc.Scan() {
+		b := sc.Batch()
+		if b.Kind != dataset.SectionOokla || b.Rows == 0 {
+			continue
+		}
+		o := b.Ookla
+		if cap(tiers) < b.Rows {
+			tiers = make([]int, b.Rows)
+		}
+		tiers = tiers[:b.Rows]
+		for i := 0; i < b.Rows; i++ {
+			tiers[i] = cl.ClassifyOne(o.Download[i], o.Upload[i]).Tier
+		}
+		if _, err := ix.AddRows(&tilequery.Rows{
+			UserID: o.UserID, Download: o.Download, Upload: o.Upload,
+			Latency: o.Latency, Tier: tiers, Access: o.Access,
+		}); err != nil {
+			return nil, ctr, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, ctr, err
+	}
+	return ix, sc.Counters(), nil
+}

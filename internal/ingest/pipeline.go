@@ -52,6 +52,10 @@ type PipelineConfig struct {
 	QueueShards int
 	// QueueDepth is each shard's capacity in rows. Default 4096.
 	QueueDepth int
+	// ScanBatchRows is the row-batch size of the streamed segment scans
+	// (sketch priming, tile folds, compaction; DESIGN.md §14). It bounds
+	// scan memory and never affects results. 0 = dataset.DefaultScanBatchRows.
+	ScanBatchRows int
 	// Sketches declares the per-city sketch grids (DESIGN.md §12). For
 	// each listed city the pipeline accumulates mergeable tier sketches:
 	// every sealed segment embeds the sketches of its own rows (bucketed
@@ -186,45 +190,37 @@ func (p *Pipeline) primeSketches() error {
 	}
 	sort.Strings(files)
 	for _, name := range files {
-		data, err := os.ReadFile(filepath.Join(p.cfg.Dir, name))
-		if err != nil {
-			return err
-		}
-		snap, err := dataset.DecodeCitySnapshot(data)
-		if err != nil {
-			return fmt.Errorf("ingest: prime sketches from %s: %w", name, err)
-		}
-		if err := p.foldSnapshot(snap); err != nil {
+		if err := p.foldSegmentSketches(filepath.Join(p.cfg.Dir, name)); err != nil {
 			return fmt.Errorf("ingest: prime sketches from %s: %w", name, err)
 		}
 	}
 	return nil
 }
 
-// foldSnapshot merges one decoded segment into the running sealed-sketch
-// state. The segment's contribution is first assembled into fresh
-// spec-shaped sketches (from its persisted bundles, or its rows when a
-// bundle is absent or on a foreign grid), then folded in — so a partially
-// bad segment never half-merges.
-func (p *Pipeline) foldSnapshot(snap *dataset.CitySnapshot) error {
+// foldSegmentSketches merges one sealed segment into the running
+// sealed-sketch state, without materializing the segment: a bundle-only
+// block scan seeks past every row section, so priming reads a few KiB per
+// segment however many rows it holds. The segment's contribution is first
+// assembled into fresh spec-shaped sketches (from its persisted bundles,
+// or by streaming its raw rows when a bundle is absent or on a foreign
+// grid), then folded in — so a partially bad segment never half-merges.
+func (p *Pipeline) foldSegmentSketches(path string) error {
+	bundles, err := scanSegmentBundles(path, p.cfg.ScanBatchRows)
+	if err != nil {
+		return err
+	}
 	byCity := make(map[string][]dataset.SketchBundle)
-	for _, b := range snap.Sketches {
+	for _, b := range bundles {
 		byCity[b.City] = append(byCity[b.City], b)
 	}
 	for city, spec := range p.cfg.Sketches {
 		seg, err := segmentSketches(spec, byCity[city])
 		if err != nil {
 			// Absent bundles or a foreign grid: rebuild this city's
-			// contribution by re-binning the segment's raw rows.
-			if seg, err = core.NewTierSketches(spec.Spec, spec.Tiers); err != nil {
+			// contribution by re-binning the segment's raw rows off a
+			// second, column-pruned stream.
+			if seg, err = rebinCitySamples(path, city, spec, p.cfg.ScanBatchRows); err != nil {
 				return err
-			}
-			if snap.Ingest != nil {
-				for _, row := range snap.Ingest.Rows() {
-					if row.City == city {
-						seg.AddSample(row.UploadTier, row.DownloadMbps, row.UploadMbps)
-					}
-				}
 			}
 		}
 		if seg.Count() == 0 {
@@ -549,7 +545,19 @@ const (
 // a function of the ingested row set alone: any worker count, shard count,
 // or arrival interleaving that drained the same rows compacts to the same
 // file — the determinism contract the tests gate.
+//
+// The merge scan streams every segment concurrently (DESIGN.md §14):
+// per-file block scanners decode in parallel and the per-segment payloads
+// reduce in sorted file order, so decode overlaps the fold while the
+// output bytes stay independent of worker count.
 func Compact(dir string) (string, error) {
+	return CompactBatched(dir, 0, 0)
+}
+
+// CompactBatched is Compact with the concurrency knobs exposed: par
+// segments scan at once (0 = all CPUs) in batches of batchRows rows
+// (0 = dataset.DefaultScanBatchRows). Neither affects the output bytes.
+func CompactBatched(dir string, par, batchRows int) (string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return "", err
@@ -562,30 +570,27 @@ func Compact(dir string) (string, error) {
 		}
 	}
 	sort.Strings(files)
+	paths := make([]string, len(files))
+	for i, name := range files {
+		paths[i] = filepath.Join(dir, name)
+	}
+	segs, err := scanSegmentsForCompact(paths, par, batchRows)
+	if err != nil {
+		return "", fmt.Errorf("ingest: compact: %w", err)
+	}
 	var rows []dataset.IngestRow
 	type sketchKey struct {
 		city string
 		tier int
 	}
 	merged := make(map[sketchKey]*dataset.SketchBundle)
-	for _, name := range files {
-		data, err := os.ReadFile(filepath.Join(dir, name))
-		if err != nil {
-			return "", err
-		}
-		snap, err := dataset.DecodeCitySnapshot(data)
-		if err != nil {
-			return "", fmt.Errorf("ingest: compact %s: %w", name, err)
-		}
-		if snap.Ingest == nil {
-			return "", fmt.Errorf("ingest: compact %s: snapshot carries no ingest section", name)
-		}
-		rows = append(rows, snap.Ingest.Rows()...)
-		for _, b := range snap.Sketches {
+	for si, seg := range segs {
+		rows = append(rows, seg.rows...)
+		for _, b := range seg.bundles {
 			k := sketchKey{b.City, b.Tier}
 			if m, ok := merged[k]; ok {
 				if err := m.Sketch.Merge(b.Sketch); err != nil {
-					return "", fmt.Errorf("ingest: compact %s: sketch %s/%d: %w", name, b.City, b.Tier, err)
+					return "", fmt.Errorf("ingest: compact %s: sketch %s/%d: %w", files[si], b.City, b.Tier, err)
 				}
 			} else {
 				merged[k] = &dataset.SketchBundle{City: b.City, Tier: b.Tier, Sketch: b.Sketch.Clone()}

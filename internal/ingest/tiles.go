@@ -35,23 +35,25 @@ var tileSelection = dataset.SnapshotSelection{
 // the same sealed rows — live seal-by-seal, cold-restart refold, or
 // post-compaction refold — yields byte-identical responses.
 type tileServer struct {
-	mu     sync.Mutex
-	dir    string
-	eng    *tilequery.Engine
-	folded map[string]bool
+	mu        sync.Mutex
+	dir       string
+	eng       *tilequery.Engine
+	folded    map[string]bool
+	batchRows int
 
-	// Cumulative pruned-decode counters across folds, for /statsz: proof
+	// Cumulative streamed-scan counters across folds, for /statsz: proof
 	// the serving path never materializes unrequested columns.
 	colsDecoded int64
 	colsSkipped int64
 	refolds     uint64
 }
 
-func newTileServer(dir string, cfg tilequery.Config, cacheTiles int) *tileServer {
+func newTileServer(dir string, cfg tilequery.Config, cacheTiles, batchRows int) *tileServer {
 	return &tileServer{
-		dir:    dir,
-		eng:    tilequery.NewEngine(cfg, cacheTiles),
-		folded: make(map[string]bool),
+		dir:       dir,
+		eng:       tilequery.NewEngine(cfg, cacheTiles),
+		folded:    make(map[string]bool),
+		batchRows: batchRows,
 	}
 }
 
@@ -85,6 +87,15 @@ func (ts *tileServer) refresh() error {
 			continue
 		}
 		if err := ts.foldSegment(name); err != nil {
+			// A streamed fold is provisional until the scan's final
+			// verification, so a failure may have folded a partial
+			// segment. Reset and refold everything on the next request —
+			// cheap (folds are incremental over few segments) and it
+			// keeps the engine's state a pure function of whole sealed
+			// segments.
+			ts.eng.Reset()
+			ts.folded = make(map[string]bool)
+			ts.refolds++
 			return fmt.Errorf("ingest: tiles: fold %s: %w", name, err)
 		}
 		ts.folded[name] = true
@@ -92,27 +103,31 @@ func (ts *tileServer) refresh() error {
 	return nil
 }
 
-// foldSegment pruned-decodes one segment and folds its rows.
+// foldSegment streams one segment batch-by-batch into the engine
+// (DESIGN.md §14): six of the eleven ingest columns decode in bounded
+// batches and fold straight into the integer-exact tile accumulators, so
+// fold memory is O(batch), not O(segment).
 func (ts *tileServer) foldSegment(name string) error {
-	data, err := os.ReadFile(filepath.Join(ts.dir, name))
+	src, err := dataset.OpenFileSource(filepath.Join(ts.dir, name))
 	if err != nil {
 		return err
 	}
-	snap, ctr, err := dataset.DecodeCitySnapshotPruned(data, tileSelection)
+	defer src.Close()
+	sc, err := dataset.NewBlockScanner(src, tileSelection, ts.batchRows)
 	if err != nil {
 		return err
 	}
+	err = ts.eng.AddScan(sc)
+	ctr := sc.Counters()
 	ts.colsDecoded += int64(ctr.ColumnsDecoded)
 	ts.colsSkipped += int64(ctr.ColumnsSkipped)
-	if snap.Ingest == nil {
+	if err != nil {
+		return err
+	}
+	if ctr.SectionsDecoded == 0 {
 		return fmt.Errorf("segment carries no ingest section")
 	}
-	ing := snap.Ingest
-	return ts.eng.AddRows(&tilequery.Rows{
-		UserID: ing.UserID, City: ing.City,
-		Download: ing.Download, Upload: ing.Upload, Latency: ing.Latency,
-		Tier: ing.Tier,
-	})
+	return nil
 }
 
 // tileStats is a point-in-time tile-layer snapshot for /statsz.

@@ -2,6 +2,7 @@ package tilequery
 
 import (
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -193,6 +194,17 @@ func BenchmarkTileScan(b *testing.B) {
 	})
 	b.Run("n=1000000/mode=pruned", func(b *testing.B) {
 		b.ReportAllocs()
+		// Peak working set of the materialized path: the five decoded
+		// 1M-row columns resident at once.
+		peak := measurePeakBytes(func(sample func()) {
+			snap, _, err := dataset.DecodeCitySnapshotPruned(data, tileScanSelection)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sample()
+			runtime.KeepAlive(snap)
+		})
+		b.ResetTimer()
 		start := time.Now()
 		for i := 0; i < b.N; i++ {
 			snap, ctr, err := dataset.DecodeCitySnapshotPruned(data, tileScanSelection)
@@ -208,7 +220,69 @@ func BenchmarkTileScan(b *testing.B) {
 			}
 		}
 		b.ReportMetric(float64(b.N*scanRows)/time.Since(start).Seconds(), "rows/s")
+		b.ReportMetric(peak, "peak-bytes")
 	})
+	b.Run("n=1000000/mode=stream", func(b *testing.B) {
+		b.ReportAllocs()
+		// Peak working set of the streamed path: just the scanner's pooled
+		// batch buffers, sampled mid-scan — the rows never materialize.
+		peak := measurePeakBytes(func(sample func()) {
+			sc, err := dataset.NewBlockScanner(dataset.BytesSource(data), tileScanSelection, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			i := 0
+			for sc.Scan() {
+				if i%32 == 16 {
+					sample()
+				}
+				i++
+			}
+			if err := sc.Err(); err != nil {
+				b.Fatal(err)
+			}
+		})
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			sc, err := dataset.NewBlockScanner(dataset.BytesSource(data), tileScanSelection, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ix := NewIndex(cfg)
+			if _, err := ix.AddScan(sc); err != nil {
+				b.Fatal(err)
+			}
+			tiles, err := ix.Tiles(Query{})
+			if err != nil || len(tiles) == 0 {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N*scanRows)/time.Since(start).Seconds(), "rows/s")
+		b.ReportMetric(peak, "peak-bytes")
+	})
+}
+
+// measurePeakBytes runs f once outside the timed region and returns the
+// largest live-heap growth it samples, for reporting as "peak-bytes"
+// AFTER the timed loop — b.ResetTimer clears user-reported metrics, so
+// reporting up front would silently drop the number. f receives a sample
+// callback to invoke at its peak-resident moment(s); each call forces a GC
+// so only genuinely live bytes count. The deltas are against a post-GC
+// baseline taken before f, so the shared snapshot fixture cancels out.
+func measurePeakBytes(f func(sample func())) float64 {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	peak := 0.0
+	f(func() {
+		runtime.GC()
+		runtime.ReadMemStats(&m1)
+		if d := float64(m1.HeapAlloc) - float64(m0.HeapAlloc); d > peak {
+			peak = d
+		}
+	})
+	return peak
 }
 
 // BenchmarkTileAggregate isolates the fold: serial versus all-CPU

@@ -1,0 +1,79 @@
+package tilequery
+
+// Streamed scan→fold fusion (DESIGN.md §14): batches from a
+// dataset.BlockScanner fold straight into the integer-exact tile
+// accumulators, so aggregating a snapshot never materializes whole-city
+// columns. Because accumulation is a pure function of the row multiset,
+// the index an AddScan builds is identical to one built by AddRows over
+// the materialized decode — at every batch size and every Parallelism.
+
+import (
+	"fmt"
+
+	"speedctx/internal/dataset"
+)
+
+// RowsView maps one scanner batch onto the fold's row view without
+// copying: the returned Rows alias the batch's (reused) buffers, valid
+// exactly as long as the batch is. Ookla and Android batches carry no
+// tier column (tiers come from a fit, not the file); Ingest batches carry
+// their persisted classification verdicts.
+func RowsView(b *dataset.ColumnsBatch) (*Rows, error) {
+	switch b.Kind {
+	case dataset.SectionOokla, dataset.SectionAndroid:
+		o := b.Ookla
+		return &Rows{
+			UserID: o.UserID, Download: o.Download, Upload: o.Upload,
+			Latency: o.Latency, Access: o.Access,
+		}, nil
+	case dataset.SectionIngest:
+		g := b.Ingest
+		return &Rows{
+			UserID: g.UserID, City: g.City, Download: g.Download,
+			Upload: g.Upload, Latency: g.Latency, Tier: g.Tier,
+		}, nil
+	}
+	return nil, fmt.Errorf("tilequery: no tile row view for section kind %d", b.Kind)
+}
+
+// AddScan drains a block scanner into the index, folding each batch as it
+// is decoded. Every row section the scanner yields must have a RowsView
+// mapping — select only the sections the fold consumes. Batches are
+// provisional until the scanner's final verification (a file-backed scan
+// can surface a corrupt block mid-stream): on error the index may hold a
+// partial fold, and the caller owns discarding it.
+//
+// Returns the cumulative count of (base tile, batch) touches, the same
+// currency AddRows reports.
+func (ix *Index) AddScan(sc *dataset.BlockScanner) (int, error) {
+	touched := 0
+	for sc.Scan() {
+		b := sc.Batch()
+		if b.Rows == 0 {
+			continue
+		}
+		rows, err := RowsView(b)
+		if err != nil {
+			return touched, err
+		}
+		// AddRows finishes its parallel fold before returning, so aliasing
+		// the scanner's reused buffers is safe.
+		t, err := ix.AddRows(rows)
+		if err != nil {
+			return touched, err
+		}
+		touched += t
+	}
+	return touched, sc.Err()
+}
+
+// AddScan is Index.AddScan through the engine's lock and invalidation
+// accounting. The same provisionality caveat applies: on error the caller
+// should Reset the engine before retrying the scan.
+func (e *Engine) AddScan(sc *dataset.BlockScanner) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	touched, err := e.ix.AddScan(sc)
+	e.inval += uint64(touched)
+	return err
+}

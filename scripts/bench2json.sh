@@ -4,7 +4,10 @@
 # benchmark contributes its ns/op under its name, plus one
 # "name:unit" entry per custom metric it reports (b.ReportMetric): the
 # ingest benches emit request-latency percentiles (`p99-lat-ns` etc.) and
-# sustained `rows/s`.
+# sustained `rows/s`; the scan benches emit `peak-bytes` (live-heap
+# working set, DESIGN.md §14). `-benchmem` B/op is captured under
+# "name:B/op" so allocation regressions gate like time ones; allocs/op is
+# dropped (redundant with B/op and noisier across Go versions).
 #
 # When the input carries repeated measurements of the same benchmark
 # (`go test -count N`), the MINIMUM is kept for time-like metrics:
@@ -12,7 +15,8 @@
 # scaling only ever inflate a wall-clock sample, so the smallest of N runs
 # is the least-contaminated estimate of what the code actually costs. For
 # rate metrics (rows/s), where contamination deflates, the MAXIMUM is kept
-# by the same logic.
+# by the same logic. B/op and peak-bytes keep the minimum too: pool reuse
+# warm-up only ever inflates an early sample.
 exec awk '
 /^Benchmark/ {
 	# Fields: name iters v1 u1 v2 u2 ... — walk the value/unit pairs.
@@ -21,6 +25,7 @@ exec awk '
 		u = $(f + 1)
 		if (u == "ns/op") key = $1
 		else if (u ~ /-lat-ns$/ || u == "rows/s") key = $1 ":" u
+		else if (u == "B/op" || u == "peak-bytes") key = $1 ":" u
 		else continue
 		if (u == "rows/s") {
 			if (!(key in best) || v > best[key]) best[key] = v
