@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race race-scan bench bench-smoke bench-baseline bench-compare snapshot-verify sketch-verify stream-verify tiles-verify load-smoke
+.PHONY: check vet build test race race-scan bench bench-smoke bench-baseline bench-compare snapshot-verify sketch-verify stream-verify tiles-verify zonemap-verify load-smoke
 
-check: vet build race race-scan bench-smoke bench-compare snapshot-verify sketch-verify stream-verify tiles-verify load-smoke
+check: vet build race race-scan bench-smoke bench-compare snapshot-verify sketch-verify stream-verify tiles-verify zonemap-verify load-smoke
 
 vet:
 	$(GO) vet ./...
@@ -68,17 +68,16 @@ bench-baseline:
 	  $(GO) test -run NONE -bench 'TileScan' -benchtime 3x -count 3 -benchmem -timeout 30m ./internal/tilequery/ ; \
 	  $(GO) test -run NONE -bench 'TileAggregate' -benchtime 10x -count 3 ./internal/tilequery/ ; \
 	  $(GO) test -run NONE -bench 'TileQuery' -benchtime 200x -count 5 ./internal/tilequery/ ) \
-		| scripts/bench2json.sh > BENCH_pr9.json
-	@cat BENCH_pr9.json
+		| scripts/bench2json.sh > BENCH_pr10.json
+	@cat BENCH_pr10.json
 
 # bench-compare gates the committed perf trajectory: fail if any benchmark
 # shared with an earlier baseline regressed >10% (machine-normalized; see
-# scripts/bench_compare.sh). The TileScan mode=stream entries — including
-# its `peak-bytes` working-set metric, the headline of the streaming scan
-# layer (DESIGN.md §14) — are new in BENCH_pr9; future PRs gate against
-# them.
+# scripts/bench_compare.sh). The TileScanPushdown mode={full,push} entries
+# — the headline of the zone-map predicate pushdown layer (DESIGN.md §15)
+# — are new in BENCH_pr10; future PRs gate against them.
 bench-compare:
-	scripts/bench_compare.sh BENCH_pr9.json BENCH_pr8.json BENCH_pr7.json BENCH_pr6.json BENCH_pr5.json BENCH_pr4.json BENCH_pr3.json BENCH_pr1.json
+	scripts/bench_compare.sh BENCH_pr10.json BENCH_pr9.json BENCH_pr8.json BENCH_pr7.json BENCH_pr6.json BENCH_pr5.json BENCH_pr4.json BENCH_pr3.json BENCH_pr1.json
 
 # snapshot-verify is the end-to-end identity gate for the snapshot store
 # (DESIGN.md §10): a no-snapshot run, a cold-cache run (generate + write
@@ -120,6 +119,15 @@ stream-verify:
 # same bytes at batch sizes {1, 4096, whole-file}.
 tiles-verify:
 	$(GO) run ./cmd/speedctx tiles -verify -scale 0.002
+
+# zonemap-verify is the end-to-end identity gate for the zone-map predicate
+# pushdown layer (DESIGN.md §15): a one-city bbox query rendered from a
+# quadkey-clustered zoned snapshot and from a canonical v2 snapshot, with
+# pushdown on and off, across fold parallelism {1,4,all} and scan batch
+# {1, 4096, whole-file}, must be byte-identical to the in-memory fold —
+# and the clustered+pushdown scans must actually have skipped row groups.
+zonemap-verify:
+	$(GO) run ./cmd/speedctx zonemap-verify
 
 # load-smoke is the serving-path gate: a bounded self-hosted run of the
 # load generator through the real HTTP ingest server must complete with

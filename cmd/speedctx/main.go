@@ -9,8 +9,9 @@
 //	speedctx bst -city A [flags]
 //	speedctx all [flags]
 //	speedctx load [-addr HOST:PORT] [-rows N] [-conns N] [-batch N] [-min-rate R]
-//	speedctx tiles [-city A] [-zoom N] [-bbox ...] [-metric M] [-format json|csv] [-stream] [-verify]
+//	speedctx tiles [-city A] [-zoom N] [-bbox ...] [-metric M] [-format json|csv] [-stream [-cluster-zoom N]] [-verify]
 //	speedctx stream-verify [-rows N]
+//	speedctx zonemap-verify [-rows N]
 //
 // Common flags: -scale (fraction of the paper's dataset sizes, default
 // 0.02), -seed, -ascii (render figures as terminal charts), -par (worker
@@ -71,6 +72,10 @@ func run(args []string, out io.Writer) error {
 		// The streaming-scan identity gate owns its flags (row count).
 		return runStreamVerify(rest, out)
 	}
+	if cmd == "zonemap-verify" {
+		// The zone-map pushdown identity gate owns its flags (row count).
+		return runZonemapVerify(rest, out)
+	}
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	scale := fs.Float64("scale", 0.02, "fraction of the paper's dataset sizes")
 	seed := fs.Int64("seed", 2021, "generation seed")
@@ -122,7 +127,7 @@ func run(args []string, out io.Writer) error {
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: speedctx <table|figure|generate|bst|challenge|all|load|sketch-verify|stream-verify|tiles> [args] [flags]")
+	return fmt.Errorf("usage: speedctx <table|figure|generate|bst|challenge|all|load|sketch-verify|stream-verify|zonemap-verify|tiles> [args] [flags]")
 }
 
 // challengeFile runs the FCC challenge-evidence screen over an Ookla CSV

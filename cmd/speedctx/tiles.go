@@ -5,6 +5,7 @@
 //	               [-zoom 16] [-bbox minLat,minLon,maxLat,maxLon]
 //	               [-metric download|upload|latency|tests|devices]
 //	               [-format json|csv] [-snapshot-dir DIR] [-verify]
+//	               [-stream [-cluster-zoom 16]]
 //
 // Without -snapshot-dir the city is generated in memory and aggregated;
 // with it, rows come from the city's .sxc snapshot through a pruned column
@@ -47,6 +48,7 @@ func runTiles(args []string, out io.Writer) error {
 	snapDir := fs.String("snapshot-dir", "", "read rows from this .sxc snapshot directory via a pruned column scan (writing the snapshot on a miss) instead of keeping the city in memory")
 	stream := fs.Bool("stream", false, "with -snapshot-dir: fold the snapshot through the streaming block scanner in bounded batches instead of materializing the city columns (byte-identical output; DESIGN.md §14)")
 	scanBatch := fs.Int("scan-batch", 0, "rows per streamed scan batch for -stream (0 = default)")
+	clusterZoom := fs.Int("cluster-zoom", 0, "with -stream: write (or reuse) a quadkey-clustered zoned sibling of the snapshot at this zoom and push the -bbox predicate into its scan, skipping row groups outside the box (byte-identical output; DESIGN.md §15); 0 disables")
 	verify := fs.Bool("verify", false, "verify snapshot-vs-memory, parallelism and cache byte-identity, then exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,6 +61,12 @@ func runTiles(args []string, out io.Writer) error {
 	}
 	if *stream && *snapDir == "" {
 		return fmt.Errorf("tiles: -stream needs -snapshot-dir (streaming scans a .sxc file)")
+	}
+	if *clusterZoom != 0 && !*stream {
+		return fmt.Errorf("tiles: -cluster-zoom needs -stream (pushdown seeks through a streamed scan)")
+	}
+	if *clusterZoom < 0 || *clusterZoom > opendata.MaxZoom {
+		return fmt.Errorf("tiles: -cluster-zoom must be in [1, %d] (or 0 to disable)", opendata.MaxZoom)
 	}
 
 	q := tilequery.Query{Zoom: *zoom}
@@ -77,10 +85,29 @@ func runTiles(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		ix, ctr, err := experiments.StreamTileIndex(path, *city, fitCfg, *scanBatch,
-			tilequery.Config{City: *city, Parallelism: *par})
-		if err != nil {
-			return err
+		tqcfg := tilequery.Config{City: *city, Parallelism: *par}
+		var ix *tilequery.Index
+		var ctr dataset.DecodeCounters
+		if *clusterZoom > 0 {
+			// Fit still streams the original (order-dependent) file; the fold
+			// streams the clustered zoned sibling with the bbox pushed down.
+			zpath, err := experiments.ClusterSnapshot(path, *clusterZoom, 0, 0)
+			if err != nil {
+				return err
+			}
+			ix, ctr, err = experiments.StreamTileIndexPushdown(path, zpath, *city, fitCfg, *scanBatch, tqcfg, q.Range)
+			if err != nil {
+				return err
+			}
+			if ctr.BlocksScanned+ctr.BlocksSkipped == 0 {
+				return fmt.Errorf("tiles: clustered scan bound no zone-mapped groups (%+v)", ctr)
+			}
+		} else {
+			var err error
+			ix, ctr, err = experiments.StreamTileIndex(path, *city, fitCfg, *scanBatch, tqcfg)
+			if err != nil {
+				return err
+			}
 		}
 		if ctr.ColumnsSkipped == 0 || ctr.SectionsSkipped == 0 {
 			return fmt.Errorf("tiles: streamed snapshot scan skipped nothing (%+v)", ctr)

@@ -91,6 +91,13 @@ type SnapshotSelection struct {
 	// Sketches selects the sketch section whole: its eight columns are one
 	// logical record batch, so it prunes all-or-nothing.
 	Sketches bool
+	// Predicate, when non-nil, additionally skips zoned row groups (v3
+	// files, DESIGN.md §15) whose zone maps prove no row can match. It is
+	// purely a data-skipping hint: plain v2 sections ignore it, and the
+	// surviving rows are always a superset of the matching rows. A pointer
+	// so that selections stay comparable (SelectAll() identifies the
+	// trailer-checksum path by equality).
+	Predicate *ScanPredicate
 }
 
 // SelectAll selects every column of every section — the full decode.
@@ -115,6 +122,13 @@ type DecodeCounters struct {
 	ColumnsSkipped int
 	// BytesSkipped totals the payload bytes never decoded.
 	BytesSkipped int64
+	// BlocksScanned / BlocksSkipped count zoned row groups (v3 files)
+	// decoded vs skipped by a Predicate's zone-map check; both stay zero
+	// for v2 files and predicate-free scans of zoned files count every
+	// group as scanned. RowsSkipped totals the rows inside skipped groups.
+	BlocksScanned int
+	BlocksSkipped int
+	RowsSkipped   int64
 }
 
 // DecodeCitySnapshotPruned decodes only the selected columns of a snapshot

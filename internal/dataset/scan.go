@@ -190,11 +190,15 @@ type blockInfo struct {
 	ordinal int // 0-based block index within the file, for error messages
 }
 
-// scanSection is one section's entry in the parsed block directory.
+// scanSection is one section's entry in the parsed block directory. A
+// zoned section (v3) expands into one entry per row group, each under the
+// base kind with zone tying it back to the logical section; its rows and
+// cols are then the group's share.
 type scanSection struct {
 	kind byte
 	rows int
 	cols []blockInfo
+	zone *sectionZone
 }
 
 // ColumnsBatch is a bounded view of the selected columns of one section:
@@ -244,8 +248,9 @@ type BlockScanner struct {
 
 	sections []scanSection
 	secIdx   int // next section to enter
-	secRows  int // rows of the entered section
+	secRows  int // rows of the entered section (one group, if zoned)
 	secDone  int // rows already yielded from it
+	curZone  *sectionZone
 	exec     []colExec
 
 	// Reused batch containers, one per section codec.
@@ -416,8 +421,9 @@ func (s *BlockScanner) parseDirectory() error {
 	if err != nil {
 		return err
 	}
-	if v := binary.LittleEndian.Uint16(vb); v != SnapshotFormatVersion {
-		return fmt.Errorf("%w: format version %d, want %d", ErrSnapshotStale, v, SnapshotFormatVersion)
+	ver := binary.LittleEndian.Uint16(vb)
+	if ver != SnapshotFormatVersion && ver != SnapshotFormatVersionZoned {
+		return fmt.Errorf("%w: format version %d, want %d or %d", ErrSnapshotStale, ver, SnapshotFormatVersion, SnapshotFormatVersionZoned)
 	}
 	dv, err := r.uvarint()
 	if err != nil {
@@ -432,6 +438,37 @@ func (s *BlockScanner) parseDirectory() error {
 	}
 	body := s.size - 8 // trailer checksum
 	ordinal := 0
+	readCols := func(ncols int) ([]blockInfo, error) {
+		cols := make([]blockInfo, 0, ncols)
+		for id := 1; id <= ncols; id++ {
+			got, err := r.u8()
+			if err != nil {
+				return nil, err
+			}
+			if int(got) != id {
+				return nil, s.fail("column id %d, want %d", got, id)
+			}
+			length, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if avail := body - r.off; avail < 8 || length > uint64(avail-8) {
+				return nil, s.fail("column %d truncated", id)
+			}
+			sb, err := r.bytes(8)
+			if err != nil {
+				return nil, err
+			}
+			bi := blockInfo{
+				id: byte(id), off: r.off, length: int64(length),
+				sum: binary.LittleEndian.Uint64(sb), ordinal: ordinal,
+			}
+			ordinal++
+			r.off += bi.length
+			cols = append(cols, bi)
+		}
+		return cols, nil
+	}
 	for sec := 0; sec < int(nsec); sec++ {
 		kind, err := r.u8()
 		if err != nil {
@@ -444,49 +481,79 @@ func (s *BlockScanner) parseDirectory() error {
 		if rows64 > uint64(body) {
 			return s.fail("section kind %d: absurd row count %d", kind, rows64)
 		}
+		base, zoned := kind, false
+		switch kind {
+		case snapKindOoklaZoned:
+			base, zoned = snapKindOokla, true
+		case snapKindIngestZoned:
+			base, zoned = snapKindIngest, true
+		}
 		ncols, ok := sectionColumnCount(kind)
 		if !ok {
 			return s.fail("unknown section kind %d", kind)
 		}
-		ss := scanSection{kind: kind, rows: int(rows64), cols: make([]blockInfo, 0, ncols)}
-		for id := 1; id <= ncols; id++ {
-			got, err := r.u8()
-			if err != nil {
+		if !zoned {
+			ss := scanSection{kind: kind, rows: int(rows64)}
+			if ss.cols, err = readCols(ncols); err != nil {
 				return err
 			}
-			if int(got) != id {
-				return s.fail("column id %d, want %d", got, id)
-			}
-			length, err := r.uvarint()
-			if err != nil {
-				return err
-			}
-			if avail := body - r.off; avail < 8 || length > uint64(avail-8) {
-				return s.fail("column %d truncated", id)
-			}
-			sb, err := r.bytes(8)
-			if err != nil {
-				return err
-			}
-			bi := blockInfo{
-				id: byte(id), off: r.off, length: int64(length),
-				sum: binary.LittleEndian.Uint64(sb), ordinal: ordinal,
-			}
-			ordinal++
-			r.off += bi.length
-			ss.cols = append(ss.cols, bi)
+			s.sections = append(s.sections, ss)
+			continue
 		}
-		s.sections = append(s.sections, ss)
+		if ver != SnapshotFormatVersionZoned {
+			return s.fail("zoned section kind %d in a format-v%d snapshot", kind, ver)
+		}
+		// Zone directory: length, checksum, payload. The checksum is
+		// verified before any group header is trusted, so a corrupt zone
+		// map fails the scan here — it can never mis-route row groups.
+		zlen, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		if avail := body - r.off; avail < 8 || zlen > uint64(avail-8) {
+			return s.fail("section kind %d: zone directory truncated", kind)
+		}
+		zb, err := r.bytes(8)
+		if err != nil {
+			return err
+		}
+		zsum := binary.LittleEndian.Uint64(zb)
+		zp, err := r.bytes(int(zlen))
+		if err != nil {
+			return err
+		}
+		if snapshotChecksum(zp) != zsum {
+			return s.fail("section kind %d: zone directory checksum mismatch", kind)
+		}
+		dir, err := parseZoneDir(zp, ncols, int(rows64))
+		if err != nil {
+			return s.fail("section kind %d: %v", kind, err)
+		}
+		start := 0
+		for gi := range dir.groups {
+			ss := scanSection{
+				kind: base, rows: dir.groups[gi].rows,
+				zone: &sectionZone{dir: dir, gi: gi, first: gi == 0, start: start, total: int(rows64)},
+			}
+			start += ss.rows
+			if ss.cols, err = readCols(ncols); err != nil {
+				return err
+			}
+			s.sections = append(s.sections, ss)
+		}
 	}
 	if r.off != body {
 		return fmt.Errorf("dataset: snapshot has %d trailing bytes", body-r.off)
 	}
 	// Tally the never-selected blocks as skipped up front, mirroring the
-	// materializing decoders' counters.
+	// materializing decoders' counters. Zoned groups share one logical
+	// section, which must count once.
 	for _, ss := range s.sections {
 		sel := s.sectionSelection(ss.kind)
 		if sel == 0 {
-			s.ctr.SectionsSkipped++
+			if ss.zone == nil || ss.zone.first {
+				s.ctr.SectionsSkipped++
+			}
 			s.ctr.ColumnsSkipped += len(ss.cols)
 			for _, bi := range ss.cols {
 				s.ctr.BytesSkipped += bi.length
@@ -505,8 +572,10 @@ func (s *BlockScanner) parseDirectory() error {
 
 func sectionColumnCount(kind byte) (int, bool) {
 	switch kind {
-	case snapKindOokla, snapKindAndroid:
+	case snapKindOokla, snapKindAndroid, snapKindOoklaZoned:
 		return ooklaSectionCols, true
+	case snapKindIngestZoned:
+		return ingestSectionCols, true
 	case snapKindMLab:
 		return mlabSectionCols, true
 	case snapKindMBA:
@@ -587,7 +656,9 @@ func (s *BlockScanner) Scan() bool {
 		if sel == 0 {
 			continue
 		}
-		s.ctr.SectionsDecoded++
+		if ss.zone == nil || ss.zone.first {
+			s.ctr.SectionsDecoded++
+		}
 		if ss.kind == snapKindSketch {
 			bundles, err := s.decodeSketchSectionWhole(ss)
 			if err != nil {
@@ -596,10 +667,30 @@ func (s *BlockScanner) Scan() bool {
 			s.out = ColumnsBatch{Kind: SectionSketch, Rows: ss.rows, SectionRows: ss.rows, Sketches: bundles}
 			return true
 		}
+		if z := ss.zone; z != nil {
+			// Predicate pushdown (DESIGN.md §15): a zone-mapped row group
+			// whose recorded ranges cannot intersect the predicate is
+			// skipped by seek — its blocks leave the read set entirely,
+			// like unselected columns. Empty groups always surface, so the
+			// one-zero-row-batch contract for empty sections holds.
+			if p := s.sel.Predicate; p != nil && ss.rows > 0 && !z.matches(p, int(ss.kind)) {
+				s.ctr.BlocksSkipped++
+				s.ctr.RowsSkipped += int64(ss.rows)
+				for _, bi := range ss.cols {
+					if sel.Has(bi.id) {
+						s.ctr.ColumnsSkipped++
+						s.ctr.BytesSkipped += bi.length
+					}
+				}
+				continue
+			}
+			s.ctr.BlocksScanned++
+		}
 		if err := s.bindSection(ss, sel); err != nil {
 			return false
 		}
 		s.secRows, s.secDone = ss.rows, 0
+		s.curZone = ss.zone
 	}
 }
 
@@ -616,10 +707,17 @@ func (s *BlockScanner) closeSection() bool {
 }
 
 // runBatch decodes n rows of every bound column into the batch container.
+// Batches of a zoned group report logical-section coordinates: Start is
+// the group's offset in the section, SectionRows the section's full row
+// count — so consumers see one coherent section however it was grouped.
 func (s *BlockScanner) runBatch(n int) error {
 	s.out.Start = s.secDone
 	s.out.Rows = n
 	s.out.SectionRows = s.secRows
+	if z := s.curZone; z != nil {
+		s.out.Start = z.start + s.secDone
+		s.out.SectionRows = z.total
+	}
 	for _, ex := range s.exec {
 		if err := ex.run(n); err != nil {
 			return err

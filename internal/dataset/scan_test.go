@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"io"
+	"math"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -388,6 +389,20 @@ func FuzzBlockScanner(f *testing.F) {
 	flip := append([]byte(nil), data...)
 	flip[len(flip)/3] ^= 0xff
 	f.Add(flip, uint32(6), uint32(0), false, uint16(2))
+	// v3 zoned seeds: a multi-group zoned image, a truncated one, and one
+	// with a flipped byte in the zone-directory region.
+	zoned, err := EncodeCitySnapshotZoned(small, &ZoneOptions{
+		BlockRows: 3, Zoom: 16, LocSeed: 5,
+		Quadkey: func(city string, userID int) uint64 { return uint64(userID) * 31 },
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(zoned, ^uint32(0), uint32(0), false, uint16(2))
+	f.Add(append([]byte(nil), zoned[:len(zoned)*2/3]...), ^uint32(0), ^uint32(0), true, uint16(8))
+	zflip := append([]byte(nil), zoned...)
+	zflip[12] ^= 0x55
+	f.Add(zflip, uint32(6), uint32(6), false, uint16(4))
 	f.Fuzz(func(t *testing.T, b []byte, ooklaSel, otherSel uint32, sketches bool, batch uint16) {
 		sel := SnapshotSelection{
 			Ookla: ColumnSet(ooklaSel), Android: ColumnSet(ooklaSel),
@@ -426,6 +441,21 @@ func FuzzBlockScanner(f *testing.F) {
 		}
 		if sketches && !reflect.DeepEqual(pruned.Sketches, got.Sketches) {
 			t.Fatal("scanned sketches differ from pruned decode")
+		}
+		// A tautological predicate (unbounded numeric range) can never
+		// exclude a group: the predicate scan must reproduce the plain scan
+		// exactly, skipping nothing — on v2 and v3 images alike.
+		psel := sel
+		psel.Predicate = &ScanPredicate{Num: []NumRange{{Col: 1, Min: math.Inf(-1), Max: math.Inf(1)}}}
+		pgot, pCtr, pserr := collectScan(byteSource(b), psel, int(batch%512)+1)
+		if pserr != nil {
+			t.Fatalf("plain scan succeeded but tautological-predicate scan failed: %v", pserr)
+		}
+		if pCtr.BlocksSkipped != 0 || pCtr.RowsSkipped != 0 {
+			t.Fatalf("tautological predicate skipped groups: %+v", pCtr)
+		}
+		if !reflect.DeepEqual(got, pgot) {
+			t.Fatal("tautological-predicate scan differs from plain scan")
 		}
 	})
 }

@@ -57,6 +57,11 @@ import (
 // that lets pruned scans verify exactly the bytes they decode (below).
 const SnapshotFormatVersion = 2
 
+// SnapshotFormatVersionZoned is the layout version of files carrying
+// zoned row sections (zone-mapped row groups, DESIGN.md §15). Plain
+// encodes still emit version 2 byte-for-byte; the decoder accepts both.
+const SnapshotFormatVersionZoned = 3
+
 // DataVersion tags the semantics of generated data: it must be bumped
 // whenever the generators change output for a fixed (seed, scale, city) —
 // e.g. PR 4's move to per-subscriber RNG streams — and whenever
@@ -99,6 +104,11 @@ const (
 	snapKindAndroid = 4
 	snapKindIngest  = 5
 	snapKindSketch  = 6
+	// Zoned variants (format v3, DESIGN.md §15): same column codecs as
+	// their base kinds, rows split into zone-mapped groups behind a
+	// checksummed zone directory. Batches surface under the base kind.
+	snapKindOoklaZoned  = 7
+	snapKindIngestZoned = 8
 )
 
 // SketchBundle names one persisted sketch: the city it belongs to and the
@@ -170,17 +180,20 @@ func decodeCitySnapshotSel(data []byte, sel SnapshotSelection) (*CitySnapshot, D
 	snap := &CitySnapshot{}
 	for sc.Scan() {
 		b := sc.Batch()
+		// Zoned sections (v3) surface one batch per row group; concatenating
+		// them reassembles the logical section. Plain sections arrive as a
+		// single batch, which the merge adopts wholesale.
 		switch b.Kind {
 		case SectionOokla:
-			snap.Ookla = b.Ookla
+			snap.Ookla = appendOoklaBatch(snap.Ookla, b.Ookla)
 		case SectionMLab:
 			snap.MLabRows = b.MLab
 		case SectionMBA:
 			snap.MBA = b.MBA
 		case SectionAndroid:
-			snap.Android = b.Ookla
+			snap.Android = appendOoklaBatch(snap.Android, b.Ookla)
 		case SectionIngest:
-			snap.Ingest = b.Ingest
+			snap.Ingest = appendIngestBatch(snap.Ingest, b.Ingest)
 		case SectionSketch:
 			snap.Sketches = b.Sketches
 		}
@@ -191,12 +204,80 @@ func decodeCitySnapshotSel(data []byte, sel SnapshotSelection) (*CitySnapshot, D
 	return snap, sc.Counters(), nil
 }
 
+// appendCol concatenates one column across zoned-group batches. The first
+// batch is adopted as-is (preserving nil-ness of unselected columns);
+// later groups append.
+func appendCol[T any](dst, src []T) []T {
+	if src == nil {
+		return dst
+	}
+	if dst == nil {
+		return src
+	}
+	return append(dst, src...)
+}
+
+// appendOoklaBatch folds one Ookla batch into the accumulated section columns.
+func appendOoklaBatch(dst, src *OoklaColumns) *OoklaColumns {
+	if dst == nil {
+		return src
+	}
+	dst.TestID = appendCol(dst.TestID, src.TestID)
+	dst.UserID = appendCol(dst.UserID, src.UserID)
+	dst.City = appendCol(dst.City, src.City)
+	dst.ISP = appendCol(dst.ISP, src.ISP)
+	dst.Timestamp = appendCol(dst.Timestamp, src.Timestamp)
+	dst.Platform = appendCol(dst.Platform, src.Platform)
+	dst.Access = appendCol(dst.Access, src.Access)
+	dst.HasRadioInfo = appendCol(dst.HasRadioInfo, src.HasRadioInfo)
+	dst.Band = appendCol(dst.Band, src.Band)
+	dst.RSSI = appendCol(dst.RSSI, src.RSSI)
+	dst.MaxTheoretical = appendCol(dst.MaxTheoretical, src.MaxTheoretical)
+	dst.KernelMemMB = appendCol(dst.KernelMemMB, src.KernelMemMB)
+	dst.Download = appendCol(dst.Download, src.Download)
+	dst.Upload = appendCol(dst.Upload, src.Upload)
+	dst.Latency = appendCol(dst.Latency, src.Latency)
+	dst.TruthTier = appendCol(dst.TruthTier, src.TruthTier)
+	return dst
+}
+
+// appendIngestBatch folds one ingest batch into the accumulated section columns.
+func appendIngestBatch(dst, src *IngestColumns) *IngestColumns {
+	if dst == nil {
+		return src
+	}
+	dst.TestID = appendCol(dst.TestID, src.TestID)
+	dst.UserID = appendCol(dst.UserID, src.UserID)
+	dst.City = appendCol(dst.City, src.City)
+	dst.ISP = appendCol(dst.ISP, src.ISP)
+	dst.Timestamp = appendCol(dst.Timestamp, src.Timestamp)
+	dst.Download = appendCol(dst.Download, src.Download)
+	dst.Upload = appendCol(dst.Upload, src.Upload)
+	dst.Latency = appendCol(dst.Latency, src.Latency)
+	dst.UploadTier = appendCol(dst.UploadTier, src.UploadTier)
+	dst.Tier = appendCol(dst.Tier, src.Tier)
+	dst.Confidence = appendCol(dst.Confidence, src.Confidence)
+	return dst
+}
+
 // encodeCitySnapshot renders the full file image; dataVersion is a
 // parameter so tests can fabricate stale snapshots.
 func encodeCitySnapshot(snap *CitySnapshot, dataVersion uint64) ([]byte, error) {
+	return encodeCitySnapshotOpts(snap, dataVersion, nil)
+}
+
+// encodeCitySnapshotOpts renders the file image; a non-nil zopts switches
+// the Ookla and Ingest sections to their zoned v3 forms (and the envelope
+// to format version 3). Everything else — and every byte of a plain
+// encode — is unchanged from v2.
+func encodeCitySnapshotOpts(snap *CitySnapshot, dataVersion uint64, zopts *ZoneOptions) ([]byte, error) {
 	e := &snapEnc{}
 	e.buf = append(e.buf, snapshotMagic[:]...)
-	e.buf = binary.LittleEndian.AppendUint16(e.buf, SnapshotFormatVersion)
+	ver := uint16(SnapshotFormatVersion)
+	if zopts != nil {
+		ver = SnapshotFormatVersionZoned
+	}
+	e.buf = binary.LittleEndian.AppendUint16(e.buf, ver)
 	e.buf = binary.AppendUvarint(e.buf, dataVersion)
 	sections := 0
 	for _, present := range []bool{snap.Ookla != nil, snap.MLabRows != nil, snap.MBA != nil, snap.Android != nil, snap.Ingest != nil, len(snap.Sketches) > 0} {
@@ -206,7 +287,13 @@ func encodeCitySnapshot(snap *CitySnapshot, dataVersion uint64) ([]byte, error) 
 	}
 	e.buf = append(e.buf, byte(sections))
 	if snap.Ookla != nil {
-		if err := encodeOoklaSection(e, snapKindOokla, snap.Ookla); err != nil {
+		var err error
+		if zopts != nil {
+			err = encodeOoklaSectionZoned(e, snapKindOoklaZoned, snap.Ookla, zopts)
+		} else {
+			err = encodeOoklaSection(e, snapKindOokla, snap.Ookla)
+		}
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -226,7 +313,13 @@ func encodeCitySnapshot(snap *CitySnapshot, dataVersion uint64) ([]byte, error) 
 		}
 	}
 	if snap.Ingest != nil {
-		if err := encodeIngestSection(e, snap.Ingest); err != nil {
+		var err error
+		if zopts != nil {
+			err = encodeIngestSectionZoned(e, snap.Ingest, zopts)
+		} else {
+			err = encodeIngestSection(e, snap.Ingest)
+		}
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -298,6 +391,14 @@ func (e *snapEnc) column(id byte, payload []byte) {
 func (e *snapEnc) section(kind byte, rows int) {
 	e.buf = append(e.buf, kind)
 	e.buf = binary.AppendUvarint(e.buf, uint64(rows))
+}
+
+// zoneDir writes a zoned section's zone directory: length, the payload's
+// own checksum (verified before any group header is trusted), payload.
+func (e *snapEnc) zoneDir(payload []byte) {
+	e.buf = binary.AppendUvarint(e.buf, uint64(len(payload)))
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, snapshotChecksum(payload))
+	e.buf = append(e.buf, payload...)
 }
 
 // Column payload encoders.
@@ -410,6 +511,13 @@ func encodeOoklaSection(e *snapEnc, kind byte, c *OoklaColumns) error {
 		return err
 	}
 	e.section(kind, n)
+	return appendOoklaColumns(e, c)
+}
+
+// appendOoklaColumns emits the Ookla column blocks, ids 1..16. Zoned
+// encodes call it once per row group over sub-sliced columns; every codec
+// restarts per payload, so a group decodes exactly like a small section.
+func appendOoklaColumns(e *snapEnc, c *OoklaColumns) error {
 	e.column(1, appendDeltaInts(e.scratch[:0], c.TestID))
 	e.column(2, appendDeltaInts(e.scratch[:0], c.UserID))
 	e.column(3, appendStrings(e.scratch[:0], c.City))
@@ -492,6 +600,12 @@ func encodeIngestSection(e *snapEnc, c *IngestColumns) error {
 		return err
 	}
 	e.section(snapKindIngest, n)
+	return appendIngestColumns(e, c)
+}
+
+// appendIngestColumns emits the ingest column blocks, ids 1..11; zoned
+// encodes call it once per row group (see appendOoklaColumns).
+func appendIngestColumns(e *snapEnc, c *IngestColumns) error {
 	e.column(1, appendDeltaInts(e.scratch[:0], c.TestID))
 	e.column(2, appendDeltaInts(e.scratch[:0], c.UserID))
 	e.column(3, appendStrings(e.scratch[:0], c.City))

@@ -2,12 +2,42 @@ package experiments
 
 import (
 	"fmt"
+	"os"
+	"strings"
 
 	"speedctx/internal/core"
 	"speedctx/internal/dataset"
+	"speedctx/internal/opendata"
 	"speedctx/internal/plans"
 	"speedctx/internal/tilequery"
 )
+
+// ClusterSnapshot writes the quadkey-clustered zoned sibling of a .sxc
+// snapshot: Ookla columns permuted into ascending cluster-key order and
+// re-encoded as a format-v3 zoned file at `<path minus .sxc>.z<zoom>.sxc`.
+// The sibling holds the same row multiset, so every order-independent
+// consumer (the tile fold) reads it interchangeably; order-dependent ones
+// (the fit pass) must keep reading the original. Returns the sibling path.
+func ClusterSnapshot(path string, zoom, blockRows int, locSeed int64) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	snap, err := dataset.DecodeCitySnapshot(data)
+	if err != nil {
+		return "", err
+	}
+	opts := opendata.NewZoneOptions(zoom, blockRows, locSeed)
+	if snap.Ookla != nil {
+		snap.Ookla = dataset.ClusterOoklaColumns(snap.Ookla, opts.Quadkey)
+	}
+	buf, err := dataset.EncodeCitySnapshotZoned(snap, opts)
+	if err != nil {
+		return "", err
+	}
+	out := strings.TrimSuffix(path, ".sxc") + fmt.Sprintf(".z%d.sxc", opts.Zoom)
+	return out, os.WriteFile(out, buf, 0o644)
+}
 
 // fitSampleSelection is the two-column projection the streamed fit pass
 // reads: just the <download, upload> pairs the BST consumes.
@@ -32,6 +62,23 @@ var fitSampleSelection = dataset.SnapshotSelection{
 // and every tqcfg.Parallelism. The returned counters describe the second
 // (tile-column) pass, mirroring TileRowsFromSnapshot's.
 func StreamTileIndex(path, cityID string, cfg core.Config, batchRows int, tqcfg tilequery.Config) (*tilequery.Index, dataset.DecodeCounters, error) {
+	return streamTileIndex(path, path, cityID, cfg, batchRows, tqcfg, nil)
+}
+
+// StreamTileIndexPushdown is StreamTileIndex with the two paths split and
+// a bbox predicate pushed into the fold pass (DESIGN.md §15): fit samples
+// stream from fitPath — the file in canonical (unclustered) row order,
+// because core.Fit is sample-order-dependent — while the tile columns
+// stream from scanPath, normally the quadkey-clustered zoned sibling
+// (see ClusterSnapshot), with groups outside rng skipped by seek. Tiles
+// rendered for rng are byte-identical to the unpushed index's: skipped
+// groups hold only rows placed outside the rectangle. nil rng degrades to
+// StreamTileIndex over the split paths.
+func StreamTileIndexPushdown(fitPath, scanPath, cityID string, cfg core.Config, batchRows int, tqcfg tilequery.Config, rng *opendata.TileRange) (*tilequery.Index, dataset.DecodeCounters, error) {
+	return streamTileIndex(fitPath, scanPath, cityID, cfg, batchRows, tqcfg, tqcfg.Pushdown(rng))
+}
+
+func streamTileIndex(fitPath, scanPath, cityID string, cfg core.Config, batchRows int, tqcfg tilequery.Config, pred *dataset.ScanPredicate) (*tilequery.Index, dataset.DecodeCounters, error) {
 	var ctr dataset.DecodeCounters
 	cat, ok := plans.ByCity(cityID)
 	if !ok {
@@ -40,7 +87,7 @@ func StreamTileIndex(path, cityID string, cfg core.Config, batchRows int, tqcfg 
 
 	// Pass 1: fit samples. Two float64 columns is the floor the exact fit
 	// needs resident; everything else stays on disk.
-	src, err := dataset.OpenFileSource(path)
+	src, err := dataset.OpenFileSource(fitPath)
 	if err != nil {
 		return nil, ctr, err
 	}
@@ -69,7 +116,7 @@ func StreamTileIndex(path, cityID string, cfg core.Config, batchRows int, tqcfg 
 		return nil, ctr, scanErr
 	}
 	if !saw {
-		return nil, ctr, fmt.Errorf("experiments: snapshot %s carries no Ookla section", path)
+		return nil, ctr, fmt.Errorf("experiments: snapshot %s carries no Ookla section", fitPath)
 	}
 	res, err := core.Fit(samples, cat, cfg)
 	if err != nil {
@@ -77,13 +124,16 @@ func StreamTileIndex(path, cityID string, cfg core.Config, batchRows int, tqcfg 
 	}
 	cl := core.NewClassifier(res, cfg)
 
-	// Pass 2: tile columns, classified and folded batch by batch.
-	src, err = dataset.OpenFileSource(path)
+	// Pass 2: tile columns, classified and folded batch by batch, with the
+	// predicate (if any) seeking past zone-mapped groups that cannot match.
+	src, err = dataset.OpenFileSource(scanPath)
 	if err != nil {
 		return nil, ctr, err
 	}
 	defer src.Close()
-	sc, err = dataset.NewBlockScanner(src, tileSnapshotSelection, batchRows)
+	sel := tileSnapshotSelection
+	sel.Predicate = pred
+	sc, err = dataset.NewBlockScanner(src, sel, batchRows)
 	if err != nil {
 		return nil, ctr, err
 	}

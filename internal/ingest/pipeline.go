@@ -33,6 +33,7 @@ import (
 
 	"speedctx/internal/core"
 	"speedctx/internal/dataset"
+	"speedctx/internal/opendata"
 )
 
 // PipelineConfig tunes the write-behind path. The zero value selects the
@@ -558,6 +559,37 @@ func Compact(dir string) (string, error) {
 // segments scan at once (0 = all CPUs) in batches of batchRows rows
 // (0 = dataset.DefaultScanBatchRows). Neither affects the output bytes.
 func CompactBatched(dir string, par, batchRows int) (string, error) {
+	return CompactWith(dir, CompactOptions{Par: par, BatchRows: batchRows})
+}
+
+// CompactOptions tunes CompactWith. The zero value reproduces Compact:
+// all-CPU scans, default batches, unclustered v2 output.
+type CompactOptions struct {
+	// Par is the number of segments scanned concurrently (0 = all CPUs).
+	Par int
+	// BatchRows is the scan batch size (0 = dataset.DefaultScanBatchRows).
+	// Neither knob affects the output bytes.
+	BatchRows int
+	// ClusterZoom > 0 emits the compacted snapshot as a format-v3
+	// quadkey-clustered zoned file (DESIGN.md §15): rows sorted by packed
+	// quadkey at this zoom (ties broken by the stable row key — the
+	// clustered canonical order), split into zone-mapped row groups that
+	// bbox tile queries skip by seek. 0 keeps the unclustered v2 layout.
+	ClusterZoom int
+	// ZoneBlockRows is the rows-per-group split of a clustered snapshot
+	// (0 = the dataset default, 4096).
+	ZoneBlockRows int
+	// LocSeed is the location-derivation seed zone quadkeys are computed
+	// under (0 = opendata.DefaultLocSeed). It must match the seed the tile
+	// query layer serves with, or pushdown degrades to full reads.
+	LocSeed int64
+}
+
+// CompactWith is Compact with every knob exposed. Clustered or not, the
+// output bytes depend only on the ingested row set and the options — both
+// sort orders are total and deterministic.
+func CompactWith(dir string, opts CompactOptions) (string, error) {
+	par, batchRows := opts.Par, opts.BatchRows
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return "", err
@@ -597,7 +629,6 @@ func CompactBatched(dir string, par, batchRows int) (string, error) {
 			}
 		}
 	}
-	dataset.SortIngestRows(rows)
 	// Bundle order (city, then tier) is part of the byte-determinism
 	// contract: any segment partition of the same rows compacts to the
 	// same file.
@@ -615,7 +646,15 @@ func CompactBatched(dir string, par, batchRows int) (string, error) {
 	for _, k := range keys {
 		bundles = append(bundles, *merged[k])
 	}
-	buf, err := dataset.EncodeIngestSegmentSketches(dataset.ColumnizeIngest(rows), bundles)
+	var buf []byte
+	if opts.ClusterZoom > 0 {
+		zo := opendata.NewZoneOptions(opts.ClusterZoom, opts.ZoneBlockRows, opts.LocSeed)
+		dataset.SortIngestRowsClustered(rows, zo.Quadkey)
+		buf, err = dataset.EncodeIngestSegmentZoned(dataset.ColumnizeIngest(rows), bundles, zo)
+	} else {
+		dataset.SortIngestRows(rows)
+		buf, err = dataset.EncodeIngestSegmentSketches(dataset.ColumnizeIngest(rows), bundles)
+	}
 	if err != nil {
 		return "", err
 	}

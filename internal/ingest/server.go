@@ -168,7 +168,12 @@ func NewServer(pipe *Pipeline, models map[string]*CityModel, cfg ServerConfig) *
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
-	s.tiles = newTileServer(pipe.cfg.Dir, cfg.Tiles, cfg.TileCacheTiles, pipe.cfg.ScanBatchRows)
+	modelCities := make([]string, 0, len(models))
+	for city := range models {
+		modelCities = append(modelCities, city)
+	}
+	sort.Strings(modelCities)
+	s.tiles = newTileServer(pipe.cfg.Dir, cfg.Tiles, cfg.TileCacheTiles, pipe.cfg.ScanBatchRows, modelCities)
 	now := time.Now().UnixNano()
 	for city, m := range models {
 		st := &cityState{base: m.Base}

@@ -197,3 +197,97 @@ func TestTilesEndpointQueries(t *testing.T) {
 		t.Fatalf("statsz misses tile_cache: %s", stats)
 	}
 }
+
+// TestTilesPushdownClustered is the serving-path pushdown gate: after a
+// clustered compaction, a bbox query through the pushdown scan path skips
+// row groups outside the bbox yet renders bytes identical to the engine
+// path (?push=0), and /statsz accounts the skips per attributed city.
+func TestTilesPushdownClustered(t *testing.T) {
+	cls, rows := loadClassifiers(t)
+	dir := t.TempDir()
+	ts, srv, p := startServer(t, dir, PipelineConfig{}, cls)
+	defer ts.Close()
+	client := ts.Client()
+	for i := range rows {
+		postOne(t, client, ts.URL, &rows[i])
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Cluster-compact with tiny zone groups so even the fixture's row count
+	// spans many groups; the two fixture cities land in disjoint quadkey
+	// runs, so a one-city bbox must skip the other city's groups entirely.
+	if _, err := CompactWith(dir, CompactOptions{ClusterZoom: opendata.TileZoom, ZoneBlockRows: 16}); err != nil {
+		t.Fatal(err)
+	}
+
+	city := rows[0].City
+	c := opendata.CityCenter(city)
+	bbox := fmt.Sprintf("?bbox=%g,%g,%g,%g", c.Lat-0.11, c.Lon-0.11, c.Lat+0.11, c.Lon+0.11)
+	code, pushed := getTiles(t, client, ts.URL, bbox)
+	if code != http.StatusOK {
+		t.Fatalf("pushdown bbox query = %d: %s", code, pushed)
+	}
+	code, engine := getTiles(t, client, ts.URL, bbox+"&push=0")
+	if code != http.StatusOK {
+		t.Fatalf("push=0 bbox query = %d: %s", code, engine)
+	}
+	if !bytes.Equal(pushed, engine) {
+		t.Fatal("pushdown response differs from engine response")
+	}
+
+	st := srv.tiles.stats()
+	if st.PushQueries != 1 || st.PushSkipHits != 1 {
+		t.Fatalf("pushdown counters: %d queries, %d skip hits, want 1/1", st.PushQueries, st.PushSkipHits)
+	}
+	cs, ok := st.PushByCity[city]
+	if !ok || cs.queries != 1 {
+		t.Fatalf("query not attributed to city %s: %+v", city, st.PushByCity)
+	}
+	if cs.blocksSkipped == 0 || cs.blocksScanned == 0 {
+		t.Fatalf("city %s: scanned %d / skipped %d groups, want both > 0", city, cs.blocksScanned, cs.blocksSkipped)
+	}
+
+	// /statsz renders the pushdown block with the per-city split.
+	resp, err := client.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`"pushdown":{"queries":1,"skip_hits":1,"hit_rate":1.000`,
+		fmt.Sprintf(`%q:{"queries":1,"blocks_scanned":%d,"blocks_skipped":%d}`, city, cs.blocksScanned, cs.blocksSkipped),
+		`"blocks_scanned":`,
+	} {
+		if !bytes.Contains(stats, []byte(want)) {
+			t.Fatalf("statsz misses %s: %s", want, stats)
+		}
+	}
+
+	// An unclustered directory degrades to full reads: identical bytes,
+	// zero skips, and the hit-rate reflects the miss.
+	dir2 := t.TempDir()
+	ts2, srv2, p2 := startServer(t, dir2, PipelineConfig{}, cls)
+	defer ts2.Close()
+	client2 := ts2.Client()
+	for i := range rows {
+		postOne(t, client2, ts2.URL, &rows[i])
+	}
+	if err := p2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compact(dir2); err != nil {
+		t.Fatal(err)
+	}
+	code, flat := getTiles(t, client2, ts2.URL, bbox)
+	if code != http.StatusOK {
+		t.Fatalf("unclustered bbox query = %d: %s", code, flat)
+	}
+	if !bytes.Equal(flat, pushed) {
+		t.Fatal("unclustered response differs from clustered response")
+	}
+	if st2 := srv2.tiles.stats(); st2.PushQueries != 1 || st2.PushSkipHits != 0 {
+		t.Fatalf("unclustered pushdown counters: %+v", st2)
+	}
+}

@@ -2,6 +2,7 @@ package tilequery
 
 import (
 	"os"
+	"reflect"
 	"runtime"
 	"sync"
 	"testing"
@@ -339,6 +340,101 @@ func BenchmarkTileQuery(b *testing.B) {
 			}
 		}
 	})
+}
+
+// benchZonedBytes encodes the same 1M-row Ookla city as a v3
+// quadkey-clustered zoned snapshot (canonical options: zoom 16, 4096-row
+// groups, default seed) — the compacted form BenchmarkTileScanPushdown
+// scans with and without a bbox predicate.
+var (
+	zonedOnce  sync.Once
+	zonedBytes []byte
+	zonedErr   error
+)
+
+func benchZonedBytes(b *testing.B) []byte {
+	zonedOnce.Do(func() {
+		opts := opendata.NewZoneOptions(0, 0, 0)
+		snap := &dataset.CitySnapshot{
+			Ookla: dataset.ClusterOoklaColumns(benchOokla(scanRows, 0xA11CE), opts.Quadkey),
+		}
+		zonedBytes, zonedErr = dataset.EncodeCitySnapshotZoned(snap, opts)
+	})
+	if zonedErr != nil {
+		b.Fatal(zonedErr)
+	}
+	return zonedBytes
+}
+
+// neighborhoodRange is the benchmark's query shape: the single zoom-16
+// tile containing one user's placement — a one-neighborhood bbox over a
+// 1M-row city.
+func neighborhoodRange() *opendata.TileRange {
+	loc := opendata.UserLocation(opendata.CityCenter("A"), opendata.DefaultLocSeed, 42)
+	x, y := opendata.LatLonToTile(loc.Lat, loc.Lon, opendata.TileZoom)
+	return &opendata.TileRange{Zoom: opendata.TileZoom, MinX: x, MaxX: x, MinY: y, MaxY: y}
+}
+
+// scanTilesWithPredicate streams the zoned snapshot into a fresh index
+// and renders the range query, optionally with the bbox predicate pushed
+// into the scanner.
+func scanTilesWithPredicate(data []byte, cfg Config, q Query, push bool) ([]opendata.ContextTile, dataset.DecodeCounters, error) {
+	sel := tileScanSelection
+	if push {
+		sel.Predicate = cfg.Pushdown(q.Range)
+	}
+	sc, err := dataset.NewBlockScanner(dataset.BytesSource(data), sel, 0)
+	if err != nil {
+		return nil, dataset.DecodeCounters{}, err
+	}
+	ix := NewIndex(cfg)
+	if _, err := ix.AddScan(sc); err != nil {
+		return nil, sc.Counters(), err
+	}
+	tiles, err := ix.Tiles(q)
+	return tiles, sc.Counters(), err
+}
+
+// BenchmarkTileScanPushdown is PR 10's headline pair: answering a
+// zoom-16 single-neighborhood bbox over the clustered 1M-row city by
+// streaming every row group (mode=full) versus seeking past groups whose
+// quadkey zone ranges cannot intersect the bbox (mode=push). The rendered
+// tiles are asserted byte-identical before timing; the rows/s ratio is
+// the recorded speedup.
+func BenchmarkTileScanPushdown(b *testing.B) {
+	data := benchZonedBytes(b)
+	cfg := Config{City: "A"}
+	q := Query{Range: neighborhoodRange()}
+	want, _, err := scanTilesWithPredicate(data, cfg, q, false)
+	if err != nil || len(want) == 0 {
+		b.Fatalf("full scan: %d tiles, err %v", len(want), err)
+	}
+	got, ctr, err := scanTilesWithPredicate(data, cfg, q, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if ctr.BlocksSkipped == 0 {
+		b.Fatal("pushdown skipped no row groups")
+	}
+	if !reflect.DeepEqual(want, got) {
+		b.Fatal("pushdown changed the rendered tiles")
+	}
+	for _, mode := range []struct {
+		name string
+		push bool
+	}{{"full", false}, {"push", true}} {
+		b.Run("n=1000000/mode="+mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				tiles, _, err := scanTilesWithPredicate(data, cfg, q, mode.push)
+				if err != nil || len(tiles) == 0 {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N*scanRows)/time.Since(start).Seconds(), "rows/s")
+		})
+	}
 }
 
 func itoa(n int) string {
